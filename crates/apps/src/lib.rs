@@ -1,0 +1,25 @@
+//! # vg-apps
+//!
+//! The application workloads from the paper's evaluation, built on the
+//! `vg-kernel` process interface and the `vg-runtime` libc analog:
+//!
+//! * [`lmbench`] — the LMBench microbenchmarks of Table 2 and the file
+//!   create/delete rates of Tables 3–4.
+//! * [`postmark`] — the Postmark mail-server workload of Table 5.
+//! * [`thttpd`] — the thttpd-style web server plus the ApacheBench-like
+//!   client driver behind Figure 2.
+//! * [`ssh`] — the OpenSSH suite of §6 (ssh-keygen / ssh-agent / ssh / sshd)
+//!   with ghost-memory heaps and a shared application key, plus the
+//!   transfer-rate drivers behind Figures 3 and 4.
+//!
+//! Every workload runs unchanged on a native or a Virtual Ghost system —
+//! the system mode decides the checks and the cost model, so each driver
+//! can regenerate both columns/curves of its paper artefact.
+
+pub mod lmbench;
+pub mod postmark;
+pub mod ssh;
+pub mod thttpd;
+
+pub use lmbench::MicroResult;
+pub use postmark::{PostmarkConfig, PostmarkResult};

@@ -1,0 +1,251 @@
+//! Criterion micro-benchmarks.
+//!
+//! Two kinds of measurement live in this repository:
+//!
+//! * **Simulated time** — what the paper's tables/figures report; the
+//!   `paper-tables` binary regenerates those from the cycle cost model.
+//! * **Wall-clock time of the simulator itself** — this file. Each group
+//!   drives a paper-relevant path (trap path, file ops, ghost memory,
+//!   crypto, the instrumented interpreter) so regressions in the
+//!   reproduction's own performance are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vg_kernel::syscall::O_CREAT;
+use vg_kernel::{Mode, System};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 4096];
+    g.bench_function("sha256_4k", |b| {
+        b.iter(|| vg_crypto::Sha256::digest(std::hint::black_box(&data)))
+    });
+    g.bench_function("aes_ctr_4k", |b| {
+        let key = [7u8; 16];
+        b.iter_batched(
+            || data.clone(),
+            |mut buf| vg_crypto::aes::ctr_xor(&key, 1, &mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hmac_4k", |b| {
+        b.iter(|| vg_crypto::HmacSha256::mac(b"key", std::hint::black_box(&data)))
+    });
+    g.bench_function("sealed_box_page", |b| {
+        let enc = [1u8; 16];
+        let mac = [2u8; 32];
+        b.iter(|| vg_crypto::SealedBox::seal(&enc, &mac, 7, std::hint::black_box(&data)))
+    });
+    g.bench_function("rsa_keygen_256", |b| {
+        b.iter(|| {
+            let mut s = 0x1234u64;
+            let mut rng = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            vg_crypto::RsaKeyPair::generate(256, &mut rng)
+        })
+    });
+    g.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.bench_function("mmu_translate_hit", |b| {
+        let mut machine = vg_machine::Machine::new(Default::default());
+        let root = machine.phys.alloc_frame().unwrap();
+        machine.mmu.set_root(root);
+        let frame = machine.phys.alloc_frame().unwrap();
+        vg_machine::mmu::map_page_raw(
+            &mut machine.phys,
+            root,
+            vg_machine::VAddr(0x4000),
+            vg_machine::Pte::new(frame, vg_machine::PteFlags::user_rw()),
+        )
+        .unwrap();
+        b.iter(|| {
+            machine
+                .mmu
+                .translate(
+                    &machine.phys,
+                    vg_machine::VAddr(0x4123),
+                    vg_machine::AccessKind::Read,
+                    true,
+                )
+                .unwrap()
+        })
+    });
+    g.bench_function("mask_kernel_pointer", |b| {
+        b.iter(|| {
+            vg_machine::mask_kernel_pointer(std::hint::black_box(vg_machine::VAddr(
+                0xffff_ff00_1234_5678,
+            )))
+        })
+    });
+    g.finish();
+}
+
+fn bench_syscall_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syscall_path");
+    g.sample_size(20);
+    for (label, mode) in [("native", Mode::Native), ("virtual_ghost", Mode::VirtualGhost)] {
+        g.bench_function(format!("getpid_loop_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = System::boot(mode.clone());
+                    sys.install_app("bench", false, || {
+                        Box::new(|env| {
+                            for _ in 0..100 {
+                                env.getpid();
+                            }
+                            0
+                        })
+                    });
+                    sys
+                },
+                |mut sys| {
+                    let pid = sys.spawn("bench");
+                    sys.run_until_exit(pid)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_fs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filesystem");
+    g.sample_size(20);
+    g.bench_function("create_write_unlink_vg", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::boot(Mode::VirtualGhost);
+                sys.install_app("fsb", false, || {
+                    Box::new(|env| {
+                        let buf = env.mmap_anon(4096);
+                        env.write_mem(buf, &[9u8; 1024]);
+                        for i in 0..20 {
+                            let p = format!("/b{i}");
+                            let fd = env.open(&p, O_CREAT);
+                            env.write(fd, buf, 1024);
+                            env.close(fd);
+                            env.unlink(&p);
+                        }
+                        0
+                    })
+                });
+                sys
+            },
+            |mut sys| {
+                let pid = sys.spawn("fsb");
+                sys.run_until_exit(pid)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ghost_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ghost_memory");
+    g.sample_size(20);
+    g.bench_function("allocgm_write_freegm", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::boot(Mode::VirtualGhost);
+                sys.install_app("gm", true, || {
+                    Box::new(|env| {
+                        for _ in 0..10 {
+                            let va = env.allocgm(4).expect("ghost");
+                            env.write_mem(va, &[1u8; 4096]);
+                            env.freegm(va, 4).expect("free");
+                        }
+                        0
+                    })
+                });
+                sys
+            },
+            |mut sys| {
+                let pid = sys.spawn("gm");
+                sys.run_until_exit(pid)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    // The instrumented rootkit module copying bytes through masked
+    // loads/stores — the hot path of hooked syscalls.
+    g.bench_function("instrumented_copy_loop", |b| {
+        let mut s = 0x77u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let compiler = vg_ir::VgCompiler::new(vg_crypto::RsaKeyPair::generate(128, &mut rng));
+        let t = compiler.compile(vg_attacks::direct_read_module()).unwrap();
+        let mut registry = vg_ir::CodeRegistry::new();
+        let h = registry.register_module(t.module, vg_ir::registry::CodeSpace::Kernel);
+        let addr = registry.addr_of(h, "hook_read").unwrap();
+
+        struct Host;
+        impl vg_ir::ExternHost for Host {
+            fn call_extern(
+                &mut self,
+                name: &str,
+                _args: &[i64],
+            ) -> Result<i64, vg_ir::interp::HostError> {
+                Ok(match name {
+                    "kern.config" => 64, // addr=64, len=64
+                    _ => 0,
+                })
+            }
+        }
+        /// Flat memory that folds high (kernel/masked) addresses into the
+        /// buffer so the module's scratch stores land somewhere measurable.
+        struct FoldMem(vg_ir::interp::FlatMem);
+        impl vg_ir::MemBus for FoldMem {
+            fn load(
+                &mut self,
+                addr: u64,
+                w: vg_ir::Width,
+            ) -> Result<u64, vg_ir::MemFault> {
+                self.0.load(addr % (1 << 20), w)
+            }
+            fn store(
+                &mut self,
+                addr: u64,
+                w: vg_ir::Width,
+                v: u64,
+            ) -> Result<(), vg_ir::MemFault> {
+                self.0.store(addr % (1 << 20), w, v)
+            }
+        }
+        b.iter(|| {
+            let mut interp = vg_ir::Interp::new(&registry);
+            let mut mem = FoldMem(vg_ir::interp::FlatMem::new(1 << 20));
+            let mut host = Host;
+            let mut env = vg_ir::interp::Pair { mem: &mut mem, host: &mut host };
+            interp.run(addr, &[0, 0, 0], &mut env).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_machine,
+    bench_syscall_path,
+    bench_fs,
+    bench_ghost_memory,
+    bench_interpreter
+);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Property-based tests for the Virtual Ghost invariants.
+//!
+//! The central one: **no sequence of checked MMU/ghost/swap operations ever
+//! leaves a ghost frame reachable through an OS-visible mapping.** The test
+//! drives the SVA VM with randomized operation sequences and then walks the
+//! actual page tables in simulated physical memory to verify the invariant
+//! against ground truth.
+
+#![cfg(test)]
+
+use crate::frames::FrameKind;
+use crate::{ProcId, Protections, SvaVm};
+use proptest::prelude::*;
+use vg_crypto::Tpm;
+use vg_machine::layout::{Region, GHOST_BASE, PAGE_SIZE};
+use vg_machine::mmu::read_pte;
+use vg_machine::pte::{PageTableLevel, PteFlags};
+use vg_machine::{Machine, Pfn, VAddr};
+
+#[derive(Debug, Clone)]
+enum Op {
+    MapUser { vpn_off: u64, donate: bool },
+    Unmap { vpn_off: u64 },
+    AllocGm { pages: u8 },
+    FreeGm { idx: u8 },
+    SwapOut { idx: u8 },
+    SwapIn { idx: u8 },
+    IommuMap { idx: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, any::<bool>()).prop_map(|(vpn_off, donate)| Op::MapUser { vpn_off, donate }),
+        (0u64..64).prop_map(|vpn_off| Op::Unmap { vpn_off }),
+        (1u8..4).prop_map(|pages| Op::AllocGm { pages }),
+        any::<u8>().prop_map(|idx| Op::FreeGm { idx }),
+        any::<u8>().prop_map(|idx| Op::SwapOut { idx }),
+        any::<u8>().prop_map(|idx| Op::SwapIn { idx }),
+        any::<u8>().prop_map(|idx| Op::IommuMap { idx }),
+    ]
+}
+
+/// Walks the entire page table rooted at `root` and asserts no present leaf
+/// references a ghost or SVA-internal frame, and no ghost-partition VA is
+/// mapped except those the VM itself installed for `proc`.
+fn assert_invariants(vm: &SvaVm, machine: &Machine, root: Pfn, proc: ProcId) {
+    fn walk(
+        vm: &SvaVm,
+        machine: &Machine,
+        table: Pfn,
+        level: PageTableLevel,
+        va_base: u64,
+        proc: ProcId,
+    ) {
+        let shift = match level {
+            PageTableLevel::L4 => 39,
+            PageTableLevel::L3 => 30,
+            PageTableLevel::L2 => 21,
+            PageTableLevel::L1 => 12,
+        };
+        for idx in 0..512u64 {
+            let pte = read_pte(&machine.phys, table, idx);
+            if !pte.present() {
+                continue;
+            }
+            // Sign-extend bit 47 for canonical upper-half addresses.
+            let mut va = va_base | (idx << shift);
+            if level == PageTableLevel::L4 && idx >= 256 {
+                va |= 0xffff_0000_0000_0000;
+            }
+            match level.next() {
+                Some(next) => walk(vm, machine, pte.pfn(), next, va, proc),
+                None => {
+                    let kind = vm.frames.kind(pte.pfn());
+                    let region = Region::of(VAddr(va));
+                    if region == Region::Ghost {
+                        // Only the VM's own ghost mappings for this process.
+                        assert_eq!(
+                            vm.ghost.frame_at(proc, va / PAGE_SIZE),
+                            Some(pte.pfn()),
+                            "foreign mapping in ghost partition at {va:#x}"
+                        );
+                        assert_eq!(kind, FrameKind::Ghost);
+                    } else {
+                        assert_ne!(kind, FrameKind::Ghost, "ghost frame leaked to {va:#x}");
+                        assert_ne!(kind, FrameKind::SvaInternal);
+                        // Code frames must never be writable.
+                        if kind == FrameKind::Code {
+                            assert!(!pte.writable(), "writable code at {va:#x}");
+                        }
+                    }
+                    // Nothing ghost is ever DMA-visible.
+                    if kind == FrameKind::Ghost {
+                        assert!(!machine.iommu.is_mapped(pte.pfn()));
+                    }
+                }
+            }
+        }
+    }
+    walk(vm, machine, root, PageTableLevel::L4, 0, proc);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_operation_sequence_exposes_ghost_memory(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let tpm = Tpm::new(1);
+        let mut vm = SvaVm::boot_with_key_bits(Protections::virtual_ghost(), &tpm, 11, 128);
+        let mut machine = Machine::new(Default::default());
+        let proc = ProcId(1);
+        let root = vm.sva_create_root(&mut machine).unwrap();
+
+        // Ghost allocations made so far: (va, pages) — swap state per page.
+        let mut ghost_allocs: Vec<(u64, u64)> = Vec::new();
+        let mut ghost_cursor = GHOST_BASE;
+        let mut swapped: Vec<(u64, crate::swap::SwappedGhostPage)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::MapUser { vpn_off, donate } => {
+                    let va = VAddr(0x10_0000 + vpn_off * PAGE_SIZE);
+                    // The OS may try to map a regular frame — or, if
+                    // `donate` picked a ghost frame, the checks must refuse.
+                    let frame = if donate {
+                        ghost_allocs
+                            .first()
+                            .and_then(|(va, _)| vm.ghost.frame_at(proc, va / PAGE_SIZE))
+                    } else {
+                        machine.phys.alloc_frame()
+                    };
+                    if let Some(f) = frame {
+                        let r = vm.sva_map_page(&mut machine, root, va, f, PteFlags::user_rw());
+                        if donate {
+                            prop_assert!(r.is_err(), "ghost frame mapping must be refused");
+                        } else if r.is_err() {
+                            machine.phys.free_frame(f);
+                        }
+                    }
+                }
+                Op::Unmap { vpn_off } => {
+                    let va = VAddr(0x10_0000 + vpn_off * PAGE_SIZE);
+                    if let Ok(Some(f)) = vm.sva_unmap_page(&mut machine, root, va) {
+                        machine.phys.free_frame(f);
+                    }
+                }
+                Op::AllocGm { pages } => {
+                    let frames: Vec<Pfn> = (0..pages)
+                        .filter_map(|_| machine.phys.alloc_frame())
+                        .collect();
+                    if frames.len() == pages as usize {
+                        let va = VAddr(ghost_cursor);
+                        if vm.sva_allocgm(&mut machine, proc, root, va, &frames).is_ok() {
+                            ghost_allocs.push((ghost_cursor, pages as u64));
+                            ghost_cursor += pages as u64 * PAGE_SIZE;
+                        } else {
+                            for f in frames {
+                                machine.phys.free_frame(f);
+                            }
+                        }
+                    } else {
+                        for f in frames {
+                            machine.phys.free_frame(f);
+                        }
+                    }
+                }
+                Op::FreeGm { idx } => {
+                    if ghost_allocs.is_empty() {
+                        continue;
+                    }
+                    let i = idx as usize % ghost_allocs.len();
+                    let (va, pages) = ghost_allocs[i];
+                    if let Ok(frames) = vm.sva_freegm(&mut machine, proc, root, VAddr(va), pages) {
+                        ghost_allocs.remove(i);
+                        for f in frames {
+                            machine.phys.free_frame(f);
+                        }
+                    }
+                }
+                Op::SwapOut { idx } => {
+                    if ghost_allocs.is_empty() {
+                        continue;
+                    }
+                    let i = idx as usize % ghost_allocs.len();
+                    let (va, pages) = ghost_allocs[i];
+                    if pages == 1 {
+                        if let Ok((blob, frame)) = vm.sva_swap_out(&mut machine, proc, root, VAddr(va)) {
+                            machine.phys.free_frame(frame);
+                            ghost_allocs.remove(i);
+                            swapped.push((va, blob));
+                        }
+                    }
+                }
+                Op::SwapIn { idx } => {
+                    if swapped.is_empty() {
+                        continue;
+                    }
+                    let i = idx as usize % swapped.len();
+                    let (va, blob) = swapped[i].clone();
+                    if let Some(f) = machine.phys.alloc_frame() {
+                        if vm.sva_swap_in(&mut machine, proc, root, VAddr(va), &blob, f).is_ok() {
+                            swapped.remove(i);
+                            ghost_allocs.push((va, 1));
+                        } else {
+                            machine.phys.free_frame(f);
+                        }
+                    }
+                }
+                Op::IommuMap { idx } => {
+                    // Try to expose a ghost frame (or a random one) to DMA.
+                    let target = if let Some((va, _)) = ghost_allocs.first() {
+                        vm.ghost.frame_at(proc, va / PAGE_SIZE)
+                    } else {
+                        Some(Pfn(idx as u64))
+                    };
+                    if let Some(f) = target {
+                        let kind = vm.frames.kind(f);
+                        let r = vm.sva_iommu_map(&mut machine, f);
+                        if kind == FrameKind::Ghost {
+                            prop_assert!(r.is_err(), "ghost frame must not be DMA-mapped");
+                        }
+                    }
+                }
+            }
+            assert_invariants(&vm, &machine, root, proc);
+        }
+    }
+
+    /// Ghost data written then swapped out and back is bit-exact, for
+    /// arbitrary contents.
+    #[test]
+    fn swap_preserves_arbitrary_contents(data in proptest::collection::vec(any::<u8>(), 1..4096)) {
+        let tpm = Tpm::new(2);
+        let mut vm = SvaVm::boot_with_key_bits(Protections::virtual_ghost(), &tpm, 5, 128);
+        let mut machine = Machine::new(Default::default());
+        let root = vm.sva_create_root(&mut machine).unwrap();
+        let frame = machine.phys.alloc_frame().unwrap();
+        let va = VAddr(GHOST_BASE);
+        vm.sva_allocgm(&mut machine, ProcId(1), root, va, &[frame]).unwrap();
+        machine.phys.write_bytes(frame, 0, &data);
+        let (blob, f) = vm.sva_swap_out(&mut machine, ProcId(1), root, va).unwrap();
+        machine.phys.free_frame(f);
+        let fresh = machine.phys.alloc_frame().unwrap();
+        vm.sva_swap_in(&mut machine, ProcId(1), root, va, &blob, fresh).unwrap();
+        let back = vm.ghost.frame_at(ProcId(1), va.vpn().0).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        machine.phys.read_bytes(back, 0, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+}

@@ -1,0 +1,238 @@
+//! Secure swapping of ghost pages (paper §3.3).
+//!
+//! "If the OS indicates to Virtual Ghost that it wishes to swap out a ghost
+//! page, Virtual Ghost will encrypt and checksum the page with its keys
+//! before providing the OS with access. To swap a page in, the OS provides
+//! Virtual Ghost with the encrypted page contents; Virtual Ghost will verify
+//! that the page has not been modified and place it back into the ghost
+//! memory partition in the correct location."
+//!
+//! The blob is bound to (process, virtual page) so the OS cannot replay a
+//! page swapped from one location into another — the prototype left this
+//! unimplemented ("Swapping of ghost memory is not implemented", §5); we
+//! implement it fully.
+
+use crate::frames::FrameKind;
+use crate::{ProcId, SvaError, SvaVm};
+use vg_crypto::aes::SealedBox;
+use vg_machine::layout::{Region, PAGE_SIZE};
+use vg_machine::pte::{Pte, PteFlags};
+use vg_machine::{Machine, Pfn, VAddr};
+
+/// The VM's swap keys.
+#[derive(Debug)]
+pub struct SwapManager {
+    enc_key: [u8; 16],
+    mac_key: [u8; 32],
+}
+
+impl SwapManager {
+    /// Creates a manager with the given keys (generated at VM boot).
+    pub fn new(enc_key: [u8; 16], mac_key: [u8; 32]) -> Self {
+        SwapManager { enc_key, mac_key }
+    }
+
+    fn context(proc: ProcId, vpn: u64) -> u64 {
+        // Bind to both identity and location.
+        (proc.0 << 40) ^ vpn ^ 0x5357_4150
+    }
+}
+
+/// An encrypted, authenticated ghost page handed to the OS for storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwappedGhostPage {
+    /// Owning process.
+    pub proc: ProcId,
+    /// Virtual page number within the ghost partition.
+    pub vpn: u64,
+    /// Encrypt-then-MAC payload.
+    pub sealed: SealedBox,
+}
+
+impl SvaVm {
+    /// Swaps out the ghost page at `va`: seals the contents, unmaps and
+    /// scrubs the frame, and returns (blob for the OS to store, frame for
+    /// the OS to reuse).
+    ///
+    /// # Errors
+    ///
+    /// [`SvaError::NotGhostMapped`] if `va` is not a ghost page of `proc`.
+    pub fn sva_swap_out(
+        &mut self,
+        machine: &mut Machine,
+        proc: ProcId,
+        root: Pfn,
+        va: VAddr,
+    ) -> Result<(SwappedGhostPage, Pfn), SvaError> {
+        if Region::of(va) != Region::Ghost {
+            return Err(SvaError::NotGhostRegion);
+        }
+        let vpn = va.vpn().0;
+        let pfn = self.ghost.frame_at(proc, vpn).ok_or(SvaError::NotGhostMapped)?;
+        machine.charge(
+            machine.costs.aes_per_block * (PAGE_SIZE / 16)
+                + machine.costs.sha_per_block * (PAGE_SIZE / 64)
+                + machine.costs.ghost_page_op,
+        );
+        let contents = machine.phys.read_frame(pfn);
+        let sealed = SealedBox::seal(
+            &self.swap.enc_key,
+            &self.swap.mac_key,
+            SwapManager::context(proc, vpn),
+            &contents,
+        );
+        // Tear the page down exactly like freegm.
+        self.unmap_page_unchecked(machine, root, va);
+        machine.mmu.flush_page(va.vpn());
+        machine.phys.zero_frame(pfn);
+        self.frames.set_kind(pfn, FrameKind::Regular);
+        if let Some(pages) = self.ghost.pages.get_mut(&proc) {
+            pages.remove(&vpn);
+        }
+        Ok((SwappedGhostPage { proc, vpn, sealed }, pfn))
+    }
+
+    /// Swaps a page back in: verifies integrity and location binding, then
+    /// re-establishes the ghost mapping on an OS-donated frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`SvaError::SwapIntegrity`] — blob tampered with or replayed at the
+    ///   wrong location/process.
+    /// * [`SvaError::FrameInUse`] — donated frame still mapped.
+    pub fn sva_swap_in(
+        &mut self,
+        machine: &mut Machine,
+        proc: ProcId,
+        root: Pfn,
+        va: VAddr,
+        blob: &SwappedGhostPage,
+        frame: Pfn,
+    ) -> Result<(), SvaError> {
+        if Region::of(va) != Region::Ghost {
+            return Err(SvaError::NotGhostRegion);
+        }
+        if !self.frames.transferable_to_ghost(frame)
+            || !machine.phys.is_allocated(frame)
+            || machine.iommu.is_mapped(frame)
+        {
+            return Err(SvaError::FrameInUse);
+        }
+        machine.charge(
+            machine.costs.aes_per_block * (PAGE_SIZE / 16)
+                + machine.costs.sha_per_block * (PAGE_SIZE / 64)
+                + machine.costs.ghost_page_op,
+        );
+        let vpn = va.vpn().0;
+        let contents = blob
+            .sealed
+            .open(&self.swap.enc_key, &self.swap.mac_key, SwapManager::context(proc, vpn))
+            .map_err(|_| SvaError::SwapIntegrity)?;
+        machine.phys.write_frame(frame, &contents);
+        self.frames.set_kind(frame, FrameKind::Ghost);
+        self.map_page_unchecked(
+            machine,
+            root,
+            va,
+            Pte::new(frame, PteFlags::user_rw()),
+            FrameKind::PageTable,
+        )?;
+        machine.mmu.flush_page(va.vpn());
+        self.ghost.pages.entry(proc).or_default().insert(vpn, frame);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protections;
+    use vg_crypto::Tpm;
+    use vg_machine::layout::GHOST_BASE;
+
+    const P: ProcId = ProcId(4);
+
+    fn setup_with_ghost_page() -> (SvaVm, Machine, Pfn, VAddr) {
+        let tpm = Tpm::new(1);
+        let mut vm = SvaVm::boot(Protections::virtual_ghost(), &tpm, 6);
+        let mut machine = Machine::new(Default::default());
+        let root = vm.sva_create_root(&mut machine).unwrap();
+        let frame = machine.phys.alloc_frame().unwrap();
+        let va = VAddr(GHOST_BASE + 0x5000);
+        vm.sva_allocgm(&mut machine, P, root, va, &[frame]).unwrap();
+        (vm, machine, root, va)
+    }
+
+    #[test]
+    fn swap_roundtrip_preserves_contents() {
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let pfn = vm.ghost.frame_at(P, va.vpn().0).unwrap();
+        machine.phys.write_u64(pfn, 16, 0xfeed_f00d);
+        let (blob, freed) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+        assert_eq!(freed, pfn);
+        // The frame the OS got back carries no plaintext.
+        assert_eq!(machine.phys.read_u64(pfn, 16), 0);
+        assert_eq!(vm.ghost.page_count(P), 0);
+
+        // OS later donates a (possibly different) frame for swap-in.
+        let new_frame = machine.phys.alloc_frame().unwrap();
+        vm.sva_swap_in(&mut machine, P, root, va, &blob, new_frame).unwrap();
+        let back = vm.ghost.frame_at(P, va.vpn().0).unwrap();
+        assert_eq!(machine.phys.read_u64(back, 16), 0xfeed_f00d);
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let (mut blob, _f) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+        blob.sealed.ciphertext_mut()[100] ^= 0xff;
+        let frame = machine.phys.alloc_frame().unwrap();
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, P, root, va, &blob, frame),
+            Err(SvaError::SwapIntegrity)
+        );
+    }
+
+    #[test]
+    fn replay_at_wrong_location_rejected() {
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let (blob, _f) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+        let frame = machine.phys.alloc_frame().unwrap();
+        // OS tries to materialize the page at a different ghost address.
+        let other = VAddr(GHOST_BASE + 0x9000);
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, P, root, other, &blob, frame),
+            Err(SvaError::SwapIntegrity)
+        );
+        // …or into a different process.
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, ProcId(9), root, va, &blob, frame),
+            Err(SvaError::SwapIntegrity)
+        );
+    }
+
+    #[test]
+    fn swap_in_requires_clean_frame() {
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let (blob, _f) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+        let mapped = machine.phys.alloc_frame().unwrap();
+        vm.sva_map_page(&mut machine, root, VAddr(0x4000), mapped, PteFlags::user_rw()).unwrap();
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, P, root, va, &blob, mapped),
+            Err(SvaError::FrameInUse)
+        );
+    }
+
+    #[test]
+    fn swap_out_requires_ghost_page() {
+        let (mut vm, mut machine, root, _va) = setup_with_ghost_page();
+        assert_eq!(
+            vm.sva_swap_out(&mut machine, P, root, VAddr(0x4000)),
+            Err(SvaError::NotGhostRegion)
+        );
+        assert_eq!(
+            vm.sva_swap_out(&mut machine, P, root, VAddr(GHOST_BASE + 0x100_000)),
+            Err(SvaError::NotGhostMapped)
+        );
+    }
+}

@@ -1,0 +1,395 @@
+//! AES-128 (FIPS 197) with CTR mode and an encrypt-then-MAC sealed box.
+//!
+//! The Virtual Ghost VM uses [`SealedBox`] when the OS asks to swap out a
+//! ghost page: the page is encrypted under the VM's AES key and authenticated
+//! (together with its virtual page number, to prevent the OS substituting one
+//! swapped page for another) under the VM's MAC key. Applications use
+//! [`Aes128`]/[`ctr_xor`] directly for their own file encryption, mirroring
+//! the paper's point that applications choose their own algorithms.
+
+use crate::hmac::HmacSha256;
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box, derived from [`SBOX`] at construction time.
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use vg_crypto::aes::Aes128;
+///
+/// let aes = Aes128::new(&[0u8; 16]);
+/// let ct = aes.encrypt_block([0u8; 16]);
+/// assert_eq!(aes.decrypt_block(ct), [0u8; 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[10]);
+        for r in (1..10).rev() {
+            inv_shift_rows(&mut s);
+            inv_sub_bytes(&mut s, &inv);
+            add_round_key(&mut s, &self.round_keys[r]);
+            inv_mix_columns(&mut s);
+        }
+        inv_shift_rows(&mut s);
+        inv_sub_bytes(&mut s, &inv);
+        add_round_key(&mut s, &self.round_keys[0]);
+        s
+    }
+}
+
+// State is column-major: s[4*c + r] is row r, column c (matches FIPS 197's
+// byte ordering of the input block).
+fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        s[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(s: &mut [u8; 16], inv: &[u8; 256]) {
+    for b in s.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+fn shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[4 + r], s[8 + r], s[12 + r]];
+        for c in 0..4 {
+            s[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(s: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [s[r], s[4 + r], s[8 + r], s[12 + r]];
+        for c in 0..4 {
+            s[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        s[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        s[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        s[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        s[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        s[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        s[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        s[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+/// XORs `data` in place with the AES-CTR keystream for (`key`, `nonce`).
+///
+/// CTR mode is an involution, so the same call encrypts and decrypts. The
+/// 8-byte nonce occupies the top half of the counter block; the block counter
+/// occupies the bottom half.
+pub fn ctr_xor(key: &[u8; 16], nonce: u64, data: &mut [u8]) {
+    let aes = Aes128::new(key);
+    for (counter, chunk) in data.chunks_mut(16).enumerate() {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&nonce.to_be_bytes());
+        block[8..].copy_from_slice(&(counter as u64).to_be_bytes());
+        let ks = aes.encrypt_block(block);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// An encrypted and authenticated blob: AES-CTR then HMAC-SHA256 over
+/// (context ‖ nonce ‖ ciphertext).
+///
+/// `context` binds the box to its use site — for ghost page swapping the VM
+/// passes the virtual page number, so the OS cannot replay a page swapped
+/// from one address into another (paper §3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBox {
+    nonce: u64,
+    ciphertext: Vec<u8>,
+    tag: [u8; 32],
+}
+
+/// Error returned by [`SealedBox::open`] when authentication fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenSealedBoxError;
+
+impl std::fmt::Display for OpenSealedBoxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sealed box authentication failed")
+    }
+}
+
+impl std::error::Error for OpenSealedBoxError {}
+
+impl SealedBox {
+    /// Seals `plaintext` under the given keys, bound to `context`.
+    ///
+    /// The nonce is derived from the context; callers that seal the same
+    /// context twice with different contents (e.g. re-swapping a dirty page)
+    /// still get integrity because the MAC covers the fresh ciphertext.
+    pub fn seal(enc_key: &[u8; 16], mac_key: &[u8; 32], context: u64, plaintext: &[u8]) -> Self {
+        let nonce = context ^ 0x5653_4143_4845_u64; // context-derived, deterministic
+        let mut ct = plaintext.to_vec();
+        ctr_xor(enc_key, nonce, &mut ct);
+        let tag = Self::tag(mac_key, context, nonce, &ct);
+        SealedBox { nonce, ciphertext: ct, tag }
+    }
+
+    /// Opens the box, verifying the MAC and the binding `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenSealedBoxError`] if the ciphertext, tag, or context have
+    /// been tampered with — this is how Virtual Ghost detects the OS
+    /// corrupting a swapped ghost page.
+    pub fn open(
+        &self,
+        enc_key: &[u8; 16],
+        mac_key: &[u8; 32],
+        context: u64,
+    ) -> Result<Vec<u8>, OpenSealedBoxError> {
+        let expect = Self::tag(mac_key, context, self.nonce, &self.ciphertext);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(&self.tag) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(OpenSealedBoxError);
+        }
+        let mut pt = self.ciphertext.clone();
+        ctr_xor(enc_key, self.nonce, &mut pt);
+        Ok(pt)
+    }
+
+    /// Ciphertext length in bytes.
+    pub fn len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// Whether the sealed payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ciphertext.is_empty()
+    }
+
+    /// Mutable access to the raw ciphertext — used by attack simulations that
+    /// model the OS flipping bits in swapped-out pages.
+    pub fn ciphertext_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.ciphertext
+    }
+
+    fn tag(mac_key: &[u8; 32], context: u64, nonce: u64, ct: &[u8]) -> [u8; 32] {
+        let mut mac = HmacSha256::new(mac_key);
+        mac.update(&context.to_be_bytes());
+        mac.update(&nonce.to_be_bytes());
+        mac.update(ct);
+        mac.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 197 Appendix B vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(pt), expect);
+        assert_eq!(aes.decrypt_block(expect), pt);
+    }
+
+    // FIPS 197 Appendix C.1 vector.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::new(&key).encrypt_block(pt), expect);
+    }
+
+    #[test]
+    fn ctr_roundtrip_odd_length() {
+        let key = [0xabu8; 16];
+        let mut data: Vec<u8> = (0..37u8).collect();
+        let orig = data.clone();
+        ctr_xor(&key, 99, &mut data);
+        assert_ne!(data, orig);
+        ctr_xor(&key, 99, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_distinct_nonces_differ() {
+        let key = [1u8; 16];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        ctr_xor(&key, 1, &mut a);
+        ctr_xor(&key, 2, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sealed_box_roundtrip() {
+        let sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
+        assert_eq!(sealed.open(&[3; 16], &[4; 32], 7).unwrap(), b"page data here");
+    }
+
+    #[test]
+    fn sealed_box_detects_tamper() {
+        let mut sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
+        sealed.ciphertext_mut()[0] ^= 1;
+        assert_eq!(sealed.open(&[3; 16], &[4; 32], 7), Err(OpenSealedBoxError));
+    }
+
+    #[test]
+    fn sealed_box_detects_context_replay() {
+        // A page swapped out from vpn 7 must not be accepted for vpn 8.
+        let sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
+        assert!(sealed.open(&[3; 16], &[4; 32], 8).is_err());
+    }
+
+    #[test]
+    fn sealed_box_wrong_keys_rejected() {
+        let sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"x");
+        assert!(sealed.open(&[3; 16], &[5; 32], 7).is_err());
+    }
+
+    #[test]
+    fn empty_box() {
+        let sealed = SealedBox::seal(&[0; 16], &[0; 32], 0, b"");
+        assert!(sealed.is_empty());
+        assert_eq!(sealed.len(), 0);
+        assert_eq!(sealed.open(&[0; 16], &[0; 32], 0).unwrap(), b"");
+    }
+}

@@ -1,0 +1,179 @@
+//! The Virtual Ghost compiler: pass pipeline plus translation signing.
+//!
+//! "All OS code must first go through LLVM bitcode form and be translated to
+//! native code by the Virtual Ghost compiler" (§1), and the VM "caches and
+//! signs the translations" (§4.2). [`VgCompiler::compile`] verifies the
+//! module, runs sandbox → CFI → SVA-guard, encodes the result, and signs the
+//! encoding with the Virtual Ghost private key. The kernel's loader accepts
+//! only [`Translation`]s whose signature verifies against the VG public key
+//! — which is how "attacks that inject binary code are not even expressible".
+
+use crate::encode::encode_module;
+use crate::inst::Module;
+use crate::passes;
+use crate::verify::{verify_module, VerifyError};
+use vg_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+
+/// A signed, instrumented translation of a module.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The instrumented module.
+    pub module: Module,
+    /// Signature over the canonical encoding of `module`.
+    pub signature: Vec<u8>,
+}
+
+impl Translation {
+    /// Verifies the signature against `key`.
+    pub fn verify(&self, key: &RsaPublicKey) -> bool {
+        key.verify(&encode_module(&self.module), &self.signature)
+    }
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input module is structurally invalid.
+    Invalid(VerifyError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid module: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The instrumenting compiler, holding the Virtual Ghost signing key.
+#[derive(Debug)]
+pub struct VgCompiler {
+    signing_key: RsaKeyPair,
+}
+
+impl VgCompiler {
+    /// Creates a compiler that signs with `signing_key` (the Virtual Ghost
+    /// private key, unsealed from the TPM at boot).
+    pub fn new(signing_key: RsaKeyPair) -> Self {
+        VgCompiler { signing_key }
+    }
+
+    /// The verification key the loader should use.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.signing_key.public()
+    }
+
+    /// Compiles kernel code: verify → sandbox → CFI → SVA guard → sign.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Invalid`] if the module fails structural
+    /// verification.
+    pub fn compile(&self, mut module: Module) -> Result<Translation, CompileError> {
+        verify_module(&module).map_err(CompileError::Invalid)?;
+        passes::sandbox::run(&mut module);
+        passes::cfi::run(&mut module);
+        passes::svaguard::run(&mut module);
+        let signature = self.signing_key.sign(&encode_module(&module));
+        Ok(Translation { module, signature })
+    }
+
+    /// Compiles application code: only the mmap-return masking pass is
+    /// applied — "Applications do not have to be compiled with the SVA-OS
+    /// compiler or instrumented in any particular way" (§3), but ghosting
+    /// applications opt into the Iago defense.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Invalid`] if the module fails structural
+    /// verification.
+    pub fn compile_application(&self, mut module: Module) -> Result<Translation, CompileError> {
+        verify_module(&module).map_err(CompileError::Invalid)?;
+        passes::mmapmask::run(&mut module, &["mmap"]);
+        let signature = self.signing_key.sign(&encode_module(&module));
+        Ok(Translation { module, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Inst, Width};
+
+    fn test_compiler() -> VgCompiler {
+        let mut s = 0x5eedu64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        VgCompiler::new(RsaKeyPair::generate(256, &mut rng))
+    }
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("mod");
+        let mut b = FunctionBuilder::new("f", 1);
+        let v = b.load(b.param(0).into(), Width::W8);
+        b.call_indirect(v.into(), &[]);
+        m.push_function(b.ret(None));
+        m
+    }
+
+    #[test]
+    fn compile_instruments_and_signs() {
+        let c = test_compiler();
+        let t = c.compile(sample_module()).unwrap();
+        assert!(t.module.fully_labeled());
+        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::MaskGhost { .. })));
+        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::CfiCheck { .. })));
+        assert!(t.verify(c.public_key()));
+    }
+
+    #[test]
+    fn tampered_translation_fails_verification() {
+        let c = test_compiler();
+        let mut t = c.compile(sample_module()).unwrap();
+        // The OS strips the CFI label from a function after signing…
+        t.module.functions[0].cfi_label = None;
+        assert!(!t.verify(c.public_key()));
+    }
+
+    #[test]
+    fn unsigned_module_fails_verification() {
+        let c = test_compiler();
+        let t = c.compile(sample_module()).unwrap();
+        let forged = Translation { module: t.module.clone(), signature: vec![0u8; 32] };
+        assert!(!forged.verify(c.public_key()));
+    }
+
+    #[test]
+    fn invalid_module_rejected() {
+        let c = test_compiler();
+        let mut m = Module::new("bad");
+        m.push_function(crate::inst::Function {
+            name: "empty".into(),
+            params: 0,
+            blocks: vec![],
+            cfi_label: None,
+        });
+        assert!(matches!(c.compile(m), Err(CompileError::Invalid(_))));
+    }
+
+    #[test]
+    fn application_compile_masks_mmap_only() {
+        let c = test_compiler();
+        let mut m = Module::new("app");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ext("mmap", &[4096.into()]);
+        m.push_function(b.ret(None));
+        let t = c.compile_application(m).unwrap();
+        // No CFI labels (apps are not kernel code)…
+        assert!(!t.module.fully_labeled());
+        // …but mmap results are masked.
+        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::MaskGhost { .. })));
+    }
+}

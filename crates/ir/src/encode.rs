@@ -1,0 +1,175 @@
+//! Deterministic module encoding.
+//!
+//! The Virtual Ghost VM "caches and signs the translations" (paper §4.2).
+//! Signing needs a canonical byte representation of the translated code;
+//! this module provides one — a stable textual assembly rendering. Equal
+//! modules encode identically, and any change to the instrumented code
+//! changes the encoding (and therefore invalidates the signature).
+
+use crate::inst::{Inst, Module, Operand, Terminator};
+use std::fmt::Write as _;
+
+fn op(s: &mut String, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            let _ = write!(s, "%{}", r.0);
+        }
+        Operand::Imm(v) => {
+            let _ = write!(s, "#{v}");
+        }
+    }
+}
+
+/// Encodes a module into canonical bytes.
+pub fn encode_module(m: &Module) -> Vec<u8> {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {}", m.name);
+    for f in &m.functions {
+        let label = f.cfi_label.map(|l| l.to_string()).unwrap_or_else(|| "-".into());
+        let _ = writeln!(s, "fn {} params={} label={}", f.name, f.params, label);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let _ = writeln!(s, " b{bi}:");
+            for i in &b.insts {
+                s.push_str("  ");
+                encode_inst(&mut s, i);
+                s.push('\n');
+            }
+            s.push_str("  ");
+            match &b.term {
+                Terminator::Jmp(t) => {
+                    let _ = write!(s, "jmp b{}", t.0);
+                }
+                Terminator::Br { cond, then_blk, else_blk } => {
+                    s.push_str("br ");
+                    op(&mut s, cond);
+                    let _ = write!(s, " b{} b{}", then_blk.0, else_blk.0);
+                }
+                Terminator::Ret(v) => {
+                    s.push_str("ret");
+                    if let Some(v) = v {
+                        s.push(' ');
+                        op(&mut s, v);
+                    }
+                }
+            }
+            s.push('\n');
+        }
+    }
+    s.into_bytes()
+}
+
+fn encode_inst(s: &mut String, i: &Inst) {
+    match i {
+        Inst::Bin { op: o, dst, lhs, rhs } => {
+            let _ = write!(s, "%{} = {:?} ", dst.0, o);
+            op(s, lhs);
+            s.push(' ');
+            op(s, rhs);
+        }
+        Inst::Mov { dst, src } => {
+            let _ = write!(s, "%{} = mov ", dst.0);
+            op(s, src);
+        }
+        Inst::Load { dst, addr, width } => {
+            let _ = write!(s, "%{} = load{} ", dst.0, width.bytes());
+            op(s, addr);
+        }
+        Inst::Store { src, addr, width } => {
+            let _ = write!(s, "store{} ", width.bytes());
+            op(s, src);
+            s.push_str(" -> ");
+            op(s, addr);
+        }
+        Inst::Memcpy { dst, src, len } => {
+            s.push_str("memcpy ");
+            op(s, dst);
+            s.push(' ');
+            op(s, src);
+            s.push(' ');
+            op(s, len);
+        }
+        Inst::Call { dst, callee, args } => {
+            if let Some(d) = dst {
+                let _ = write!(s, "%{} = ", d.0);
+            }
+            let _ = write!(s, "call f{callee}");
+            for a in args {
+                s.push(' ');
+                op(s, a);
+            }
+        }
+        Inst::CallIndirect { dst, target, args } => {
+            if let Some(d) = dst {
+                let _ = write!(s, "%{} = ", d.0);
+            }
+            s.push_str("icall ");
+            op(s, target);
+            for a in args {
+                s.push(' ');
+                op(s, a);
+            }
+        }
+        Inst::Extern { dst, name, args } => {
+            if let Some(d) = dst {
+                let _ = write!(s, "%{} = ", d.0);
+            }
+            let _ = write!(s, "extern {name}");
+            for a in args {
+                s.push(' ');
+                op(s, a);
+            }
+        }
+        Inst::MaskGhost { dst, src } => {
+            let _ = write!(s, "%{} = maskghost ", dst.0);
+            op(s, src);
+        }
+        Inst::ZeroSva { dst, src } => {
+            let _ = write!(s, "%{} = zerosva ", dst.0);
+            op(s, src);
+        }
+        Inst::CfiCheck { target, expected_label } => {
+            s.push_str("cficheck ");
+            op(s, target);
+            let _ = write!(s, " label={expected_label}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Width};
+
+    fn sample() -> Module {
+        let mut m = Module::new("sample");
+        let mut b = FunctionBuilder::new("f", 1);
+        let v = b.load(b.param(0).into(), Width::W8);
+        let w = b.bin(BinOp::Add, v.into(), 1.into());
+        b.store(w.into(), b.param(0).into(), Width::W8);
+        m.push_function(b.ret(Some(w.into())));
+        m
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_module(&sample()), encode_module(&sample()));
+    }
+
+    #[test]
+    fn encoding_distinguishes_modules() {
+        let a = sample();
+        let mut b = sample();
+        b.functions[0].cfi_label = Some(1);
+        assert_ne!(encode_module(&a), encode_module(&b));
+    }
+
+    #[test]
+    fn encoding_mentions_structure() {
+        let text = String::from_utf8(encode_module(&sample())).unwrap();
+        assert!(text.contains("module sample"));
+        assert!(text.contains("load8"));
+        assert!(text.contains("store8"));
+        assert!(text.contains("ret"));
+    }
+}

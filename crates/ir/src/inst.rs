@@ -1,0 +1,369 @@
+//! Instruction set definitions.
+//!
+//! A small register-machine IR in SSA spirit (virtual registers are assigned
+//! freely; the verifier only checks def-before-use along instruction order
+//! within a block). It models exactly what the Virtual Ghost passes need to
+//! see and transform: loads, stores, `memcpy`, direct and indirect calls,
+//! host ("extern") calls into kernel/SVA services, branches and returns —
+//! plus the instructions the passes *insert*: [`Inst::MaskGhost`],
+//! [`Inst::ZeroSva`], and [`Inst::CfiCheck`].
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// A basic block id within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// An operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Virtual register value.
+    Reg(VReg),
+    /// Immediate constant.
+    Imm(i64),
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+/// Binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Set if equal (1/0).
+    Eq,
+    /// Set if not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ltu,
+    /// Signed less-than.
+    Lts,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = op(lhs, rhs)`.
+    Bin {
+        /// ALU operation.
+        op: BinOp,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = imm` (or register copy).
+    Mov {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = *(addr)` with the given width.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Address operand.
+        addr: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// `*(addr) = src` with the given width.
+    Store {
+        /// Value to store.
+        src: Operand,
+        /// Address operand.
+        addr: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// `memcpy(dst, src, len)`.
+    Memcpy {
+        /// Destination address.
+        dst: Operand,
+        /// Source address.
+        src: Operand,
+        /// Byte count.
+        len: Operand,
+    },
+    /// Direct call to a function in the same module, by index.
+    Call {
+        /// Where the return value goes, if used.
+        dst: Option<VReg>,
+        /// Callee function index within the module.
+        callee: u32,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Indirect call through a code address.
+    CallIndirect {
+        /// Where the return value goes, if used.
+        dst: Option<VReg>,
+        /// Target code address.
+        target: Operand,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Call into the host environment (kernel API or SVA-OS operation).
+    Extern {
+        /// Where the return value goes, if used.
+        dst: Option<VReg>,
+        /// Host function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// *(inserted by the sandbox pass)* `dst = src >= GHOST_BASE ? src | 2^39 : src`.
+    MaskGhost {
+        /// Destination register.
+        dst: VReg,
+        /// Pointer to mask.
+        src: Operand,
+    },
+    /// *(inserted by the SVA-guard pass)* `dst = src in SVA internal ? 0 : src`.
+    ZeroSva {
+        /// Destination register.
+        dst: VReg,
+        /// Pointer to guard.
+        src: Operand,
+    },
+    /// *(inserted by the CFI pass)* verify the indirect-branch target
+    /// carries the expected label and lies in kernel space.
+    CfiCheck {
+        /// The branch target to validate.
+        target: Operand,
+        /// The label the callee must carry.
+        expected_label: u32,
+    },
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch: non-zero takes `then`.
+    Br {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when condition is non-zero.
+        then_blk: BlockId,
+        /// Target when condition is zero.
+        else_blk: BlockId,
+    },
+    /// Return, optionally with a value.
+    Ret(Option<Operand>),
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Instructions in order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of parameters (bound to `VReg(0)..VReg(n)` on entry).
+    pub params: u32,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// CFI label stamped by the CFI pass; `None` for uninstrumented code.
+    pub cfi_label: Option<u32>,
+}
+
+impl Function {
+    /// Iterates over all instructions (for analyses).
+    pub fn insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// The highest register number used (exclusive bound), for
+    /// fresh-register allocation.
+    pub fn max_reg(&self) -> u32 {
+        fn op(o: &Operand) -> u32 {
+            match o {
+                Operand::Reg(r) => r.0 + 1,
+                Operand::Imm(_) => 0,
+            }
+        }
+        let mut max = self.params;
+        for b in &self.blocks {
+            for i in &b.insts {
+                let m = match i {
+                    Inst::Bin { dst, lhs, rhs, .. } => (dst.0 + 1).max(op(lhs)).max(op(rhs)),
+                    Inst::Mov { dst, src }
+                    | Inst::MaskGhost { dst, src }
+                    | Inst::ZeroSva { dst, src } => (dst.0 + 1).max(op(src)),
+                    Inst::Load { dst, addr, .. } => (dst.0 + 1).max(op(addr)),
+                    Inst::Store { src, addr, .. } => op(src).max(op(addr)),
+                    Inst::Memcpy { dst, src, len } => op(dst).max(op(src)).max(op(len)),
+                    Inst::Call { dst, args, .. } => args
+                        .iter()
+                        .map(op)
+                        .chain(dst.map(|d| d.0 + 1))
+                        .max()
+                        .unwrap_or(0),
+                    Inst::CallIndirect { dst, target, args } => args
+                        .iter()
+                        .map(op)
+                        .chain(dst.map(|d| d.0 + 1))
+                        .chain(std::iter::once(op(target)))
+                        .max()
+                        .unwrap_or(0),
+                    Inst::Extern { dst, args, .. } => args
+                        .iter()
+                        .map(op)
+                        .chain(dst.map(|d| d.0 + 1))
+                        .max()
+                        .unwrap_or(0),
+                    Inst::CfiCheck { target, .. } => op(target),
+                };
+                max = max.max(m);
+            }
+            let m = match &b.term {
+                Terminator::Br { cond, .. } => op(cond),
+                Terminator::Ret(Some(v)) => op(v),
+                _ => 0,
+            };
+            max = max.max(m);
+        }
+        max
+    }
+}
+
+/// A module: a named collection of functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Functions; indices are the `Call` targets.
+    pub functions: Vec<Function>,
+}
+
+impl std::fmt::Display for Module {
+    /// Renders the canonical textual assembly (same bytes that get signed).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&String::from_utf8_lossy(&crate::encode::encode_module(self)))
+    }
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), functions: Vec::new() }
+    }
+
+    /// Appends a function, returning its index.
+    pub fn push_function(&mut self, f: Function) -> u32 {
+        self.functions.push(f);
+        (self.functions.len() - 1) as u32
+    }
+
+    /// Finds a function index by name.
+    pub fn find(&self, name: &str) -> Option<u32> {
+        self.functions.iter().position(|f| f.name == name).map(|i| i as u32)
+    }
+
+    /// Whether every function carries a CFI label (i.e. the module has been
+    /// through the Virtual Ghost compiler).
+    pub fn fully_labeled(&self) -> bool {
+        self.functions.iter().all(|f| f.cfi_label.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(VReg(3)), Operand::Reg(VReg(3)));
+        assert_eq!(Operand::from(7i64), Operand::Imm(7));
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn module_find_and_push() {
+        let mut m = Module::new("test");
+        let f = Function { name: "a".into(), params: 0, blocks: vec![], cfi_label: None };
+        let idx = m.push_function(f);
+        assert_eq!(idx, 0);
+        assert_eq!(m.find("a"), Some(0));
+        assert_eq!(m.find("b"), None);
+        assert!(!m.fully_labeled()); // functions lack labels until compiled
+    }
+
+    #[test]
+    fn max_reg_scans_everything() {
+        let f = Function {
+            name: "f".into(),
+            params: 1,
+            blocks: vec![Block {
+                insts: vec![
+                    Inst::Bin { op: BinOp::Add, dst: VReg(5), lhs: VReg(0).into(), rhs: 1.into() },
+                    Inst::Load { dst: VReg(9), addr: VReg(5).into(), width: Width::W8 },
+                ],
+                term: Terminator::Ret(Some(VReg(9).into())),
+            }],
+            cfi_label: None,
+        };
+        assert_eq!(f.max_reg(), 10);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Virtual Ghost compiler passes.
+//!
+//! These reproduce the instrumentation described in §4.3.1 and §5 of the
+//! paper:
+//!
+//! * [`sandbox`] — before every load, store and `memcpy`, rewrite the
+//!   pointer through [`Inst::MaskGhost`]: `addr >= 0xffffff0000000000 →
+//!   addr | 2^39`. After this pass no executed memory access can land in the
+//!   ghost partition.
+//! * [`svaguard`] — additionally route pointers through
+//!   [`Inst::ZeroSva`], which zeroes any pointer into SVA-internal memory
+//!   (the prototype's substitute for placing SVA memory in the protected
+//!   partition).
+//! * [`cfi`] — stamp every function with the single conservative label the
+//!   paper uses ("one label both for call sites and the first address of
+//!   every function") and insert a [`Inst::CfiCheck`] before every indirect
+//!   call. Return checks are accounted at `Ret` by the executor when the
+//!   function is labeled.
+//! * [`mmapmask`] — the application-side pass: mask the *return value* of
+//!   `mmap` host calls so an Iago-style kernel cannot hand an application a
+//!   pointer into its own ghost memory (§5, "To defend against Iago attacks
+//!   through the mmap system call").
+
+use crate::inst::{Function, Inst, Module, Operand, VReg};
+
+/// The single conservative CFI label used for all kernel code (paper §5:
+/// link-time interprocedural call-graph construction is avoided by using one
+/// label for call sites and function entries).
+pub const KERNEL_CFI_LABEL: u32 = 0x5647_4c42; // "VGLB"
+
+/// Rewrites every memory-access pointer through a fresh register holding the
+/// masked value.
+fn instrument_pointers(f: &mut Function, guard: fn(VReg, Operand) -> Inst) {
+    let mut next_reg = f.max_reg();
+    for block in &mut f.blocks {
+        let mut out = Vec::with_capacity(block.insts.len() * 2);
+        for inst in block.insts.drain(..) {
+            match inst {
+                Inst::Load { dst, addr, width } => {
+                    let masked = VReg(next_reg);
+                    next_reg += 1;
+                    out.push(guard(masked, addr));
+                    out.push(Inst::Load { dst, addr: masked.into(), width });
+                }
+                Inst::Store { src, addr, width } => {
+                    let masked = VReg(next_reg);
+                    next_reg += 1;
+                    out.push(guard(masked, addr));
+                    out.push(Inst::Store { src, addr: masked.into(), width });
+                }
+                Inst::Memcpy { dst, src, len } => {
+                    let md = VReg(next_reg);
+                    let ms = VReg(next_reg + 1);
+                    next_reg += 2;
+                    out.push(guard(md, dst));
+                    out.push(guard(ms, src));
+                    out.push(Inst::Memcpy { dst: md.into(), src: ms.into(), len });
+                }
+                other => out.push(other),
+            }
+        }
+        block.insts = out;
+    }
+}
+
+/// The load/store sandboxing pass.
+pub mod sandbox {
+    use super::*;
+
+    /// Applies ghost-pointer masking to every function in `module`.
+    pub fn run(module: &mut Module) {
+        for f in &mut module.functions {
+            instrument_pointers(f, |dst, src| Inst::MaskGhost { dst, src });
+        }
+    }
+}
+
+/// The SVA-internal-memory guard pass.
+pub mod svaguard {
+    use super::*;
+
+    /// Applies SVA-pointer zeroing to every function in `module`.
+    ///
+    /// Run *after* [`sandbox::run`] so the ZeroSva guard sees the
+    /// already-masked pointer, matching the prototype's layering.
+    pub fn run(module: &mut Module) {
+        for f in &mut module.functions {
+            instrument_pointers(f, |dst, src| Inst::ZeroSva { dst, src });
+        }
+    }
+}
+
+/// The control-flow-integrity pass.
+pub mod cfi {
+    use super::*;
+
+    /// Labels every function and inserts checks before indirect calls.
+    pub fn run(module: &mut Module) {
+        for f in &mut module.functions {
+            f.cfi_label = Some(KERNEL_CFI_LABEL);
+            for block in &mut f.blocks {
+                let mut out = Vec::with_capacity(block.insts.len());
+                for inst in block.insts.drain(..) {
+                    if let Inst::CallIndirect { ref target, .. } = inst {
+                        out.push(Inst::CfiCheck {
+                            target: *target,
+                            expected_label: KERNEL_CFI_LABEL,
+                        });
+                    }
+                    out.push(inst);
+                }
+                block.insts = out;
+            }
+        }
+    }
+}
+
+/// The application-side mmap-return masking pass.
+pub mod mmapmask {
+    use super::*;
+
+    /// Masks the return value of every `mmap` host call in `module`.
+    ///
+    /// `mmap_names` lists the host functions whose results must be masked
+    /// (the kernel exposes `mmap`; wrappers may add more).
+    pub fn run(module: &mut Module, mmap_names: &[&str]) {
+        for f in &mut module.functions {
+            let mut next_reg = f.max_reg();
+            for block in &mut f.blocks {
+                let mut out = Vec::with_capacity(block.insts.len());
+                for inst in block.insts.drain(..) {
+                    match inst {
+                        Inst::Extern { dst: Some(dst), name, args }
+                            if mmap_names.contains(&name.as_str()) =>
+                        {
+                            let raw = VReg(next_reg);
+                            next_reg += 1;
+                            out.push(Inst::Extern { dst: Some(raw), name, args });
+                            out.push(Inst::MaskGhost { dst, src: raw.into() });
+                        }
+                        other => out.push(other),
+                    }
+                }
+                block.insts = out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Width;
+
+    fn module_with_access() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", 1);
+        let v = b.load(b.param(0).into(), Width::W8);
+        b.store(v.into(), b.param(0).into(), Width::W8);
+        b.memcpy(8.into(), 0.into(), 8.into());
+        m.push_function(b.ret(Some(v.into())));
+        m
+    }
+
+    #[test]
+    fn sandbox_masks_every_access() {
+        let mut m = module_with_access();
+        sandbox::run(&mut m);
+        let f = &m.functions[0];
+        let masks = f.insts().filter(|i| matches!(i, Inst::MaskGhost { .. })).count();
+        // load + store + 2 for memcpy.
+        assert_eq!(masks, 4);
+        // Every Load/Store address operand is now a register written by a mask.
+        for i in f.insts() {
+            if let Inst::Load { addr, .. } | Inst::Store { addr, .. } = i {
+                assert!(matches!(addr, Operand::Reg(_)), "unmasked access survives: {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn svaguard_adds_second_layer() {
+        let mut m = module_with_access();
+        sandbox::run(&mut m);
+        svaguard::run(&mut m);
+        let f = &m.functions[0];
+        let ghost = f.insts().filter(|i| matches!(i, Inst::MaskGhost { .. })).count();
+        let sva = f.insts().filter(|i| matches!(i, Inst::ZeroSva { .. })).count();
+        assert_eq!(ghost, 4);
+        assert_eq!(sva, 4);
+    }
+
+    #[test]
+    fn cfi_labels_functions_and_guards_indirect_calls() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", 1);
+        b.call_indirect(b.param(0).into(), &[]);
+        m.push_function(b.ret(None));
+        cfi::run(&mut m);
+        assert!(m.fully_labeled());
+        let f = &m.functions[0];
+        let insts: Vec<_> = f.insts().collect();
+        assert!(matches!(insts[0], Inst::CfiCheck { expected_label: KERNEL_CFI_LABEL, .. }));
+        assert!(matches!(insts[1], Inst::CallIndirect { .. }));
+    }
+
+    #[test]
+    fn mmapmask_rewrites_only_mmap() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ext("mmap", &[4096.into()]);
+        b.ext("read", &[0.into()]);
+        m.push_function(b.ret(None));
+        mmapmask::run(&mut m, &["mmap"]);
+        let f = &m.functions[0];
+        let insts: Vec<_> = f.insts().collect();
+        assert!(matches!(insts[0], Inst::Extern { name, .. } if name == "mmap"));
+        assert!(matches!(insts[1], Inst::MaskGhost { .. }));
+        assert!(matches!(insts[2], Inst::Extern { name, .. } if name == "read"));
+        assert_eq!(insts.len(), 3);
+    }
+
+    #[test]
+    fn passes_preserve_structure() {
+        let mut m = module_with_access();
+        let blocks_before = m.functions[0].blocks.len();
+        sandbox::run(&mut m);
+        cfi::run(&mut m);
+        svaguard::run(&mut m);
+        assert_eq!(m.functions[0].blocks.len(), blocks_before);
+        assert!(crate::verify::verify_module(&m).is_ok());
+    }
+}

@@ -1,0 +1,172 @@
+//! Structural verification of modules.
+//!
+//! Run before compilation and again by the loader on untrusted input. These
+//! are well-formedness checks (valid block targets, valid callee indices,
+//! terminators present), not the security checks — those are the passes'
+//! inserted runtime checks.
+
+use crate::inst::{Function, Inst, Module, Terminator};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A function has no blocks.
+    EmptyFunction {
+        /// Offending function name.
+        function: String,
+    },
+    /// A branch targets a nonexistent block.
+    BadBlockTarget {
+        /// Offending function name.
+        function: String,
+        /// The bad target.
+        target: u32,
+    },
+    /// A direct call names a nonexistent function index.
+    BadCallee {
+        /// Offending function name.
+        function: String,
+        /// The bad callee index.
+        callee: u32,
+    },
+    /// Duplicate function names within a module.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EmptyFunction { function } => {
+                write!(f, "function `{function}` has no blocks")
+            }
+            VerifyError::BadBlockTarget { function, target } => {
+                write!(f, "function `{function}` branches to nonexistent block {target}")
+            }
+            VerifyError::BadCallee { function, callee } => {
+                write!(f, "function `{function}` calls nonexistent function index {callee}")
+            }
+            VerifyError::DuplicateName { name } => {
+                write!(f, "duplicate function name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// The first structural problem found, as a [`VerifyError`].
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let mut seen = std::collections::HashSet::new();
+    for f in &module.functions {
+        if !seen.insert(f.name.clone()) {
+            return Err(VerifyError::DuplicateName { name: f.name.clone() });
+        }
+        verify_function(f, module.functions.len() as u32)?;
+    }
+    Ok(())
+}
+
+fn verify_function(f: &Function, num_functions: u32) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(VerifyError::EmptyFunction { function: f.name.clone() });
+    }
+    let nblocks = f.blocks.len() as u32;
+    let check_target = |t: u32| -> Result<(), VerifyError> {
+        if t >= nblocks {
+            Err(VerifyError::BadBlockTarget { function: f.name.clone(), target: t })
+        } else {
+            Ok(())
+        }
+    };
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::Call { callee, .. } = inst {
+                if *callee >= num_functions {
+                    return Err(VerifyError::BadCallee {
+                        function: f.name.clone(),
+                        callee: *callee,
+                    });
+                }
+            }
+        }
+        match &b.term {
+            Terminator::Jmp(t) => check_target(t.0)?,
+            Terminator::Br { then_blk, else_blk, .. } => {
+                check_target(then_blk.0)?;
+                check_target(else_blk.0)?;
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{Block, BlockId, Module, Operand};
+
+    fn simple_module() -> Module {
+        let mut m = Module::new("m");
+        let b = FunctionBuilder::new("f", 0);
+        m.push_function(b.ret(Some(Operand::Imm(1))));
+        m
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(verify_module(&simple_module()).is_ok());
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "empty".into(),
+            params: 0,
+            blocks: vec![],
+            cfi_label: None,
+        });
+        assert_eq!(
+            verify_module(&m),
+            Err(VerifyError::EmptyFunction { function: "empty".into() })
+        );
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut m = Module::new("m");
+        m.push_function(Function {
+            name: "f".into(),
+            params: 0,
+            blocks: vec![Block { insts: vec![], term: Terminator::Jmp(BlockId(7)) }],
+            cfi_label: None,
+        });
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadBlockTarget { target: 7, .. })));
+    }
+
+    #[test]
+    fn bad_callee_rejected() {
+        let mut m = simple_module();
+        let mut b = FunctionBuilder::new("g", 0);
+        b.call(99, &[]);
+        m.push_function(b.ret(None));
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadCallee { callee: 99, .. })));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = simple_module();
+        let b = FunctionBuilder::new("f", 0);
+        m.push_function(b.ret(None));
+        assert_eq!(verify_module(&m), Err(VerifyError::DuplicateName { name: "f".into() }));
+    }
+}

@@ -1,0 +1,875 @@
+//! vgfs — a small UFS-flavoured filesystem on the simulated disk.
+//!
+//! Real on-disk layout (4 KiB blocks): superblock, inode table, allocation
+//! bitmap, data blocks. Directories are ordinary files containing serialized
+//! entries. All block I/O goes through a write-back buffer cache; cache
+//! misses DMA through the IOMMU exactly like a real driver, so filesystem
+//! benchmarks (LMBench file create/delete, Postmark) exercise the same
+//! hardware paths the paper measured.
+//!
+//! The OS has raw access to the platter (the paper's threat model), so
+//! nothing here is confidential — applications encrypt file *contents*
+//! themselves (see `vg-runtime`).
+
+use std::collections::HashMap;
+use vg_machine::layout::PAGE_SIZE;
+
+/// Block size (= page size).
+pub const BLOCK_SIZE: usize = PAGE_SIZE as usize;
+/// Bytes per on-disk inode.
+pub const INODE_SIZE: usize = 128;
+/// Inodes per block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 10;
+/// Pointers in an indirect block.
+pub const NINDIRECT: usize = BLOCK_SIZE / 4;
+/// Maximum file size in bytes.
+pub const MAX_FILE_BYTES: u64 = ((NDIRECT + NINDIRECT) * BLOCK_SIZE) as u64;
+/// Maximum filename length.
+pub const MAX_NAME: usize = 60;
+
+/// Inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u32);
+
+/// Root directory inode.
+pub const ROOT_INO: Ino = Ino(1);
+
+/// What an inode is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Regular file.
+    File,
+    /// Directory.
+    Dir,
+}
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component not found.
+    NotFound,
+    /// Entry already exists.
+    Exists,
+    /// Out of inodes or data blocks.
+    NoSpace,
+    /// Not a directory (when a directory was required) or vice versa.
+    WrongKind,
+    /// Name too long or otherwise invalid.
+    BadName,
+    /// File would exceed the maximum size.
+    TooBig,
+    /// Directory not empty.
+    NotEmpty,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::Exists => "file exists",
+            FsError::NoSpace => "no space left on device",
+            FsError::WrongKind => "is a directory / not a directory",
+            FsError::BadName => "invalid file name",
+            FsError::TooBig => "file too large",
+            FsError::NotEmpty => "directory not empty",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[derive(Debug, Clone, Default)]
+struct DiskInode {
+    kind: u16, // 0 free, 1 file, 2 dir
+    nlink: u16,
+    size: u64,
+    direct: [u32; NDIRECT],
+    indirect: u32,
+}
+
+impl DiskInode {
+    fn encode(&self, out: &mut [u8]) {
+        out[..2].copy_from_slice(&self.kind.to_le_bytes());
+        out[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        out[8..16].copy_from_slice(&self.size.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            out[16 + 4 * i..20 + 4 * i].copy_from_slice(&d.to_le_bytes());
+        }
+        out[16 + 4 * NDIRECT..20 + 4 * NDIRECT].copy_from_slice(&self.indirect.to_le_bytes());
+    }
+
+    fn decode(data: &[u8]) -> Self {
+        let mut inode = DiskInode {
+            kind: u16::from_le_bytes([data[0], data[1]]),
+            nlink: u16::from_le_bytes([data[2], data[3]]),
+            size: u64::from_le_bytes(data[8..16].try_into().unwrap()),
+            ..Default::default()
+        };
+        for i in 0..NDIRECT {
+            inode.direct[i] = u32::from_le_bytes(data[16 + 4 * i..20 + 4 * i].try_into().unwrap());
+        }
+        inode.indirect =
+            u32::from_le_bytes(data[16 + 4 * NDIRECT..20 + 4 * NDIRECT].try_into().unwrap());
+        inode
+    }
+}
+
+/// Accounting for one filesystem call, converted into cycle charges by the
+/// kernel (`vg-kernel::mem::kwork`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsWork {
+    /// Abstract instrumentable kernel memory accesses performed.
+    pub accesses: u64,
+    /// Function returns / indirect calls performed.
+    pub branches: u64,
+    /// Buffer-cache misses that went to disk.
+    pub disk_reads: u64,
+    /// Dirty blocks written to disk.
+    pub disk_writes: u64,
+    /// Bytes memcpy'd between cache and caller buffers.
+    pub bytes_copied: u64,
+}
+
+impl FsWork {
+    fn acc(&mut self, n: u64) {
+        self.accesses += n;
+        self.branches += n / 16 + 1;
+    }
+}
+
+#[derive(Debug)]
+struct CachedBlock {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// Backing store abstraction so the filesystem can be unit-tested against a
+/// plain in-memory device and wired to the machine's DMA disk by the kernel.
+pub trait BlockDev {
+    /// Reads block `bno` (4 KiB).
+    fn read_block(&mut self, bno: u32) -> Vec<u8>;
+    /// Writes block `bno`.
+    fn write_block(&mut self, bno: u32, data: &[u8]);
+    /// Device capacity in blocks.
+    fn capacity(&self) -> u32;
+}
+
+/// A trivial in-memory block device for tests.
+#[derive(Debug)]
+pub struct MemDisk {
+    blocks: Vec<Option<Vec<u8>>>,
+}
+
+impl MemDisk {
+    /// A zeroed device of `n` blocks.
+    pub fn new(n: u32) -> Self {
+        MemDisk { blocks: vec![None; n as usize] }
+    }
+}
+
+impl BlockDev for MemDisk {
+    fn read_block(&mut self, bno: u32) -> Vec<u8> {
+        self.blocks[bno as usize].clone().unwrap_or_else(|| vec![0; BLOCK_SIZE])
+    }
+
+    fn write_block(&mut self, bno: u32, data: &[u8]) {
+        self.blocks[bno as usize] = Some(data.to_vec());
+    }
+
+    fn capacity(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+}
+
+/// The filesystem: superblock geometry plus the buffer cache.
+///
+/// All operations take the backing [`BlockDev`] explicitly so the kernel can
+/// pass a device that charges DMA costs, and return an [`FsWork`] record of
+/// the work performed.
+#[derive(Debug)]
+pub struct VgFs {
+    ninodes: u32,
+    inode_blocks: u32,
+    bitmap_blocks: u32,
+    nblocks: u32,
+    cache: HashMap<u32, CachedBlock>,
+    cache_cap: usize,
+    clock: u64, // LRU tick
+    lru: HashMap<u32, u64>,
+}
+
+impl VgFs {
+    /// Formats a fresh filesystem on `dev` with `ninodes` inodes.
+    pub fn mkfs(dev: &mut dyn BlockDev, ninodes: u32) -> Self {
+        let nblocks = dev.capacity();
+        let inode_blocks = ninodes.div_ceil(INODES_PER_BLOCK as u32);
+        let bitmap_blocks = nblocks.div_ceil((BLOCK_SIZE * 8) as u32);
+        let mut fs = VgFs {
+            ninodes,
+            inode_blocks,
+            bitmap_blocks,
+            nblocks,
+            cache: HashMap::new(),
+            cache_cap: 4096,
+            clock: 0,
+            lru: HashMap::new(),
+        };
+        let mut w = FsWork::default();
+        // Mark metadata blocks used in the bitmap.
+        let meta = 1 + inode_blocks + bitmap_blocks;
+        for b in 0..meta {
+            fs.bitmap_set(dev, b, true, &mut w);
+        }
+        // Root directory.
+        let root = DiskInode { kind: 2, nlink: 1, ..Default::default() };
+        fs.write_inode(dev, ROOT_INO, &root, &mut w);
+        fs.sync(dev);
+        fs
+    }
+
+    /// Mounts an existing filesystem (geometry must match the mkfs call).
+    pub fn mount(dev: &mut dyn BlockDev, ninodes: u32) -> Self {
+        let nblocks = dev.capacity();
+        VgFs {
+            ninodes,
+            inode_blocks: ninodes.div_ceil(INODES_PER_BLOCK as u32),
+            bitmap_blocks: nblocks.div_ceil((BLOCK_SIZE * 8) as u32),
+            nblocks,
+            cache: HashMap::new(),
+            cache_cap: 4096,
+            clock: 0,
+            lru: HashMap::new(),
+        }
+    }
+
+    fn data_start(&self) -> u32 {
+        1 + self.inode_blocks + self.bitmap_blocks
+    }
+
+    // ---- buffer cache ----------------------------------------------------
+
+    fn with_block<R>(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        bno: u32,
+        w: &mut FsWork,
+        f: impl FnOnce(&mut CachedBlock) -> R,
+    ) -> R {
+        self.clock += 1;
+        let tick = self.clock;
+        if !self.cache.contains_key(&bno) {
+            if self.cache.len() >= self.cache_cap {
+                self.evict_one(dev, w);
+            }
+            w.disk_reads += 1;
+            let data = dev.read_block(bno);
+            self.cache.insert(bno, CachedBlock { data, dirty: false });
+        }
+        self.lru.insert(bno, tick);
+        w.acc(8);
+        f(self.cache.get_mut(&bno).expect("just inserted"))
+    }
+
+    fn evict_one(&mut self, dev: &mut dyn BlockDev, w: &mut FsWork) {
+        if let Some((&victim, _)) = self.lru.iter().min_by_key(|(_, &t)| t) {
+            if let Some(b) = self.cache.remove(&victim) {
+                if b.dirty {
+                    w.disk_writes += 1;
+                    dev.write_block(victim, &b.data);
+                }
+            }
+            self.lru.remove(&victim);
+        }
+    }
+
+    /// Flushes all dirty blocks (fsync / unmount). Returns blocks written.
+    pub fn sync(&mut self, dev: &mut dyn BlockDev) -> u64 {
+        let mut written = 0;
+        for (&bno, blk) in self.cache.iter_mut() {
+            if blk.dirty {
+                dev.write_block(bno, &blk.data);
+                blk.dirty = false;
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Number of blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    // ---- bitmap ----------------------------------------------------------
+
+    fn bitmap_set(&mut self, dev: &mut dyn BlockDev, bno: u32, used: bool, w: &mut FsWork) {
+        let bb = 1 + self.inode_blocks + bno / (BLOCK_SIZE as u32 * 8);
+        let idx = (bno % (BLOCK_SIZE as u32 * 8)) as usize;
+        self.with_block(dev, bb, w, |blk| {
+            if used {
+                blk.data[idx / 8] |= 1 << (idx % 8);
+            } else {
+                blk.data[idx / 8] &= !(1 << (idx % 8));
+            }
+            blk.dirty = true;
+        });
+    }
+
+    fn alloc_block(&mut self, dev: &mut dyn BlockDev, w: &mut FsWork) -> Result<u32, FsError> {
+        let start = self.data_start();
+        for bb in 0..self.bitmap_blocks {
+            let base = bb * BLOCK_SIZE as u32 * 8;
+            let found = self.with_block(dev, 1 + self.inode_blocks + bb, w, |blk| {
+                for (byte_i, byte) in blk.data.iter_mut().enumerate() {
+                    if *byte != 0xff {
+                        let bit = byte.trailing_ones() as usize;
+                        let bno = base + (byte_i * 8 + bit) as u32;
+                        return Some((bno, byte_i, bit));
+                    }
+                }
+                None
+            });
+            if let Some((bno, byte_i, bit)) = found {
+                if bno < start || bno >= self.nblocks {
+                    // Bits below data_start are pre-marked; a bit past the
+                    // device end means we are full.
+                    if bno >= self.nblocks {
+                        return Err(FsError::NoSpace);
+                    }
+                    continue;
+                }
+                self.with_block(dev, 1 + self.inode_blocks + bb, w, |blk| {
+                    blk.data[byte_i] |= 1 << bit;
+                    blk.dirty = true;
+                });
+                // Fresh blocks must read as zeros.
+                self.with_block(dev, bno, w, |blk| {
+                    blk.data.fill(0);
+                    blk.dirty = true;
+                });
+                return Ok(bno);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn free_block(&mut self, dev: &mut dyn BlockDev, bno: u32, w: &mut FsWork) {
+        self.bitmap_set(dev, bno, false, w);
+    }
+
+    // ---- inodes ----------------------------------------------------------
+
+    fn inode_block(&self, ino: Ino) -> (u32, usize) {
+        (1 + ino.0 / INODES_PER_BLOCK as u32, (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE)
+    }
+
+    fn read_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, w: &mut FsWork) -> DiskInode {
+        let (bno, off) = self.inode_block(ino);
+        self.with_block(dev, bno, w, |blk| DiskInode::decode(&blk.data[off..off + INODE_SIZE]))
+    }
+
+    fn write_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, inode: &DiskInode, w: &mut FsWork) {
+        let (bno, off) = self.inode_block(ino);
+        self.with_block(dev, bno, w, |blk| {
+            inode.encode(&mut blk.data[off..off + INODE_SIZE]);
+            blk.dirty = true;
+        });
+    }
+
+    fn alloc_inode(&mut self, dev: &mut dyn BlockDev, kind: InodeKind, w: &mut FsWork) -> Result<Ino, FsError> {
+        for i in 1..self.ninodes {
+            let ino = Ino(i);
+            let d = self.read_inode(dev, ino, w);
+            if d.kind == 0 {
+                let fresh = DiskInode {
+                    kind: if kind == InodeKind::Dir { 2 } else { 1 },
+                    nlink: 1,
+                    ..Default::default()
+                };
+                self.write_inode(dev, ino, &fresh, w);
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Maps a file byte offset to its data block, allocating if `alloc`.
+    fn bmap(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        inode: &mut DiskInode,
+        ino: Ino,
+        fbn: usize,
+        alloc: bool,
+        w: &mut FsWork,
+    ) -> Result<Option<u32>, FsError> {
+        if fbn < NDIRECT {
+            if inode.direct[fbn] == 0 {
+                if !alloc {
+                    return Ok(None);
+                }
+                inode.direct[fbn] = self.alloc_block(dev, w)?;
+                self.write_inode(dev, ino, inode, w);
+            }
+            return Ok(Some(inode.direct[fbn]));
+        }
+        let ifbn = fbn - NDIRECT;
+        if ifbn >= NINDIRECT {
+            return Err(FsError::TooBig);
+        }
+        if inode.indirect == 0 {
+            if !alloc {
+                return Ok(None);
+            }
+            inode.indirect = self.alloc_block(dev, w)?;
+            self.write_inode(dev, ino, inode, w);
+        }
+        let ib = inode.indirect;
+        let existing = self.with_block(dev, ib, w, |blk| {
+            u32::from_le_bytes(blk.data[4 * ifbn..4 * ifbn + 4].try_into().unwrap())
+        });
+        if existing != 0 {
+            return Ok(Some(existing));
+        }
+        if !alloc {
+            return Ok(None);
+        }
+        let nb = self.alloc_block(dev, w)?;
+        self.with_block(dev, ib, w, |blk| {
+            blk.data[4 * ifbn..4 * ifbn + 4].copy_from_slice(&nb.to_le_bytes());
+            blk.dirty = true;
+        });
+        Ok(Some(nb))
+    }
+
+    // ---- file data -------------------------------------------------------
+
+    /// Reads up to `buf.len()` bytes at `off`; returns bytes read.
+    pub fn read(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        off: u64,
+        buf: &mut [u8],
+        w: &mut FsWork,
+    ) -> Result<usize, FsError> {
+        let mut inode = self.read_inode(dev, ino, w);
+        if inode.kind == 0 {
+            return Err(FsError::NotFound);
+        }
+        if off >= inode.size {
+            return Ok(0);
+        }
+        let n = buf.len().min((inode.size - off) as usize);
+        let mut done = 0;
+        while done < n {
+            let pos = off as usize + done;
+            let fbn = pos / BLOCK_SIZE;
+            let boff = pos % BLOCK_SIZE;
+            let take = (BLOCK_SIZE - boff).min(n - done);
+            match self.bmap(dev, &mut inode, ino, fbn, false, w)? {
+                Some(bno) => {
+                    self.with_block(dev, bno, w, |blk| {
+                        buf[done..done + take].copy_from_slice(&blk.data[boff..boff + take]);
+                    });
+                }
+                None => buf[done..done + take].fill(0), // hole
+            }
+            done += take;
+            w.bytes_copied += take as u64;
+        }
+        Ok(n)
+    }
+
+    /// Writes `data` at `off`, growing the file as needed.
+    pub fn write(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        off: u64,
+        data: &[u8],
+        w: &mut FsWork,
+    ) -> Result<usize, FsError> {
+        if off + data.len() as u64 > MAX_FILE_BYTES {
+            return Err(FsError::TooBig);
+        }
+        let mut inode = self.read_inode(dev, ino, w);
+        if inode.kind == 0 {
+            return Err(FsError::NotFound);
+        }
+        let mut done = 0;
+        while done < data.len() {
+            let pos = off as usize + done;
+            let fbn = pos / BLOCK_SIZE;
+            let boff = pos % BLOCK_SIZE;
+            let take = (BLOCK_SIZE - boff).min(data.len() - done);
+            let bno = self
+                .bmap(dev, &mut inode, ino, fbn, true, w)?
+                .expect("alloc=true always yields a block");
+            self.with_block(dev, bno, w, |blk| {
+                blk.data[boff..boff + take].copy_from_slice(&data[done..done + take]);
+                blk.dirty = true;
+            });
+            done += take;
+            w.bytes_copied += take as u64;
+        }
+        let end = off + data.len() as u64;
+        if end > inode.size {
+            inode.size = end;
+            self.write_inode(dev, ino, &inode, w);
+        }
+        Ok(data.len())
+    }
+
+    /// File size and kind.
+    pub fn stat(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        w: &mut FsWork,
+    ) -> Result<(u64, InodeKind), FsError> {
+        let inode = self.read_inode(dev, ino, w);
+        match inode.kind {
+            1 => Ok((inode.size, InodeKind::File)),
+            2 => Ok((inode.size, InodeKind::Dir)),
+            _ => Err(FsError::NotFound),
+        }
+    }
+
+    /// Truncates a file to zero length, freeing its blocks.
+    pub fn truncate(&mut self, dev: &mut dyn BlockDev, ino: Ino, w: &mut FsWork) -> Result<(), FsError> {
+        let mut inode = self.read_inode(dev, ino, w);
+        if inode.kind == 0 {
+            return Err(FsError::NotFound);
+        }
+        for d in inode.direct {
+            if d != 0 {
+                self.free_block(dev, d, w);
+            }
+        }
+        if inode.indirect != 0 {
+            let entries = self.with_block(dev, inode.indirect, w, |blk| {
+                (0..NINDIRECT)
+                    .map(|i| u32::from_le_bytes(blk.data[4 * i..4 * i + 4].try_into().unwrap()))
+                    .collect::<Vec<_>>()
+            });
+            for e in entries {
+                if e != 0 {
+                    self.free_block(dev, e, w);
+                }
+            }
+            self.free_block(dev, inode.indirect, w);
+        }
+        inode.direct = [0; NDIRECT];
+        inode.indirect = 0;
+        inode.size = 0;
+        self.write_inode(dev, ino, &inode, w);
+        Ok(())
+    }
+
+    // ---- directories & paths ----------------------------------------------
+
+    fn dir_entries(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        dir: Ino,
+        w: &mut FsWork,
+    ) -> Result<Vec<(String, Ino)>, FsError> {
+        let (size, kind) = self.stat(dev, dir, w)?;
+        if kind != InodeKind::Dir {
+            return Err(FsError::WrongKind);
+        }
+        let mut raw = vec![0u8; size as usize];
+        self.read(dev, dir, 0, &mut raw, w)?;
+        // Directory-entry iteration is byte-granular kernel work — each
+        // record's fields are individually loaded (and thus individually
+        // instrumented under Virtual Ghost).
+        w.acc(raw.len() as u64 / 4 + 8);
+        let mut entries = Vec::new();
+        let mut pos = 0;
+        while pos + 5 <= raw.len() {
+            let ino = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
+            let len = raw[pos + 4] as usize;
+            pos += 5;
+            if pos + len > raw.len() {
+                break;
+            }
+            let name = String::from_utf8_lossy(&raw[pos..pos + len]).into_owned();
+            pos += len;
+            if ino != 0 {
+                entries.push((name, Ino(ino)));
+            }
+        }
+        Ok(entries)
+    }
+
+    fn write_dir_entries(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        dir: Ino,
+        entries: &[(String, Ino)],
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
+        let mut raw = Vec::new();
+        for (name, ino) in entries {
+            raw.extend_from_slice(&ino.0.to_le_bytes());
+            raw.push(name.len() as u8);
+            raw.extend_from_slice(name.as_bytes());
+        }
+        self.truncate(dev, dir, w)?;
+        self.write(dev, dir, 0, &raw, w)?;
+        Ok(())
+    }
+
+    fn lookup_in(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        dir: Ino,
+        name: &str,
+        w: &mut FsWork,
+    ) -> Result<Ino, FsError> {
+        w.acc(24); // name comparison work
+        self.dir_entries(dev, dir, w)?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, i)| i)
+            .ok_or(FsError::NotFound)
+    }
+
+    /// Resolves an absolute path to an inode.
+    pub fn lookup(&mut self, dev: &mut dyn BlockDev, path: &str, w: &mut FsWork) -> Result<Ino, FsError> {
+        let mut cur = ROOT_INO;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = self.lookup_in(dev, cur, comp, w)?;
+        }
+        Ok(cur)
+    }
+
+    fn split_path(path: &str) -> Result<(&str, &str), FsError> {
+        let path = path.trim_end_matches('/');
+        let name = path.rsplit('/').next().unwrap_or("");
+        if name.is_empty() || name.len() > MAX_NAME {
+            return Err(FsError::BadName);
+        }
+        let parent = &path[..path.len() - name.len()];
+        Ok((parent, name))
+    }
+
+    /// Creates a file or directory at `path`.
+    pub fn create(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        path: &str,
+        kind: InodeKind,
+        w: &mut FsWork,
+    ) -> Result<Ino, FsError> {
+        let (parent_path, name) = Self::split_path(path)?;
+        let parent = self.lookup(dev, parent_path, w)?;
+        let mut entries = self.dir_entries(dev, parent, w)?;
+        if entries.iter().any(|(n, _)| n == name) {
+            return Err(FsError::Exists);
+        }
+        let ino = self.alloc_inode(dev, kind, w)?;
+        entries.push((name.to_string(), ino));
+        self.write_dir_entries(dev, parent, &entries, w)?;
+        Ok(ino)
+    }
+
+    /// Removes the file or (empty) directory at `path`.
+    pub fn unlink(&mut self, dev: &mut dyn BlockDev, path: &str, w: &mut FsWork) -> Result<(), FsError> {
+        let (parent_path, name) = Self::split_path(path)?;
+        let parent = self.lookup(dev, parent_path, w)?;
+        let mut entries = self.dir_entries(dev, parent, w)?;
+        let idx = entries.iter().position(|(n, _)| n == name).ok_or(FsError::NotFound)?;
+        let ino = entries[idx].1;
+        let (_, kind) = self.stat(dev, ino, w)?;
+        if kind == InodeKind::Dir && !self.dir_entries(dev, ino, w)?.is_empty() {
+            return Err(FsError::NotEmpty);
+        }
+        self.truncate(dev, ino, w)?;
+        self.write_inode(dev, ino, &DiskInode::default(), w);
+        entries.remove(idx);
+        self.write_dir_entries(dev, parent, &entries, w)?;
+        Ok(())
+    }
+
+    /// Lists the entries of the directory at `path`.
+    pub fn readdir(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        path: &str,
+        w: &mut FsWork,
+    ) -> Result<Vec<(String, Ino)>, FsError> {
+        let dir = self.lookup(dev, path, w)?;
+        self.dir_entries(dev, dir, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> (MemDisk, VgFs) {
+        let mut dev = MemDisk::new(2048);
+        let fs = VgFs::mkfs(&mut dev, 256);
+        (dev, fs)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/hello.txt", InodeKind::File, &mut w).unwrap();
+        fs.write(&mut dev, ino, 0, b"hello vgfs", &mut w).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap(), 10);
+        assert_eq!(&buf, b"hello vgfs");
+        assert_eq!(fs.stat(&mut dev, ino, &mut w).unwrap(), (10, InodeKind::File));
+    }
+
+    #[test]
+    fn lookup_and_duplicate() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/a", InodeKind::File, &mut w).unwrap();
+        assert_eq!(fs.lookup(&mut dev, "/a", &mut w).unwrap(), ino);
+        assert_eq!(fs.create(&mut dev, "/a", InodeKind::File, &mut w), Err(FsError::Exists));
+        assert_eq!(fs.lookup(&mut dev, "/nope", &mut w), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn nested_directories() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        fs.create(&mut dev, "/usr", InodeKind::Dir, &mut w).unwrap();
+        fs.create(&mut dev, "/usr/share", InodeKind::Dir, &mut w).unwrap();
+        let f = fs.create(&mut dev, "/usr/share/f.txt", InodeKind::File, &mut w).unwrap();
+        fs.write(&mut dev, f, 0, b"deep", &mut w).unwrap();
+        assert_eq!(fs.lookup(&mut dev, "/usr/share/f.txt", &mut w).unwrap(), f);
+        let names: Vec<String> =
+            fs.readdir(&mut dev, "/usr", &mut w).unwrap().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["share"]);
+    }
+
+    #[test]
+    fn unlink_frees_and_removes() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
+        fs.write(&mut dev, ino, 0, &vec![7u8; 10_000], &mut w).unwrap();
+        fs.unlink(&mut dev, "/f", &mut w).unwrap();
+        assert_eq!(fs.lookup(&mut dev, "/f", &mut w), Err(FsError::NotFound));
+        // The inode and blocks are reusable.
+        let again = fs.create(&mut dev, "/g", InodeKind::File, &mut w).unwrap();
+        assert_eq!(again, ino, "inode slot reused");
+    }
+
+    #[test]
+    fn unlink_nonempty_dir_refused() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        fs.create(&mut dev, "/d", InodeKind::Dir, &mut w).unwrap();
+        fs.create(&mut dev, "/d/x", InodeKind::File, &mut w).unwrap();
+        assert_eq!(fs.unlink(&mut dev, "/d", &mut w), Err(FsError::NotEmpty));
+        fs.unlink(&mut dev, "/d/x", &mut w).unwrap();
+        fs.unlink(&mut dev, "/d", &mut w).unwrap();
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/big", InodeKind::File, &mut w).unwrap();
+        let size = (NDIRECT + 5) * BLOCK_SIZE; // spills into the indirect block
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        fs.write(&mut dev, ino, 0, &data, &mut w).unwrap();
+        let mut back = vec![0u8; size];
+        assert_eq!(fs.read(&mut dev, ino, 0, &mut back, &mut w).unwrap(), size);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn file_size_limit_enforced() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
+        assert_eq!(
+            fs.write(&mut dev, ino, MAX_FILE_BYTES, b"x", &mut w),
+            Err(FsError::TooBig)
+        );
+    }
+
+    #[test]
+    fn sparse_read_returns_zeros() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/s", InodeKind::File, &mut w).unwrap();
+        fs.write(&mut dev, ino, 3 * BLOCK_SIZE as u64, b"end", &mut w).unwrap();
+        let mut buf = [9u8; 8];
+        fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn persistence_across_mount() {
+        let mut dev = MemDisk::new(2048);
+        {
+            let mut fs = VgFs::mkfs(&mut dev, 256);
+            let mut w = FsWork::default();
+            let ino = fs.create(&mut dev, "/persist", InodeKind::File, &mut w).unwrap();
+            fs.write(&mut dev, ino, 0, b"still here", &mut w).unwrap();
+            fs.sync(&mut dev);
+        }
+        let mut fs2 = VgFs::mount(&mut dev, 256);
+        let mut w = FsWork::default();
+        let ino = fs2.lookup(&mut dev, "/persist", &mut w).unwrap();
+        let mut buf = [0u8; 10];
+        fs2.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap();
+        assert_eq!(&buf, b"still here");
+    }
+
+    #[test]
+    fn cache_eviction_preserves_data() {
+        let mut dev = MemDisk::new(4096);
+        let mut fs = VgFs::mkfs(&mut dev, 64);
+        fs.cache_cap = 8; // force heavy eviction
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
+        let data: Vec<u8> = (0..BLOCK_SIZE * 12).map(|i| (i % 13) as u8).collect();
+        fs.write(&mut dev, ino, 0, &data, &mut w).unwrap();
+        let mut back = vec![0u8; data.len()];
+        fs.read(&mut dev, ino, 0, &mut back, &mut w).unwrap();
+        assert_eq!(back, data);
+        assert!(fs.cached_blocks() <= 8);
+    }
+
+    #[test]
+    fn work_accounting_accumulates() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
+        fs.write(&mut dev, ino, 0, &vec![1u8; 8192], &mut w).unwrap();
+        assert!(w.accesses > 0);
+        assert!(w.bytes_copied >= 8192);
+        assert!(w.disk_reads > 0, "cold cache went to the device");
+    }
+
+    #[test]
+    fn many_small_files_postmark_style() {
+        let (mut dev, mut fs) = fresh();
+        let mut w = FsWork::default();
+        for i in 0..100 {
+            let path = format!("/pm{i}");
+            let ino = fs.create(&mut dev, &path, InodeKind::File, &mut w).unwrap();
+            fs.write(&mut dev, ino, 0, &vec![i as u8; 600], &mut w).unwrap();
+        }
+        assert_eq!(fs.readdir(&mut dev, "/", &mut w).unwrap().len(), 100);
+        for i in (0..100).step_by(2) {
+            fs.unlink(&mut dev, &format!("/pm{i}"), &mut w).unwrap();
+        }
+        assert_eq!(fs.readdir(&mut dev, "/", &mut w).unwrap().len(), 50);
+    }
+}

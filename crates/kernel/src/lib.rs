@@ -1,0 +1,366 @@
+//! # vg-kernel
+//!
+//! A FreeBSD-like kernel ported to the SVA-OS / Virtual Ghost interface of
+//! `vg-core`, plus the [`System`] harness that runs it on a `vg-machine`.
+//!
+//! The kernel is the paper's *untrusted* component. It owns processes,
+//! scheduling, the [`fs`] filesystem, [`net`]working, and loadable
+//! [`module`]s — but it manipulates hardware only through the SVA-OS
+//! operations: page-table updates via `sva_map_page`/`sva_unmap_page`,
+//! interrupted state via the interrupt-context API, DMA via the checked
+//! IOMMU calls. Boot the same kernel in [`system::Mode::Native`] and it is
+//! the baseline FreeBSD analog (all checks off, kernel-visible interrupt
+//! contexts, raw module loading); boot it in
+//! [`system::Mode::VirtualGhost`] and every paper defense is live.
+//!
+//! Applications (see [`program::UserEnv`]) run as simulated processes over
+//! real page tables; `vg-apps` builds the OpenSSH/thttpd/Postmark workloads
+//! on this interface.
+//!
+//! ## Example
+//!
+//! ```
+//! use vg_kernel::{Mode, System};
+//!
+//! let mut sys = System::boot(Mode::VirtualGhost);
+//! sys.install_app("hello", /*ghost heap*/ true, || {
+//!     Box::new(|env| {
+//!         let secret = env.allocgm(1).expect("ghost page");
+//!         env.write_mem(secret, b"kernel-invisible");
+//!         (env.read_mem(secret, 16) != b"kernel-invisible") as i32
+//!     })
+//! });
+//! let pid = sys.spawn("hello");
+//! assert_eq!(sys.run_until_exit(pid), 0);
+//! ```
+
+pub mod costs;
+pub mod fs;
+pub mod mem;
+pub mod module;
+pub mod net;
+pub mod program;
+pub mod swapper;
+pub mod syscall;
+pub mod system;
+
+pub use fs::{FsError, Ino, InodeKind, VgFs};
+pub use program::{AppMain, SigHandlerFn, UserEnv};
+pub use system::{ChildKind, Fd, Mode, Pid, Proc, ProcState, System, SIGUSR1};
+
+impl System {
+    /// Boots a full Virtual Ghost system (convenience).
+    pub fn boot_virtual_ghost() -> Self {
+        System::boot(Mode::VirtualGhost)
+    }
+
+    /// Boots the native baseline system (convenience).
+    pub fn boot_native() -> Self {
+        System::boot(Mode::Native)
+    }
+
+    /// Installs and spawns a tiny demonstration program that stores `secret`
+    /// in ghost memory, reads it back, and exits 0 on success. Used by the
+    /// crate-level quickstart.
+    pub fn spawn_ghost_echo(&mut self, secret: &[u8]) -> Pid {
+        let secret = secret.to_vec();
+        self.install_app("ghost-echo", true, move || {
+            let secret = secret.clone();
+            Box::new(move |env| {
+                let Ok(va) = env.allocgm(1) else {
+                    return 2;
+                };
+                env.write_mem(va, &secret);
+                let back = env.read_mem(va, secret.len());
+                if back == secret {
+                    0
+                } else {
+                    1
+                }
+            })
+        });
+        self.spawn("ghost-echo")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_and_run_ghost_echo_under_vg() {
+        let mut sys = System::boot_virtual_ghost();
+        let pid = sys.spawn_ghost_echo(b"top secret");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert_eq!(sys.exit_status(pid), Some(0));
+    }
+
+    #[test]
+    fn native_boot_runs_plain_programs() {
+        let mut sys = System::boot_native();
+        sys.install_app("hello", false, || {
+            Box::new(|env| {
+                let fd = env.open("/hello.txt", crate::syscall::O_CREAT);
+                assert!(fd >= 0);
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, b"hi there");
+                assert_eq!(env.write(fd, buf, 8), 8);
+                env.lseek(fd, 0, 0);
+                let out = env.mmap_anon(4096);
+                assert_eq!(env.read(fd, out, 8), 8);
+                assert_eq!(env.read_mem(out, 8), b"hi there");
+                env.close(fd);
+                0
+            })
+        });
+        let pid = sys.spawn("hello");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn clock_advances_more_under_vg_for_same_workload() {
+        let run = |mode: Mode| {
+            let mut sys = System::boot(mode);
+            sys.install_app("w", false, || {
+                Box::new(|env| {
+                    for i in 0..20 {
+                        let path = format!("/f{i}");
+                        let fd = env.open(&path, crate::syscall::O_CREAT);
+                        env.close(fd);
+                        env.unlink(&path);
+                    }
+                    0
+                })
+            });
+            let pid = sys.spawn("w");
+            let t0 = sys.machine.clock.cycles();
+            sys.run_until_exit(pid);
+            sys.machine.clock.cycles() - t0
+        };
+        let native = run(Mode::Native);
+        let vg = run(Mode::VirtualGhost);
+        let ratio = vg as f64 / native as f64;
+        assert!(ratio > 2.0, "VG/native ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod ipc_tests {
+    use super::*;
+
+    #[test]
+    fn pipe_between_parent_and_child() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("piper", false, || {
+            Box::new(|env| {
+                let (r, w) = env.pipe();
+                assert!(r >= 0 && w >= 0 && r != w);
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, b"from parent");
+                // Child inherits both ends, reads the message, echoes a
+                // transformed reply through a second pipe.
+                let (r2, w2) = env.pipe();
+                let child = env.fork(ChildKind::Run(Box::new(move |env| {
+                    let b = env.mmap_anon(4096);
+                    let n = env.read(r, b, 64);
+                    if n != 11 {
+                        return 1;
+                    }
+                    let mut msg = env.read_mem(b, n as usize);
+                    msg.make_ascii_uppercase();
+                    env.write_mem(b, &msg);
+                    env.write(w2, b, msg.len());
+                    0
+                })));
+                assert!(child > 0);
+                env.write(w, buf, 11);
+                let status = env.wait();
+                if status & 0xff != 0 {
+                    return 2;
+                }
+                let n = env.read(r2, buf, 64);
+                if n != 11 {
+                    return 3;
+                }
+                (env.read_mem(buf, 11) != b"FROM PARENT") as i32
+            })
+        });
+        let pid = sys.spawn("piper");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert!(sys.pipes.is_empty(), "pipes reclaimed after both ends closed");
+    }
+
+    #[test]
+    fn pipe_eof_and_epipe_semantics() {
+        let mut sys = System::boot(Mode::Native);
+        sys.install_app("eof", false, || {
+            Box::new(|env| {
+                let (r, w) = env.pipe();
+                let buf = env.mmap_anon(4096);
+                // Empty with a live writer: EAGAIN (-2).
+                if env.read(r, buf, 8) != -2 {
+                    return 1;
+                }
+                env.close(w);
+                // Empty with no writers: EOF (0).
+                if env.read(r, buf, 8) != 0 {
+                    return 2;
+                }
+                // Writing with no readers: EPIPE (-1).
+                let (r2, w2) = env.pipe();
+                env.close(r2);
+                env.write_mem(buf, b"x");
+                if env.write(w2, buf, 1) != -1 {
+                    return 3;
+                }
+                0
+            })
+        });
+        let pid = sys.spawn("eof");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn dup_shares_pipe_end() {
+        let mut sys = System::boot(Mode::Native);
+        sys.install_app("dup", false, || {
+            Box::new(|env| {
+                let (r, w) = env.pipe();
+                let w2 = env.dup(w);
+                env.close(w);
+                // The duplicate keeps the pipe writable.
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, b"hi");
+                if env.write(w2, buf, 2) != 2 {
+                    return 1;
+                }
+                env.close(w2);
+                if env.read(r, buf, 8) != 2 {
+                    return 2;
+                }
+                // All writers gone now: EOF.
+                (env.read(r, buf, 8) != 0) as i32
+            })
+        });
+        let pid = sys.spawn("dup");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn readdir_lists_created_files() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("ls", false, || {
+            Box::new(|env| {
+                env.mkdir("/docs");
+                for name in ["alpha", "beta", "gamma"] {
+                    let fd = env.open(&format!("/docs/{name}"), crate::syscall::O_CREAT);
+                    env.close(fd);
+                }
+                let mut names = env.readdir("/docs");
+                names.sort();
+                (names != ["alpha", "beta", "gamma"]) as i32
+            })
+        });
+        let pid = sys.spawn("ls");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::*;
+
+    #[test]
+    fn threads_share_ghost_memory() {
+        // §4.6.2: ghost memory behaves as shared memory among a process's
+        // threads — and remains invisible to the kernel throughout.
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("threads", true, || {
+            Box::new(|env| {
+                let ghost = env.allocgm(1).expect("ghost page");
+                env.write_mem(ghost, b"written by main thread");
+                let seen = env.spawn_thread(|env| {
+                    // The second thread reads and updates the same page.
+                    if env.read_mem(ghost, 22) != b"written by main thread" {
+                        return 1;
+                    }
+                    env.write_mem(ghost, b"updated by child thrd!");
+                    0
+                });
+                if seen != 0 {
+                    return 1;
+                }
+                (env.read_mem(ghost, 22) != b"updated by child thrd!") as i32
+            })
+        });
+        let pid = sys.spawn("threads");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn thread_creation_charges_and_counts() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("t", false, || {
+            Box::new(|env| {
+                let before = env.sys.machine.counters.syscalls;
+                env.spawn_thread(|_env| 0);
+                (env.sys.machine.counters.syscalls <= before) as i32
+            })
+        });
+        let pid = sys.spawn("t");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn threads_can_make_syscalls() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("tsys", false, || {
+            Box::new(|env| {
+                env.spawn_thread(|env| {
+                    let fd = env.open("/from-thread", crate::syscall::O_CREAT);
+                    let buf = env.mmap_anon(4096);
+                    env.write_mem(buf, b"thread io");
+                    env.write(fd, buf, 9);
+                    env.close(fd);
+                    0
+                })
+            })
+        });
+        let pid = sys.spawn("tsys");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert_eq!(sys.read_file("/from-thread").unwrap(), b"thread io");
+    }
+}
+
+#[cfg(test)]
+mod rusage_tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_attributed_to_the_right_process() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("light", false, || Box::new(|env| (env.getpid() <= 0) as i32));
+        sys.install_app("heavy", false, || {
+            Box::new(|env| {
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, &[1u8; 4096]);
+                for i in 0..30 {
+                    let p = format!("/busy{i}");
+                    let fd = env.open(&p, crate::syscall::O_CREAT);
+                    env.write(fd, buf, 4096);
+                    env.close(fd);
+                    env.unlink(&p);
+                }
+                0
+            })
+        });
+        let light = sys.spawn("light");
+        sys.run_until_exit(light);
+        let heavy = sys.spawn("heavy");
+        sys.run_until_exit(heavy);
+        let lc = sys.proc_cycles(light);
+        let hc = sys.proc_cycles(heavy);
+        assert!(lc > 0, "light process accrued time");
+        assert!(hc > lc * 10, "heavy fs work dominates: light {lc}, heavy {hc}");
+    }
+}

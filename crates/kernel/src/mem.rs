@@ -1,0 +1,342 @@
+//! Kernel memory machinery: work charging, user address spaces, demand
+//! paging, copyin/copyout, and the memory buses handed to executing code.
+//!
+//! The charging helpers are where the cost model meets the kernel: every
+//! kernel path reports how many instrumentable memory accesses and
+//! returns/indirect calls it performs; under the Virtual Ghost cost model
+//! each access additionally pays the load/store mask and each branch the CFI
+//! check (see `vg-machine::cost`).
+
+use std::collections::BTreeMap;
+use vg_ir::inst::Width;
+use vg_ir::interp::{MemBus, MemFault};
+use vg_machine::layout::{KERNEL_BASE, PAGE_SIZE, SVA_INTERNAL_BASE};
+use vg_machine::mmu::AccessKind;
+use vg_machine::{Machine, Pfn, VAddr};
+
+/// Charges one unit of kernel work: `accesses` instrumentable memory
+/// accesses and `branches` returns/indirect calls.
+#[inline]
+pub fn kwork(machine: &mut Machine, accesses: u64, branches: u64) {
+    machine.counters.kernel_accesses += accesses;
+    machine.counters.kernel_branches += branches;
+    let c = &machine.costs;
+    let cycles = accesses * (c.kernel_access + c.mask_access)
+        + branches * (c.kernel_branch + c.cfi_branch);
+    machine.charge(cycles);
+}
+
+/// Charges a copyin/copyout of `bytes` bytes (one instrumented `memcpy`).
+#[inline]
+pub fn copy_cost(machine: &mut Machine, bytes: u64) {
+    machine.counters.bytes_copied += bytes;
+    let c = &machine.costs;
+    let cycles = c.mask_memcpy + bytes * c.copy_per_byte;
+    machine.charge(cycles);
+}
+
+/// Charges the cycles for work an interpreter run reported.
+pub fn charge_interp(machine: &mut Machine, stats: &vg_ir::InterpStats) {
+    let c = &machine.costs;
+    let cycles = stats.insts
+        + (stats.loads + stats.stores) * c.kernel_access
+        + stats.masks * c.mask_access
+        + stats.cfi_checks * c.cfi_branch
+        + stats.returns * c.kernel_branch
+        + stats.memcpy_bytes * c.copy_per_byte;
+    machine.counters.kernel_accesses += stats.loads + stats.stores;
+    machine.counters.kernel_branches += stats.returns;
+    machine.charge(cycles);
+}
+
+/// A lazily-populated region of a user address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Anonymous zero-fill memory (heap, mmap MAP_ANON).
+    Anon,
+    /// Pages backed by a file (mmap of a file).
+    File {
+        /// Backing inode.
+        ino: crate::fs::Ino,
+        /// Offset of the region start within the file.
+        offset: u64,
+    },
+}
+
+/// A mapped region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// First address.
+    pub start: u64,
+    /// Length in bytes (page multiple).
+    pub len: u64,
+    /// Backing.
+    pub kind: RegionKind,
+}
+
+/// Per-process user address-space bookkeeping. Actual translations live in
+/// the hardware page tables; this records what *should* be mapped so the
+/// page-fault handler can materialize pages on demand.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    /// Mapped regions, keyed by start.
+    pub regions: BTreeMap<u64, Region>,
+    /// Next address the mmap allocator hands out.
+    pub mmap_cursor: u64,
+    /// Current heap break.
+    pub brk: u64,
+    /// Pages currently materialized (va → pfn), for fork copies & teardown.
+    pub pages: BTreeMap<u64, Pfn>,
+}
+
+/// Base of the mmap allocation area.
+pub const MMAP_BASE: u64 = 0x0000_2000_0000;
+/// Base of the heap (brk) area.
+pub const HEAP_BASE: u64 = 0x0000_1000_0000;
+/// Top of the initial user stack.
+pub const STACK_TOP: u64 = 0x0000_7fff_f000;
+
+impl AddressSpace {
+    /// A fresh address space with empty heap and mmap areas.
+    pub fn new() -> Self {
+        AddressSpace {
+            regions: BTreeMap::new(),
+            mmap_cursor: MMAP_BASE,
+            brk: HEAP_BASE,
+            pages: BTreeMap::new(),
+        }
+    }
+
+    /// The region containing `va`, if any.
+    pub fn region_at(&self, va: u64) -> Option<&Region> {
+        self.regions
+            .range(..=va)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| va < r.start + r.len)
+    }
+
+    /// Reserves `len` bytes (rounded up to pages) at the mmap cursor.
+    pub fn reserve_mmap(&mut self, len: u64, kind: RegionKind) -> u64 {
+        let len = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let start = self.mmap_cursor;
+        self.mmap_cursor += len + PAGE_SIZE; // guard gap
+        self.regions.insert(start, Region { start, len, kind });
+        start
+    }
+
+    /// Removes the region starting at `va`; returns it if it existed.
+    pub fn remove_region(&mut self, va: u64) -> Option<Region> {
+        self.regions.remove(&va)
+    }
+
+    /// Grows (or shrinks) the heap; returns the new break.
+    pub fn set_brk(&mut self, new_brk: u64) -> u64 {
+        let new_brk = new_brk.max(HEAP_BASE);
+        self.brk = new_brk;
+        // The heap is one growing anon region.
+        let len = (new_brk - HEAP_BASE).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if len > 0 {
+            self.regions
+                .insert(HEAP_BASE, Region { start: HEAP_BASE, len, kind: RegionKind::Anon });
+        }
+        self.brk
+    }
+}
+
+/// The memory bus kernel-mode code (including loaded kernel modules) sees.
+///
+/// * User-space addresses translate through the current page tables with
+///   supervisor privilege — which, as on the paper's hardware, **includes
+///   ghost pages**: nothing at the MMU level stops the kernel; only the
+///   compiler instrumentation (executed by the module itself) does.
+/// * Kernel-heap addresses hit the kernel data segment.
+/// * Other kernel addresses read deterministic garbage and swallow writes —
+///   matching the paper's observed behaviour where a masked ghost pointer
+///   makes "the kernel simply read unknown data out of its own address
+///   space" rather than crash.
+#[derive(Debug)]
+pub struct KernelMem<'a> {
+    /// The machine (page tables + physical memory).
+    pub machine: &'a mut Machine,
+    /// The kernel data segment, modeled as a flat buffer at `KERNEL_BASE`.
+    pub kernel_heap: &'a mut Vec<u8>,
+}
+
+impl KernelMem<'_> {
+    fn user_pa(&mut self, addr: u64, write: bool) -> Result<u64, MemFault> {
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        self.machine
+            .mmu
+            .translate(&self.machine.phys, VAddr(addr), kind, false)
+            .map(|pa| pa.0)
+            .map_err(|_| MemFault { addr, write })
+    }
+}
+
+impl MemBus for KernelMem<'_> {
+    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let n = width.bytes();
+        if addr >= KERNEL_BASE {
+            // Kernel segment.
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            let mut v = 0u64;
+            for i in (0..n as usize).rev() {
+                let byte = self
+                    .kernel_heap
+                    .get(off + i)
+                    .copied()
+                    // Unmapped kernel address: deterministic garbage, no fault.
+                    .unwrap_or_else(|| (addr.wrapping_add(i as u64).wrapping_mul(0x9e3779b1) >> 16) as u8);
+                v = (v << 8) | byte as u64;
+            }
+            return Ok(v);
+        }
+        let mut v = 0u64;
+        for i in (0..n).rev() {
+            let pa = self.user_pa(addr + i, false)?;
+            v = (v << 8) | self.machine.phys.read_u8_at(vg_machine::PAddr(pa)) as u64;
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+        let n = width.bytes();
+        if (SVA_INTERNAL_BASE..vg_machine::layout::SVA_INTERNAL_END).contains(&addr) {
+            // Writes into SVA internal memory silently vanish for native
+            // kernels too — there is nothing mapped there for the OS.
+            return Ok(());
+        }
+        if addr >= KERNEL_BASE {
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            for i in 0..n as usize {
+                if let Some(b) = self.kernel_heap.get_mut(off + i) {
+                    *b = (value >> (8 * i)) as u8;
+                }
+                // Out-of-segment kernel writes are swallowed.
+            }
+            return Ok(());
+        }
+        for i in 0..n {
+            let pa = self.user_pa(addr + i, true)?;
+            self.machine.phys.write_u8_at(vg_machine::PAddr(pa), (value >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+}
+
+/// The memory bus user-mode code sees: translations require the USER bit.
+/// Ghost pages *are* user pages, so code genuinely running as the
+/// application (e.g. injected exploit code dispatched as a signal handler on
+/// a native system) can read ghost memory — which is why Virtual Ghost must
+/// stop the dispatch itself.
+#[derive(Debug)]
+pub struct UserMem<'a> {
+    /// The machine (page tables + physical memory).
+    pub machine: &'a mut Machine,
+}
+
+impl MemBus for UserMem<'_> {
+    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let mut v = 0u64;
+        for i in (0..width.bytes()).rev() {
+            let pa = self
+                .machine
+                .mmu
+                .translate(&self.machine.phys, VAddr(addr + i), AccessKind::Read, true)
+                .map_err(|_| MemFault { addr: addr + i, write: false })?;
+            v = (v << 8) | self.machine.phys.read_u8_at(pa) as u64;
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+        for i in 0..width.bytes() {
+            let pa = self
+                .machine
+                .mmu
+                .translate(&self.machine.phys, VAddr(addr + i), AccessKind::Write, true)
+                .map_err(|_| MemFault { addr: addr + i, write: true })?;
+            self.machine.phys.write_u8_at(pa, (value >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_machine::cost::CostModel;
+    use vg_machine::MachineConfig;
+
+    #[test]
+    fn kwork_charges_more_under_vg() {
+        let mut native = Machine::new(MachineConfig::default());
+        let mut vg = Machine::new(MachineConfig { costs: CostModel::virtual_ghost(), ..Default::default() });
+        kwork(&mut native, 1000, 100);
+        kwork(&mut vg, 1000, 100);
+        assert!(vg.clock.cycles() > native.clock.cycles() * 3);
+        assert_eq!(native.counters.kernel_accesses, 1000);
+    }
+
+    #[test]
+    fn copy_cost_scales_with_bytes() {
+        let mut m = Machine::new(MachineConfig::default());
+        copy_cost(&mut m, 4096);
+        let c = m.clock.cycles();
+        copy_cost(&mut m, 4096);
+        assert_eq!(m.clock.cycles(), 2 * c);
+        assert_eq!(m.counters.bytes_copied, 8192);
+    }
+
+    #[test]
+    fn address_space_regions() {
+        let mut a = AddressSpace::new();
+        let va = a.reserve_mmap(5000, RegionKind::Anon);
+        assert_eq!(va % PAGE_SIZE, 0);
+        assert!(a.region_at(va).is_some());
+        assert!(a.region_at(va + 8191).is_some(), "rounded up to two pages");
+        assert!(a.region_at(va + 8192).is_none());
+        let second = a.reserve_mmap(100, RegionKind::Anon);
+        assert!(second >= va + 8192);
+        assert!(a.remove_region(va).is_some());
+        assert!(a.region_at(va).is_none());
+    }
+
+    #[test]
+    fn brk_grows_heap_region() {
+        let mut a = AddressSpace::new();
+        assert!(a.region_at(HEAP_BASE).is_none());
+        a.set_brk(HEAP_BASE + 10_000);
+        assert!(a.region_at(HEAP_BASE + 9_999).is_some());
+    }
+
+    #[test]
+    fn kernel_mem_garbage_reads_do_not_fault() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let mut heap = vec![0u8; 4096];
+        heap[8] = 0xab;
+        let mut km = KernelMem { machine: &mut machine, kernel_heap: &mut heap };
+        // In-segment read.
+        assert_eq!(km.load(KERNEL_BASE + 8, Width::W1).unwrap(), 0xab);
+        // Out-of-segment kernel read: deterministic garbage, not a fault —
+        // exactly what a masked ghost pointer produces.
+        let g1 = km.load(KERNEL_BASE + 0x4000_0000, Width::W8).unwrap();
+        let g2 = km.load(KERNEL_BASE + 0x4000_0000, Width::W8).unwrap();
+        assert_eq!(g1, g2);
+        // In-segment write sticks; out-of-segment write is swallowed.
+        km.store(KERNEL_BASE + 16, Width::W4, 0x1234).unwrap();
+        assert_eq!(km.load(KERNEL_BASE + 16, Width::W4).unwrap(), 0x1234);
+        km.store(KERNEL_BASE + 0x4000_0000, Width::W8, 5).unwrap();
+    }
+
+    #[test]
+    fn kernel_mem_faults_on_unmapped_user() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let root = machine.phys.alloc_frame().unwrap();
+        machine.mmu.set_root(root);
+        let mut heap = Vec::new();
+        let mut km = KernelMem { machine: &mut machine, kernel_heap: &mut heap };
+        assert!(km.load(0x4000, Width::W8).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! The network stack: listening sockets, flows, and the wire interface.
+//!
+//! The far end of the wire is the benchmark harness (the paper's client
+//! machines were separate hosts on a dedicated gigabit network), which calls
+//! [`System::wire_connect`] / [`System::wire_send`] / [`System::wire_recv`].
+//! Kernel-side, data moves through the NIC queues with per-packet protocol
+//! costs and per-byte wire costs, so bulk transfers are wire-limited and
+//! tiny transfers are syscall-limited — the shape behind Figures 2–4.
+
+use crate::costs;
+use crate::system::{Fd, Pid, System};
+use std::collections::{HashMap, VecDeque};
+use vg_machine::devices::{Packet, MTU};
+
+/// Wire occupancy charged per inbound connection: TCP handshake, client
+/// request processing and network latency as seen by a pipelined client
+/// (calibrated so small-file thttpd bandwidth lands near the paper's
+/// Figure 2 left edge of ≈16 MB/s at 1 KB).
+pub const CONN_WIRE_CYCLES: u64 = 204_000; // ≈ 60 µs
+
+/// A socket endpoint.
+#[derive(Debug, Default)]
+pub struct Socket {
+    /// Bound port, if any.
+    pub port: Option<u16>,
+    /// Whether `listen` was called.
+    pub listening: bool,
+    /// Connected flow, if any.
+    pub flow: Option<u64>,
+    /// File-descriptor references (fork clones fd tables, so sockets are
+    /// shared between parent and child).
+    pub refs: u32,
+}
+
+impl Socket {
+    /// Whether a read/accept would make progress.
+    pub fn readable(&self, net: &NetStack) -> bool {
+        if self.listening {
+            return self
+                .port
+                .is_some_and(|p| net.pending.get(&p).is_some_and(|q| !q.is_empty()));
+        }
+        self.flow.is_some_and(|f| net.flows.get(&f).is_some_and(|b| !b.rx.is_empty()))
+    }
+}
+
+/// Kernel-side per-flow receive buffer.
+#[derive(Debug, Default)]
+pub struct FlowBuf {
+    /// Bytes received and not yet read by the application.
+    pub rx: VecDeque<u8>,
+    /// Peer closed.
+    pub closed: bool,
+}
+
+/// The network stack state.
+#[derive(Debug, Default)]
+pub struct NetStack {
+    /// Pending (un-accepted) connections per port.
+    pub pending: HashMap<u16, VecDeque<u64>>,
+    /// Active flows.
+    pub flows: HashMap<u64, FlowBuf>,
+    next_flow: u64,
+    /// Ports with listeners.
+    pub listeners: HashMap<u16, u64>, // port -> socket id
+}
+
+impl NetStack {
+    /// An empty stack.
+    pub fn new() -> Self {
+        NetStack::default()
+    }
+}
+
+impl System {
+    // ---- socket syscalls ----------------------------------------------------
+
+    /// `connect(port)`: opens a flow to an off-machine peer (the benchmark
+    /// harness or a registered remote responder). Returns a connected fd.
+    pub(crate) fn sys_connect(&mut self, pid: Pid, _port: u16) -> i64 {
+        costs::SOCK_SETUP.charge(&mut self.machine);
+        self.net.next_flow += 1;
+        let flow = self.net.next_flow;
+        self.net.flows.insert(flow, FlowBuf::default());
+        let id = self.next_socket_id();
+        self.machine.charge_wire(CONN_WIRE_CYCLES);
+        self.sockets
+            .insert(id, Socket { port: None, listening: false, flow: Some(flow), refs: 1 });
+        self.alloc_fd(pid, Fd::Sock { id })
+    }
+
+    /// The flow behind a connected socket fd (harness helper).
+    pub fn flow_of_fd(&self, pid: Pid, fd: u64) -> Option<u64> {
+        match self.procs.get(&pid)?.fds.get(fd as usize)? {
+            Some(Fd::Sock { id }) => self.sockets.get(id)?.flow,
+            _ => None,
+        }
+    }
+
+    pub(crate) fn sys_socket(&mut self, pid: Pid) -> i64 {
+        costs::SOCK_SETUP.charge(&mut self.machine);
+        let id = self.alloc_socket();
+        self.alloc_fd(pid, Fd::Sock { id })
+    }
+
+    fn alloc_socket(&mut self) -> u64 {
+        let id = self.next_socket_id();
+        self.sockets.insert(id, Socket { refs: 1, ..Socket::default() });
+        id
+    }
+
+    /// Drops one fd reference to a socket, destroying it at zero.
+    pub(crate) fn release_socket(&mut self, id: u64) {
+        if let Some(s) = self.sockets.get_mut(&id) {
+            s.refs = s.refs.saturating_sub(1);
+            if s.refs == 0 {
+                if let Some(port) = s.port {
+                    if s.listening {
+                        self.net.listeners.remove(&port);
+                    }
+                }
+                self.sockets.remove(&id);
+            }
+        }
+    }
+
+    fn next_socket_id(&mut self) -> u64 {
+        let id = self.sockets.keys().max().copied().unwrap_or(0) + 1;
+        id
+    }
+
+    pub(crate) fn sys_bind(&mut self, pid: Pid, fd: u64, port: u16) -> i64 {
+        costs::SOCK_SETUP.charge(&mut self.machine);
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        if self.net.listeners.contains_key(&port) {
+            return -1; // EADDRINUSE
+        }
+        self.sockets.get_mut(&id).expect("socket").port = Some(port);
+        0
+    }
+
+    pub(crate) fn sys_listen(&mut self, pid: Pid, fd: u64) -> i64 {
+        costs::SOCK_SETUP.charge(&mut self.machine);
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        let Some(port) = self.sockets.get(&id).and_then(|s| s.port) else {
+            return -1;
+        };
+        self.sockets.get_mut(&id).expect("socket").listening = true;
+        self.net.listeners.insert(port, id);
+        self.net.pending.entry(port).or_default();
+        0
+    }
+
+    pub(crate) fn sys_accept(&mut self, pid: Pid, fd: u64) -> i64 {
+        costs::ACCEPT.charge(&mut self.machine);
+        self.pump_network();
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        let Some(port) = self.sockets.get(&id).and_then(|s| s.port) else {
+            return -1;
+        };
+        let Some(flow) = self.net.pending.get_mut(&port).and_then(|q| q.pop_front()) else {
+            return -2; // EAGAIN: nothing pending
+        };
+        self.machine.charge_wire(CONN_WIRE_CYCLES);
+        let conn_id = self.alloc_socket();
+        self.sockets.get_mut(&conn_id).expect("socket").flow = Some(flow);
+        self.alloc_fd(pid, Fd::Sock { id: conn_id })
+    }
+
+    pub(crate) fn sys_send(&mut self, pid: Pid, fd: u64, buf: u64, len: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        let Some(data) = self.copyin(pid, buf, len) else {
+            return -1;
+        };
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        self.sock_send(id, &data)
+    }
+
+    pub(crate) fn sys_recv(&mut self, pid: Pid, fd: u64, buf: u64, len: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        self.sock_recv(pid, id, buf, len)
+    }
+
+    fn proc_fd(&self, pid: Pid, fd: u64) -> Option<Fd> {
+        self.procs.get(&pid)?.fds.get(fd as usize)?.clone()
+    }
+
+    // ---- kernel-side data movement -------------------------------------------
+
+    pub(crate) fn sock_send(&mut self, sock: u64, data: &[u8]) -> i64 {
+        let Some(flow) = self.sockets.get(&sock).and_then(|s| s.flow) else {
+            return -1;
+        };
+        for chunk in data.chunks(MTU) {
+            costs::NET_PER_PACKET.charge(&mut self.machine);
+            self.machine.counters.packets += 1;
+            let wire = self.machine.costs.nic_per_packet
+                + self.machine.costs.nic_per_byte * chunk.len() as u64;
+            self.machine.charge_wire(wire);
+            self.machine.nic.transmit(Packet { flow, data: chunk.to_vec() });
+        }
+        // If a remote responder is registered (the harness's model of the
+        // peer machine), hand it what just left the wire and inject its
+        // reply.
+        if let Some(mut responder) = self.remote_responder.take() {
+            let sent = self.wire_recv(flow);
+            if !sent.is_empty() {
+                let reply = responder(&sent);
+                if !reply.is_empty() {
+                    self.wire_send(flow, &reply);
+                }
+            }
+            self.remote_responder = Some(responder);
+        }
+        data.len() as i64
+    }
+
+    pub(crate) fn sock_recv(&mut self, pid: Pid, sock: u64, buf: u64, len: usize) -> i64 {
+        self.pump_network();
+        let Some(flow) = self.sockets.get(&sock).and_then(|s| s.flow) else {
+            return -1;
+        };
+        let Some(fb) = self.net.flows.get_mut(&flow) else {
+            return -1;
+        };
+        let n = len.min(fb.rx.len());
+        if n == 0 {
+            return if fb.closed { 0 } else { -2 }; // EOF vs EAGAIN
+        }
+        let data: Vec<u8> = fb.rx.drain(..n).collect();
+        if !self.copyout(pid, buf, &data) {
+            return -1;
+        }
+        n as i64
+    }
+
+    /// Drains the NIC receive queue into per-flow buffers, charging protocol
+    /// and wire costs (interrupt + driver work).
+    pub(crate) fn pump_network(&mut self) {
+        while let Some(p) = self.machine.nic.receive() {
+            costs::NET_PER_PACKET.charge(&mut self.machine);
+            self.machine.counters.packets += 1;
+            let wire = self.machine.costs.nic_per_packet
+                + self.machine.costs.nic_per_byte * p.data.len() as u64;
+            self.machine.charge_wire(wire);
+            self.net.flows.entry(p.flow).or_default().rx.extend(p.data);
+        }
+    }
+
+    // ---- wire (harness) side --------------------------------------------------
+
+    /// Opens a connection to `port` from the outside world. Returns the flow
+    /// id. Connections may be queued before the listener starts (SYN
+    /// backlog); `accept` picks them up once a socket listens on the port.
+    pub fn wire_connect(&mut self, port: u16) -> Option<u64> {
+        self.net.next_flow += 1;
+        let flow = self.net.next_flow;
+        self.net.flows.insert(flow, FlowBuf::default());
+        self.net.pending.entry(port).or_default().push_back(flow);
+        Some(flow)
+    }
+
+    /// Injects bytes from the outside world into `flow`.
+    pub fn wire_send(&mut self, flow: u64, data: &[u8]) {
+        for chunk in data.chunks(MTU) {
+            self.machine.nic.wire_inject(Packet { flow, data: chunk.to_vec() });
+        }
+    }
+
+    /// Collects everything the host transmitted on `flow`.
+    pub fn wire_recv(&mut self, flow: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut keep = Vec::new();
+        for p in self.machine.nic.wire_drain() {
+            if p.flow == flow {
+                out.extend(p.data);
+            } else {
+                keep.push(p);
+            }
+        }
+        for p in keep {
+            // Preserve other flows' traffic.
+            self.machine.nic.wire_requeue(p);
+        }
+        out
+    }
+
+    /// Marks `flow` closed from the wire side.
+    pub fn wire_close(&mut self, flow: u64) {
+        if let Some(fb) = self.net.flows.get_mut(&flow) {
+            fb.closed = true;
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Kernel-side ghost-page swapping.
+//!
+//! Under memory pressure the kernel may evict ghost pages (paper §3.3:
+//! "this design not only provides secure swapping but allows the OS to
+//! optimize swapping by first swapping out traditional memory pages").
+//! The kernel only ever holds the VM-sealed ciphertext blobs; the VM
+//! verifies integrity and location binding on swap-in. Swapped pages are
+//! brought back transparently by the page-fault path when the application
+//! touches them.
+
+use crate::costs;
+use crate::system::{Pid, System};
+use std::collections::HashMap;
+use vg_core::swap::SwappedGhostPage;
+use vg_core::{ProcId, SvaError};
+use vg_machine::layout::{Region, PAGE_SIZE};
+use vg_machine::VAddr;
+
+/// The kernel's swap store: sealed ghost pages by (pid, vpn). Conceptually
+/// the swap partition; the kernel can read or corrupt these blobs at will —
+/// it just can't get anything past the VM's integrity check.
+#[derive(Debug, Default)]
+pub struct SwapStore {
+    blobs: HashMap<(Pid, u64), SwappedGhostPage>,
+}
+
+impl SwapStore {
+    /// Number of pages currently swapped out.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Mutable access to a stored blob — the hostile-OS tampering surface.
+    pub fn blob_mut(&mut self, pid: Pid, vpn: u64) -> Option<&mut SwappedGhostPage> {
+        self.blobs.get_mut(&(pid, vpn))
+    }
+
+    /// Drops all blobs belonging to `pid` (process exit — the ciphertext is
+    /// useless to anyone, but the kernel reclaims the storage).
+    pub fn remove_proc(&mut self, pid: Pid) {
+        self.blobs.retain(|(p, _), _| *p != pid);
+    }
+}
+
+impl System {
+    /// Swaps out up to `max_pages` ghost pages of `pid` (kernel policy:
+    /// lowest page numbers first). Returns how many were evicted.
+    pub fn kernel_swap_out_ghost(&mut self, pid: Pid, max_pages: usize) -> usize {
+        let root = match self.procs.get(&pid) {
+            Some(p) => p.root,
+            None => return 0,
+        };
+        let mut vpns = self.vm.ghost.resident_vpns(ProcId(pid));
+        vpns.sort_unstable();
+        let mut evicted = 0;
+        for vpn in vpns.into_iter().take(max_pages) {
+            costs::FSYNC.charge(&mut self.machine); // swap-device write path
+            match self.vm.sva_swap_out(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE))
+            {
+                Ok((blob, frame)) => {
+                    self.machine.phys.free_frame(frame);
+                    self.swap.blobs.insert((pid, vpn), blob);
+                    evicted += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        evicted
+    }
+
+    /// Attempts to swap the ghost page covering `va` back in for `pid`.
+    /// Called from the page-fault path. Returns `Ok(true)` if a swapped page
+    /// was restored, `Ok(false)` if no blob exists for this page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SvaError::SwapIntegrity`] when the stored blob was
+    /// corrupted — the application's data is gone (availability is out of
+    /// scope), but nothing wrong is ever mapped in.
+    pub fn kernel_swap_in_ghost(&mut self, pid: Pid, va: u64) -> Result<bool, SvaError> {
+        if Region::of(VAddr(va)) != Region::Ghost {
+            return Ok(false);
+        }
+        let vpn = va / PAGE_SIZE;
+        let Some(blob) = self.swap.blobs.get(&(pid, vpn)).cloned() else {
+            return Ok(false);
+        };
+        costs::FSYNC.charge(&mut self.machine); // swap-device read path
+        let root = self.procs[&pid].root;
+        let frame = self.machine.phys.alloc_frame().ok_or(SvaError::OutOfFrames)?;
+        match self.vm.sva_swap_in(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE), &blob, frame)
+        {
+            Ok(()) => {
+                self.swap.blobs.remove(&(pid, vpn));
+                Ok(true)
+            }
+            Err(e) => {
+                self.machine.phys.free_frame(frame);
+                self.log.push(format!("swap-in of pid {pid} vpn {vpn:#x} refused: {e}"));
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mode, System};
+
+    #[test]
+    fn transparent_swap_roundtrip() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        let checked = std::rc::Rc::new(std::cell::Cell::new(false));
+        let c2 = checked.clone();
+        sys.install_app("s", true, move || {
+            let c = c2.clone();
+            Box::new(move |env| {
+                let va = env.allocgm(3).expect("ghost pages");
+                env.write_mem(va, b"page zero");
+                env.write_mem(va + 4096, b"page one");
+                env.write_mem(va + 8192, b"page two");
+                // Kernel evicts two pages behind the app's back.
+                let pid = env.pid;
+                let evicted = env.sys.kernel_swap_out_ghost(pid, 2);
+                assert_eq!(evicted, 2);
+                assert_eq!(env.sys.swap.len(), 2);
+                // Touching the pages swaps them back in transparently.
+                assert_eq!(env.read_mem(va, 9), b"page zero");
+                assert_eq!(env.read_mem(va + 4096, 8), b"page one");
+                assert_eq!(env.read_mem(va + 8192, 8), b"page two");
+                assert!(env.sys.swap.is_empty());
+                c.set(true);
+                0
+            })
+        });
+        let pid = sys.spawn("s");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert!(checked.get());
+    }
+
+    #[test]
+    fn swapped_blob_is_ciphertext() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("s", true, move || {
+            Box::new(move |env| {
+                let va = env.allocgm(1).expect("ghost page");
+                env.write_mem(va, b"plaintext-marker-string");
+                let pid = env.pid;
+                env.sys.kernel_swap_out_ghost(pid, 1);
+                // The kernel inspects its own swap store: no plaintext.
+                let vpn = va / 4096;
+                let blob = env.sys.swap.blob_mut(pid, vpn).expect("swapped");
+                let ct = blob.sealed.ciphertext_mut().clone();
+                (ct.windows(23).any(|w| w == b"plaintext-marker-string")) as i32
+            })
+        });
+        let pid = sys.spawn("s");
+        assert_eq!(sys.run_until_exit(pid), 0, "no plaintext in the swap store");
+    }
+
+    #[test]
+    fn tampered_swap_blob_never_maps_back() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("s", true, move || {
+            Box::new(move |env| {
+                let va = env.allocgm(1).expect("ghost page");
+                env.write_mem(va, b"integrity matters");
+                let pid = env.pid;
+                env.sys.kernel_swap_out_ghost(pid, 1);
+                // Hostile kernel flips a bit in the swap store.
+                let vpn = va / 4096;
+                env.sys.swap.blob_mut(pid, vpn).expect("swapped").sealed.ciphertext_mut()[7] ^= 1;
+                // Direct swap-in attempt is refused…
+                match env.sys.kernel_swap_in_ghost(pid, va) {
+                    Err(vg_core::SvaError::SwapIntegrity) => 0,
+                    other => {
+                        println!("unexpected {other:?}");
+                        1
+                    }
+                }
+            })
+        });
+        let pid = sys.spawn("s");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert!(sys.log.iter().any(|l| l.contains("swap-in") && l.contains("refused")));
+    }
+}

@@ -1,0 +1,613 @@
+//! System-call numbers and the dispatcher.
+//!
+//! Numbers follow FreeBSD where it has them. The dispatcher first consults
+//! the module hook table — loadable kernel modules may replace handlers
+//! (how the paper's rootkit hooks `read`) — then falls through to the
+//! built-in implementation. Hooked handlers run through the interpreter
+//! over the kernel memory bus, so their instrumentation (or lack of it)
+//! is exactly what decides what they can touch.
+
+use crate::costs;
+use crate::fs::{FsError, FsWork, InodeKind};
+use crate::mem::RegionKind;
+use crate::system::{DmaDisk, Fd, Pid, System};
+use vg_machine::mmu::AccessKind;
+
+/// `exit`.
+pub const SYS_EXIT: u32 = 1;
+/// `fork`.
+pub const SYS_FORK: u32 = 2;
+/// `read`.
+pub const SYS_READ: u32 = 3;
+/// `write`.
+pub const SYS_WRITE: u32 = 4;
+/// `open`.
+pub const SYS_OPEN: u32 = 5;
+/// `close`.
+pub const SYS_CLOSE: u32 = 6;
+/// `wait4`.
+pub const SYS_WAIT4: u32 = 7;
+/// `unlink`.
+pub const SYS_UNLINK: u32 = 10;
+/// `dup`.
+pub const SYS_DUP: u32 = 41;
+/// `pipe`.
+pub const SYS_PIPE: u32 = 42;
+/// `getpid`.
+pub const SYS_GETPID: u32 = 20;
+/// `accept`.
+pub const SYS_ACCEPT: u32 = 30;
+/// `kill`.
+pub const SYS_KILL: u32 = 37;
+/// `sigaction` (simplified `signal`).
+pub const SYS_SIGACTION: u32 = 48;
+/// `exec`.
+pub const SYS_EXEC: u32 = 59;
+/// `munmap`.
+pub const SYS_MUNMAP: u32 = 73;
+/// `select`.
+pub const SYS_SELECT: u32 = 93;
+/// `fsync`.
+pub const SYS_FSYNC: u32 = 95;
+/// `socket`.
+pub const SYS_SOCKET: u32 = 97;
+/// `connect` (to an off-machine peer).
+pub const SYS_CONNECT: u32 = 98;
+/// `sigreturn`.
+pub const SYS_SIGRETURN: u32 = 103;
+/// `bind`.
+pub const SYS_BIND: u32 = 104;
+/// `listen`.
+pub const SYS_LISTEN: u32 = 106;
+/// `send` (on a connected socket).
+pub const SYS_SEND: u32 = 113;
+/// `recv` (on a connected socket).
+pub const SYS_RECV: u32 = 114;
+/// `mkdir`.
+pub const SYS_MKDIR: u32 = 136;
+/// `stat`.
+pub const SYS_STAT: u32 = 188;
+/// `lseek`.
+pub const SYS_LSEEK: u32 = 199;
+/// `brk` (via `break`).
+pub const SYS_BRK: u32 = 17;
+/// `getdents` (directory listing).
+pub const SYS_GETDENTS: u32 = 272;
+/// `mmap`.
+pub const SYS_MMAP: u32 = 477;
+
+/// Open flag: create the file if absent.
+pub const O_CREAT: u64 = 0x1;
+/// Open flag: truncate to zero length.
+pub const O_TRUNC: u64 = 0x2;
+/// Open flag: position writes at end of file.
+pub const O_APPEND: u64 = 0x4;
+
+impl System {
+    /// Dispatches one system call (already inside the trap window).
+    pub(crate) fn dispatch_syscall(&mut self, pid: Pid, num: u32, args: [u64; 6]) -> i64 {
+        // Module hooks take precedence (rootkit attack surface).
+        if let Some(&handler) = self.hooks.get(&num) {
+            return self.run_module_hook(pid, handler, &args);
+        }
+        self.builtin_syscall(pid, num, args)
+    }
+
+    pub(crate) fn builtin_syscall(&mut self, pid: Pid, num: u32, args: [u64; 6]) -> i64 {
+        match num {
+            SYS_GETPID => {
+                costs::NULL_SYSCALL.charge(&mut self.machine);
+                pid as i64
+            }
+            SYS_OPEN => self.sys_open(pid, args[1]),
+            SYS_CLOSE => self.sys_close(pid, args[0]),
+            SYS_READ => self.sys_read(pid, args[0], args[1], args[2] as usize),
+            SYS_WRITE => self.sys_write(pid, args[0], args[1], args[2] as usize),
+            SYS_UNLINK => self.sys_unlink(),
+            SYS_DUP => self.sys_dup(pid, args[0]),
+            SYS_PIPE => self.sys_pipe(pid),
+            SYS_GETDENTS => self.sys_getdents(pid, args[1], args[2] as usize),
+            SYS_STAT => self.sys_stat(),
+            SYS_LSEEK => self.sys_lseek(pid, args[0], args[1] as i64, args[2]),
+            SYS_MKDIR => self.sys_mkdir(),
+            SYS_FSYNC => self.sys_fsync(),
+            SYS_MMAP => self.sys_mmap(pid, args[0] as usize, args[1] as i64, args[2]),
+            SYS_MUNMAP => self.sys_munmap(pid, args[0]),
+            SYS_BRK => self.sys_brk(pid, args[0]),
+            SYS_SELECT => self.sys_select(pid, args[0] as usize),
+            SYS_KILL => {
+                costs::KILL.charge(&mut self.machine);
+                self.post_signal(args[0], args[1] as i32);
+                0
+            }
+            SYS_SIGACTION => {
+                costs::SIG_INSTALL.charge(&mut self.machine);
+                let (sig, handler) = (args[0] as i32, args[1]);
+                self.procs
+                    .get_mut(&pid)
+                    .expect("proc")
+                    .sig_disposition
+                    .insert(sig, handler);
+                0
+            }
+            SYS_FORK => {
+                let child = self.pending_child.take().unwrap_or(crate::system::ChildKind::Exit(0));
+                self.sys_fork(pid, child)
+            }
+            SYS_EXEC => self.sys_exec(pid),
+            SYS_WAIT4 => self.sys_wait(pid),
+            SYS_SOCKET => self.sys_socket(pid),
+            SYS_CONNECT => self.sys_connect(pid, args[0] as u16),
+            SYS_BIND => self.sys_bind(pid, args[0], args[1] as u16),
+            SYS_LISTEN => self.sys_listen(pid, args[0]),
+            SYS_ACCEPT => self.sys_accept(pid, args[0]),
+            SYS_SEND => self.sys_send(pid, args[0], args[1], args[2] as usize),
+            SYS_RECV => self.sys_recv(pid, args[0], args[1], args[2] as usize),
+            _ => {
+                self.log.push(format!("unknown syscall {num}"));
+                -1
+            }
+        }
+    }
+
+    fn take_path(&mut self) -> Option<String> {
+        // Path strings travel in a staging area; the kernel "copies them in"
+        // (charged like copyinstr).
+        let p = self.syscall_path.take()?;
+        crate::mem::copy_cost(&mut self.machine, p.len() as u64 + 1);
+        Some(p)
+    }
+
+    pub(crate) fn alloc_fd(&mut self, pid: Pid, fd: Fd) -> i64 {
+        let proc = self.procs.get_mut(&pid).expect("proc");
+        for (i, slot) in proc.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(fd);
+                return i as i64;
+            }
+        }
+        proc.fds.push(Some(fd));
+        (proc.fds.len() - 1) as i64
+    }
+
+    fn fd_of(&self, pid: Pid, fd: u64) -> Option<Fd> {
+        self.procs.get(&pid)?.fds.get(fd as usize)?.clone()
+    }
+
+    // ---- file syscalls -----------------------------------------------------
+
+    fn sys_open(&mut self, pid: Pid, flags: u64) -> i64 {
+        costs::OPEN.charge(&mut self.machine);
+        let Some(path) = self.take_path() else {
+            return -1;
+        };
+        let mut w = FsWork::default();
+        let result = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            match fs.lookup(&mut dev, &path, &mut w) {
+                Ok(ino) => {
+                    if flags & O_TRUNC != 0 {
+                        let _ = fs.truncate(&mut dev, ino, &mut w);
+                    }
+                    Ok(ino)
+                }
+                Err(FsError::NotFound) if flags & O_CREAT != 0 => {
+                    fs.create(&mut dev, &path, InodeKind::File, &mut w)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        if flags & O_CREAT != 0 {
+            costs::CREATE_EXTRA.charge(&mut self.machine);
+        }
+        self.charge_fswork(&w);
+        match result {
+            Ok(ino) => {
+                let off = if flags & O_APPEND != 0 {
+                    let mut w2 = FsWork::default();
+                    let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+                    let mut dev = DmaDisk { machine, vm };
+                    fs.stat(&mut dev, ino, &mut w2).map(|(s, _)| s).unwrap_or(0)
+                } else {
+                    0
+                };
+                self.alloc_fd(pid, Fd::File { ino, off })
+            }
+            Err(_) => -1,
+        }
+    }
+
+    fn sys_close(&mut self, pid: Pid, fd: u64) -> i64 {
+        costs::CLOSE.charge(&mut self.machine);
+        let proc = self.procs.get_mut(&pid).expect("proc");
+        match proc.fds.get_mut(fd as usize) {
+            Some(slot @ Some(_)) => {
+                let closed = slot.take();
+                match closed {
+                    Some(Fd::Sock { id }) => self.release_socket(id),
+                    Some(ref f @ Fd::PipeR { id }) | Some(ref f @ Fd::PipeW { id }) => {
+                        let f = f.clone();
+                        self.release_pipe_end(&f, id);
+                    }
+                    _ => {}
+                }
+                0
+            }
+            _ => -1,
+        }
+    }
+
+    fn sys_dup(&mut self, pid: Pid, fd: u64) -> i64 {
+        crate::mem::kwork(&mut self.machine, 60, 4);
+        let Some(entry) = self.fd_of(pid, fd) else {
+            return -1;
+        };
+        match &entry {
+            Fd::Sock { id } => {
+                if let Some(s) = self.sockets.get_mut(id) {
+                    s.refs += 1;
+                }
+            }
+            Fd::PipeR { id } => {
+                if let Some(p) = self.pipes.get_mut(id) {
+                    p.readers += 1;
+                }
+            }
+            Fd::PipeW { id } => {
+                if let Some(p) = self.pipes.get_mut(id) {
+                    p.writers += 1;
+                }
+            }
+            Fd::File { .. } => {}
+        }
+        self.alloc_fd(pid, entry)
+    }
+
+    fn sys_pipe(&mut self, pid: Pid) -> i64 {
+        crate::mem::kwork(&mut self.machine, 300, 16);
+        let id = self.next_pipe;
+        self.next_pipe += 1;
+        self.pipes.insert(id, crate::system::Pipe { readers: 1, writers: 1, ..Default::default() });
+        let r = self.alloc_fd(pid, Fd::PipeR { id });
+        let w = self.alloc_fd(pid, Fd::PipeW { id });
+        // Packed return: read fd in the high half, write fd in the low.
+        (r << 32) | w
+    }
+
+    fn sys_getdents(&mut self, pid: Pid, buf: u64, len: usize) -> i64 {
+        crate::mem::kwork(&mut self.machine, 500, 26);
+        let Some(path) = self.take_path() else {
+            return -1;
+        };
+        let mut w = FsWork::default();
+        let entries = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            match fs.readdir(&mut dev, &path, &mut w) {
+                Ok(e) => e,
+                Err(_) => {
+                    self.charge_fswork(&w);
+                    return -1;
+                }
+            }
+        };
+        self.charge_fswork(&w);
+        // NUL-separated names, truncated to the caller's buffer.
+        let mut blob = Vec::new();
+        let count = entries.len();
+        for (name, _) in entries {
+            blob.extend_from_slice(name.as_bytes());
+            blob.push(0);
+        }
+        blob.truncate(len);
+        if !blob.is_empty() && !self.copyout(pid, buf, &blob) {
+            return -1;
+        }
+        count as i64
+    }
+
+    pub(crate) fn release_pipe_end(&mut self, fd: &Fd, id: u64) {
+        let remove = if let Some(p) = self.pipes.get_mut(&id) {
+            match fd {
+                Fd::PipeR { .. } => p.readers = p.readers.saturating_sub(1),
+                Fd::PipeW { .. } => p.writers = p.writers.saturating_sub(1),
+                _ => {}
+            }
+            p.readers == 0 && p.writers == 0
+        } else {
+            false
+        };
+        if remove {
+            self.pipes.remove(&id);
+        }
+    }
+
+    /// Built-in `read` — kept callable so module hooks can forward to it
+    /// (the paper's malicious module calls the original handler to stay
+    /// stealthy).
+    pub(crate) fn sys_read(&mut self, pid: Pid, fd: u64, buf: u64, len: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        match self.fd_of(pid, fd) {
+            Some(Fd::File { ino, off }) => {
+                let mut data = vec![0u8; len];
+                let mut w = FsWork::default();
+                let n = {
+                    let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+                    let mut dev = DmaDisk { machine, vm };
+                    fs.read(&mut dev, ino, off, &mut data, &mut w).unwrap_or(0)
+                };
+                self.charge_fswork(&w);
+                data.truncate(n);
+                if !self.copyout(pid, buf, &data) {
+                    return -1;
+                }
+                if let Some(Some(Fd::File { off, .. })) =
+                    self.procs.get_mut(&pid).expect("proc").fds.get_mut(fd as usize)
+                {
+                    *off += n as u64;
+                }
+                n as i64
+            }
+            Some(Fd::Sock { id }) => self.sock_recv(pid, id, buf, len),
+            Some(Fd::PipeR { id }) => {
+                let Some(p) = self.pipes.get_mut(&id) else {
+                    return -1;
+                };
+                let n = len.min(p.buf.len());
+                if n == 0 {
+                    return if p.writers == 0 { 0 } else { -2 }; // EOF vs EAGAIN
+                }
+                let data: Vec<u8> = p.buf.drain(..n).collect();
+                if !self.copyout(pid, buf, &data) {
+                    return -1;
+                }
+                n as i64
+            }
+            Some(Fd::PipeW { .. }) => -1,
+            None => -1,
+        }
+    }
+
+    pub(crate) fn sys_write(&mut self, pid: Pid, fd: u64, buf: u64, len: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        let Some(data) = self.copyin(pid, buf, len) else {
+            return -1;
+        };
+        match self.fd_of(pid, fd) {
+            Some(Fd::File { ino, off }) => {
+                let mut w = FsWork::default();
+                let n = {
+                    let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+                    let mut dev = DmaDisk { machine, vm };
+                    fs.write(&mut dev, ino, off, &data, &mut w).map(|n| n as i64).unwrap_or(-1)
+                };
+                self.charge_fswork(&w);
+                if n > 0 {
+                    if let Some(Some(Fd::File { off, .. })) =
+                        self.procs.get_mut(&pid).expect("proc").fds.get_mut(fd as usize)
+                    {
+                        *off += n as u64;
+                    }
+                }
+                n
+            }
+            Some(Fd::Sock { id }) => self.sock_send(id, &data),
+            Some(Fd::PipeW { id }) => {
+                let Some(p) = self.pipes.get_mut(&id) else {
+                    return -1;
+                };
+                if p.readers == 0 {
+                    return -1; // EPIPE
+                }
+                p.buf.extend(data.iter());
+                data.len() as i64
+            }
+            Some(Fd::PipeR { .. }) => -1,
+            None => -1,
+        }
+    }
+
+    fn sys_unlink(&mut self) -> i64 {
+        costs::UNLINK.charge(&mut self.machine);
+        let Some(path) = self.take_path() else {
+            return -1;
+        };
+        let mut w = FsWork::default();
+        let r = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            fs.unlink(&mut dev, &path, &mut w)
+        };
+        self.charge_fswork(&w);
+        if r.is_ok() {
+            0
+        } else {
+            -1
+        }
+    }
+
+    fn sys_stat(&mut self) -> i64 {
+        crate::mem::kwork(&mut self.machine, 420, 22);
+        let Some(path) = self.take_path() else {
+            return -1;
+        };
+        let mut w = FsWork::default();
+        let r = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            fs.lookup(&mut dev, &path, &mut w).and_then(|ino| fs.stat(&mut dev, ino, &mut w))
+        };
+        self.charge_fswork(&w);
+        match r {
+            Ok((size, _)) => size as i64,
+            Err(_) => -1,
+        }
+    }
+
+    fn sys_lseek(&mut self, pid: Pid, fd: u64, offset: i64, whence: u64) -> i64 {
+        crate::mem::kwork(&mut self.machine, 40, 4);
+        let size = match self.fd_of(pid, fd) {
+            Some(Fd::File { ino, .. }) => {
+                let mut w = FsWork::default();
+                let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+                let mut dev = DmaDisk { machine, vm };
+                fs.stat(&mut dev, ino, &mut w).map(|(s, _)| s).unwrap_or(0)
+            }
+            _ => return -1,
+        };
+        let proc = self.procs.get_mut(&pid).expect("proc");
+        if let Some(Some(Fd::File { off, .. })) = proc.fds.get_mut(fd as usize) {
+            let new = match whence {
+                0 => offset,                 // SEEK_SET
+                1 => *off as i64 + offset,   // SEEK_CUR
+                _ => size as i64 + offset,   // SEEK_END
+            };
+            if new < 0 {
+                return -1;
+            }
+            *off = new as u64;
+            new
+        } else {
+            -1
+        }
+    }
+
+    fn sys_mkdir(&mut self) -> i64 {
+        costs::CREATE_EXTRA.charge(&mut self.machine);
+        let Some(path) = self.take_path() else {
+            return -1;
+        };
+        let mut w = FsWork::default();
+        let r = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            fs.create(&mut dev, &path, InodeKind::Dir, &mut w)
+        };
+        self.charge_fswork(&w);
+        if r.is_ok() {
+            0
+        } else {
+            -1
+        }
+    }
+
+    fn sys_fsync(&mut self) -> i64 {
+        costs::FSYNC.charge(&mut self.machine);
+        let written = {
+            let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+            let mut dev = DmaDisk { machine, vm };
+            fs.sync(&mut dev)
+        };
+        written as i64
+    }
+
+    // ---- memory syscalls -----------------------------------------------------
+
+    fn sys_mmap(&mut self, pid: Pid, len: usize, fd: i64, offset: u64) -> i64 {
+        costs::MMAP.charge(&mut self.machine);
+        let kind = if fd >= 0 {
+            match self.fd_of(pid, fd as u64) {
+                Some(Fd::File { ino, .. }) => RegionKind::File { ino, offset },
+                _ => return -1,
+            }
+        } else {
+            RegionKind::Anon
+        };
+        let proc = self.procs.get_mut(&pid).expect("proc");
+        proc.aspace.reserve_mmap(len as u64, kind) as i64
+    }
+
+    fn sys_munmap(&mut self, pid: Pid, va: u64) -> i64 {
+        costs::MUNMAP.charge(&mut self.machine);
+        let Some(region) = self.procs.get_mut(&pid).expect("proc").aspace.remove_region(va) else {
+            return -1;
+        };
+        let root = self.procs[&pid].root;
+        let mut page = region.start;
+        while page < region.start + region.len {
+            let frame = self.procs.get_mut(&pid).expect("proc").aspace.pages.remove(&page);
+            if let Some(f) = frame {
+                let _ = self.vm.sva_unmap_page(&mut self.machine, root, vg_machine::VAddr(page));
+                self.machine.phys.free_frame(f);
+            }
+            page += vg_machine::layout::PAGE_SIZE;
+        }
+        0
+    }
+
+    fn sys_brk(&mut self, pid: Pid, new_brk: u64) -> i64 {
+        costs::BRK.charge(&mut self.machine);
+        self.procs.get_mut(&pid).expect("proc").aspace.set_brk(new_brk) as i64
+    }
+
+    fn sys_select(&mut self, pid: Pid, nfds: usize) -> i64 {
+        costs::SELECT_BASE.charge(&mut self.machine);
+        self.pump_network();
+        let mut ready = 0;
+        for i in 0..nfds {
+            costs::SELECT_PER_FD.charge(&mut self.machine);
+            match self.fd_of(pid, i as u64) {
+                Some(Fd::File { .. }) => ready += 1,
+                Some(Fd::Sock { id })
+                    if self.sockets.get(&id).is_some_and(|s| s.readable(&self.net)) =>
+                {
+                    ready += 1;
+                }
+                Some(Fd::PipeR { id })
+                    if self.pipes.get(&id).is_some_and(|p| !p.buf.is_empty() || p.writers == 0) =>
+                {
+                    ready += 1;
+                }
+                Some(Fd::PipeW { id }) if self.pipes.get(&id).is_some_and(|p| p.readers > 0) => {
+                    ready += 1;
+                }
+                _ => {}
+            }
+        }
+        ready
+    }
+
+    // ---- module hook execution -------------------------------------------
+
+    pub(crate) fn run_module_hook(&mut self, pid: Pid, handler: vg_ir::CodeAddr, args: &[u64]) -> i64 {
+        let registry = self.vm.code.clone();
+        let cur_module = registry.resolve(handler).map(|e| e.module);
+        let mut interp = vg_ir::Interp::new(&registry);
+        let argv: Vec<i64> = args.iter().map(|&a| a as i64).collect();
+        let result = {
+            let mut ctx = crate::module::KernelCtx { sys: self, cur_pid: pid, cur_module };
+            interp.run(handler, &argv, &mut ctx)
+        };
+        let stats = interp.stats;
+        crate::mem::charge_interp(&mut self.machine, &stats);
+        match result {
+            Ok(v) => v,
+            Err(e) => {
+                // A faulting kernel thread is terminated (paper: CFI
+                // violations terminate the kernel thread); the syscall
+                // fails but the system survives.
+                self.machine.counters.cfi_violations +=
+                    matches!(e, vg_ir::InterpFault::CfiViolation { .. }) as u64;
+                self.log.push(format!("kernel module fault in syscall hook: {e}"));
+                -1
+            }
+        }
+    }
+
+    /// Resolves a user VA to its physical address (harness/test helper).
+    pub fn user_resolve_pub(&mut self, pid: Pid, va: u64) -> Option<vg_machine::PAddr> {
+        self.user_resolve(pid, va, AccessKind::Read)
+    }
+
+    /// Resolves a user VA to inspect memory — used by tests asserting on
+    /// simulated user state.
+    pub fn peek_user(&mut self, pid: Pid, va: u64, len: usize) -> Option<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        for (i, b) in out.iter_mut().enumerate() {
+            let pa = self.user_resolve(pid, va + i as u64, AccessKind::Read)?;
+            *b = self.machine.phys.read_u8_at(pa);
+        }
+        Some(out)
+    }
+}

@@ -1,0 +1,970 @@
+//! The system: machine + SVA VM + kernel state + process execution.
+//!
+//! [`System`] is the top-level simulation object. It owns the hardware
+//! ([`vg_machine::Machine`]), the trusted layer ([`vg_core::SvaVm`]), and
+//! all *kernel* state (process table, filesystem, network stack, loaded
+//! modules). Applications are Rust closures that interact with the world
+//! exclusively through [`crate::program::UserEnv`] — every privileged
+//! effect goes through the same trap → dispatch → return path, charged
+//! under the active cost model, in both native and Virtual Ghost modes.
+//!
+//! Execution is synchronous run-to-completion: one process runs at a time,
+//! `fork` children are executed when the parent `wait`s, and signals are
+//! delivered at system-call boundaries of the current process. This is
+//! the single-core machine of the paper with a deterministic scheduler.
+
+use crate::costs;
+use crate::fs::{BlockDev, FsWork, Ino, VgFs, BLOCK_SIZE};
+use crate::mem::{copy_cost, kwork, AddressSpace, RegionKind, STACK_TOP};
+use crate::net::{NetStack, Socket};
+use crate::program::{AppMain, SigHandlerFn, UserEnv};
+use std::collections::{HashMap, VecDeque};
+use vg_core::{AppBinary, ProcId, Protections, SvaError, SvaVm, ThreadId};
+use vg_crypto::{Sha256, Tpm};
+use vg_ir::registry::USER_TEXT_BASE;
+use vg_machine::cost::CostModel;
+use vg_machine::cpu::TrapKind;
+use vg_machine::layout::{GHOST_BASE, PAGE_SIZE};
+use vg_machine::mmu::{AccessKind, TranslateError};
+use vg_machine::pte::PteFlags;
+use vg_machine::{Machine, MachineConfig, Pfn, VAddr};
+
+/// Process identifier.
+pub type Pid = u64;
+
+/// Harness-side model of a remote network peer (see
+/// [`System::remote_responder`]).
+pub type RemoteResponder = Box<dyn FnMut(&[u8]) -> Vec<u8>>;
+
+/// Default signal number used by the test workloads (SIGUSR1-ish).
+pub const SIGUSR1: i32 = 30;
+
+/// System configuration mode.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Custom carries the full cost model; Modes are not stored in bulk
+pub enum Mode {
+    /// Baseline FreeBSD-like system: no protections, native cost model.
+    Native,
+    /// Full Virtual Ghost.
+    VirtualGhost,
+    /// Custom combination (ablations).
+    Custom(Protections, CostModel),
+}
+
+impl Mode {
+    fn split(&self) -> (Protections, CostModel) {
+        match self {
+            Mode::Native => (Protections::native(), CostModel::native()),
+            Mode::VirtualGhost => (Protections::virtual_ghost(), CostModel::virtual_ghost()),
+            Mode::Custom(p, c) => (*p, c.clone()),
+        }
+    }
+}
+
+/// What a forked child does.
+pub enum ChildKind {
+    /// Exit immediately with the code (LMBench `fork+exit`).
+    Exit(i32),
+    /// Exec the named binary, run it, exit with its status (`fork+exec`).
+    Exec(String),
+    /// Run an arbitrary program body.
+    Run(AppMain),
+}
+
+impl std::fmt::Debug for ChildKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChildKind::Exit(c) => write!(f, "ChildKind::Exit({c})"),
+            ChildKind::Exec(n) => write!(f, "ChildKind::Exec({n:?})"),
+            ChildKind::Run(_) => write!(f, "ChildKind::Run(..)"),
+        }
+    }
+}
+
+/// An installed application.
+pub struct AppSpec {
+    /// Produces a fresh program body per exec.
+    pub factory: std::rc::Rc<dyn Fn() -> AppMain>,
+    /// Whether the app places its heap in ghost memory.
+    pub ghosting: bool,
+    /// The signed binary (identity + key section).
+    pub binary: AppBinary,
+    /// Digest of the application code (what exec presents to the VM).
+    pub digest: [u8; 32],
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppSpec")
+            .field("ghosting", &self.ghosting)
+            .field("binary", &self.binary.name)
+            .finish()
+    }
+}
+
+/// A file descriptor.
+#[derive(Debug, Clone)]
+pub enum Fd {
+    /// Open file with a cursor.
+    File {
+        /// Backing inode.
+        ino: Ino,
+        /// Current offset.
+        off: u64,
+    },
+    /// Socket endpoint.
+    Sock {
+        /// Index into the system socket table.
+        id: u64,
+    },
+    /// Read end of a pipe.
+    PipeR {
+        /// Pipe id.
+        id: u64,
+    },
+    /// Write end of a pipe.
+    PipeW {
+        /// Pipe id.
+        id: u64,
+    },
+}
+
+/// An anonymous pipe.
+#[derive(Debug, Default)]
+pub struct Pipe {
+    /// Buffered bytes.
+    pub buf: std::collections::VecDeque<u8>,
+    /// Live read-end descriptors.
+    pub readers: u32,
+    /// Live write-end descriptors.
+    pub writers: u32,
+}
+
+/// Process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Has a program to run.
+    Runnable,
+    /// Finished; holds the exit code until reaped.
+    Zombie(i32),
+}
+
+/// A process.
+pub struct Proc {
+    /// Pid.
+    pub pid: Pid,
+    /// Binary name.
+    pub name: String,
+    /// Page-table root.
+    pub root: Pfn,
+    /// User address-space bookkeeping.
+    pub aspace: AddressSpace,
+    /// File descriptor table.
+    pub fds: Vec<Option<Fd>>,
+    /// Registered signal-handler bodies, keyed by handler code address.
+    pub handlers: HashMap<u64, SigHandlerFn>,
+    /// Signal dispositions: signal → handler code address.
+    pub sig_disposition: HashMap<i32, u64>,
+    /// Queued signals awaiting delivery.
+    pub pending: VecDeque<i32>,
+    /// Whether this process uses ghost memory.
+    pub ghosting: bool,
+    /// Next free ghost partition address.
+    pub ghost_cursor: u64,
+    /// State.
+    pub state: ProcState,
+    /// Parent pid.
+    pub parent: Option<Pid>,
+    /// Allocator for handler code addresses.
+    pub next_handler_addr: u64,
+    /// CPU cycles charged while this process was current.
+    pub cpu_cycles: u64,
+    pub(crate) program: Option<AppMain>,
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// DMA-backed block device view for the filesystem: every cache miss
+/// allocates a staging frame, maps it at the IOMMU, DMAs, and tears down —
+/// charging the disk and I/O-check costs.
+pub struct DmaDisk<'a> {
+    /// The machine.
+    pub machine: &'a mut Machine,
+    /// The trusted layer (for checked IOMMU configuration).
+    pub vm: &'a mut SvaVm,
+}
+
+impl BlockDev for DmaDisk<'_> {
+    fn read_block(&mut self, bno: u32) -> Vec<u8> {
+        self.machine.counters.disk_blocks += 1;
+        self.machine.charge(self.machine.costs.disk_per_block);
+        let frame = self.machine.phys.alloc_frame().expect("staging frame");
+        self.vm
+            .sva_iommu_map(self.machine, frame)
+            .expect("staging frames are regular memory");
+        self.machine
+            .disk
+            .dma_read(&self.machine.iommu, &mut self.machine.phys, bno as u64, frame)
+            .expect("frame just mapped");
+        let data = self.machine.phys.read_frame(frame);
+        self.vm.sva_iommu_unmap(self.machine, frame);
+        self.machine.phys.free_frame(frame);
+        data
+    }
+
+    fn write_block(&mut self, bno: u32, data: &[u8]) {
+        self.machine.counters.disk_blocks += 1;
+        self.machine.charge(self.machine.costs.disk_per_block);
+        let frame = self.machine.phys.alloc_frame().expect("staging frame");
+        self.machine.phys.write_frame(frame, data);
+        self.vm
+            .sva_iommu_map(self.machine, frame)
+            .expect("staging frames are regular memory");
+        self.machine
+            .disk
+            .dma_write(&self.machine.iommu, &self.machine.phys, bno as u64, frame)
+            .expect("frame just mapped");
+        self.vm.sva_iommu_unmap(self.machine, frame);
+        self.machine.phys.free_frame(frame);
+    }
+
+    fn capacity(&self) -> u32 {
+        self.machine.disk.num_blocks() as u32
+    }
+}
+
+/// The whole simulated system. See the module docs.
+pub struct System {
+    /// The hardware.
+    pub machine: Machine,
+    /// The trusted SVA/Virtual Ghost layer.
+    pub vm: SvaVm,
+    /// The TPM.
+    pub tpm: Tpm,
+    /// The filesystem.
+    pub fs: VgFs,
+    /// Kernel data segment (flat memory at `KERNEL_BASE`).
+    pub kernel_heap: Vec<u8>,
+    /// Process table.
+    pub procs: HashMap<Pid, Proc>,
+    /// Installed binaries.
+    pub binaries: HashMap<String, AppSpec>,
+    /// Module syscall hooks: syscall number → handler code address.
+    pub hooks: HashMap<u32, vg_ir::CodeAddr>,
+    /// Attacker/module configuration cells (the "sysctl" channel).
+    pub module_config: Vec<i64>,
+    /// Network stack.
+    pub net: NetStack,
+    /// Socket table.
+    pub sockets: HashMap<u64, Socket>,
+    /// The system log (attack 1 exfiltrates here).
+    pub log: Vec<String>,
+    /// Kernel swap store for evicted (sealed) ghost pages.
+    pub swap: crate::swapper::SwapStore,
+    /// Pipe table.
+    pub pipes: HashMap<u64, Pipe>,
+    pub(crate) next_pipe: u64,
+    /// Exit codes of all processes ever exited.
+    pub exited: HashMap<Pid, i32>,
+    /// Harness-side model of a remote peer: sees bytes the host transmits
+    /// on a flow, returns the reply to inject. `None` when no peer model is
+    /// registered.
+    pub remote_responder: Option<RemoteResponder>,
+    pub(crate) boot_root: Pfn,
+    pub(crate) cur: Option<Pid>,
+    last_switch_cycles: u64,
+    next_pid: Pid,
+    pub(crate) pending_child: Option<ChildKind>,
+    next_tid: u64,
+    pub(crate) syscall_path: Option<String>,
+    mode_name: &'static str,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("mode", &self.mode_name)
+            .field("procs", &self.procs.len())
+            .field("cycles", &self.machine.clock.cycles())
+            .finish()
+    }
+}
+
+impl System {
+    /// Boots a system in `mode`: builds the machine, the SVA VM, formats the
+    /// filesystem.
+    pub fn boot(mode: Mode) -> Self {
+        let (protections, cost_model) = mode.split();
+        let mode_name = cost_model.name;
+        let mut machine = Machine::new(MachineConfig { costs: cost_model, ..Default::default() });
+        let tpm = Tpm::new(0x7a31);
+        // Short RSA keys keep boots fast; the protocol is size-independent
+        // (see vg-crypto docs).
+        let mut vm = SvaVm::boot_with_key_bits(protections, &tpm, 0x1337, 256);
+        let boot_root = vm.sva_create_root(&mut machine).expect("boot root");
+        vm.sva_load_root(&mut machine, boot_root).expect("boot root loads");
+        // The IOMMU's memory-mapped configuration pages are SVA-protected
+        // from the first instruction (§4.3.3).
+        let iommu_mmio: Vec<vg_machine::Pfn> = (0..2)
+            .filter_map(|_| machine.phys.alloc_frame())
+            .collect();
+        vm.sva_declare_iommu_mmio(&iommu_mmio);
+        let fs = {
+            let mut dev = DmaDisk { machine: &mut machine, vm: &mut vm };
+            VgFs::mkfs(&mut dev, 4096)
+        };
+        System {
+            machine,
+            vm,
+            tpm,
+            fs,
+            kernel_heap: vec![0u8; 1 << 20],
+            procs: HashMap::new(),
+            binaries: HashMap::new(),
+            hooks: HashMap::new(),
+            module_config: vec![0; 16],
+            net: NetStack::new(),
+            sockets: HashMap::new(),
+            log: Vec::new(),
+            swap: crate::swapper::SwapStore::default(),
+            pipes: HashMap::new(),
+            next_pipe: 1,
+            exited: HashMap::new(),
+            remote_responder: None,
+            boot_root,
+            cur: None,
+            last_switch_cycles: 0,
+            next_pid: 1,
+            pending_child: None,
+            next_tid: 0,
+            syscall_path: None,
+            mode_name,
+        }
+    }
+
+    /// The mode's cost-model name ("native", "virtual-ghost", …).
+    pub fn mode_name(&self) -> &'static str {
+        self.mode_name
+    }
+
+    /// Installs an application binary: computes the code digest, derives a
+    /// per-app key, and has the VM produce the signed binary with the
+    /// embedded encrypted key section (the trusted-administrator step).
+    pub fn install_app(
+        &mut self,
+        name: &str,
+        ghosting: bool,
+        factory: impl Fn() -> AppMain + 'static,
+    ) {
+        let mut app_key = [0u8; 16];
+        app_key.copy_from_slice(&Sha256::digest(format!("app-key:{name}").as_bytes())[..16]);
+        self.install_app_with_key(name, ghosting, app_key, factory);
+    }
+
+    /// [`install_app`](Self::install_app) with an explicit application key —
+    /// how the paper's OpenSSH suite shares one key across `ssh`,
+    /// `ssh-keygen` and `ssh-agent` so they can exchange encrypted files.
+    pub fn install_app_with_key(
+        &mut self,
+        name: &str,
+        ghosting: bool,
+        app_key: [u8; 16],
+        factory: impl Fn() -> AppMain + 'static,
+    ) {
+        let digest = Sha256::digest(format!("app-code:{name}").as_bytes());
+        let binary = self.vm.sva_install_app(name, digest, app_key);
+        self.binaries.insert(
+            name.to_string(),
+            AppSpec { factory: std::rc::Rc::new(factory), ghosting, binary, digest },
+        );
+    }
+
+    /// Creates a process ready to exec `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not installed.
+    pub fn spawn(&mut self, name: &str) -> Pid {
+        let pid = self.create_proc(name, None);
+        self.exec_load(pid, name).expect("exec of installed binary");
+        pid
+    }
+
+    /// Creates a process shell without exec'ing it (harness/test helper
+    /// for exercising the exec path separately).
+    pub fn create_proc_pub(&mut self, name: &str) -> Pid {
+        self.create_proc(name, None)
+    }
+
+    /// Runs the exec path for `pid` (harness/test helper exposing exec
+    /// failures that `spawn` would panic on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the VM's refusals (bad signature, code mismatch).
+    pub fn exec_load_pub(&mut self, pid: Pid, name: &str) -> Result<(), SvaError> {
+        self.exec_load(pid, name)
+    }
+
+    /// Runs a runnable process to completion; returns its exit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process does not exist or has no program.
+    pub fn run_until_exit(&mut self, pid: Pid) -> i32 {
+        self.run_proc(pid)
+    }
+
+    /// Exit code of a finished process.
+    pub fn exit_status(&self, pid: Pid) -> Option<i32> {
+        self.exited.get(&pid).copied()
+    }
+
+    /// Simulated time elapsed, in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.machine.clock.micros()
+    }
+
+    /// The boot (kernel-only) address-space root — harness/demo helper for
+    /// issuing MMU probes outside any process context.
+    pub fn boot_root_pub(&self) -> Pfn {
+        self.boot_root
+    }
+
+    /// Allocates a thread id outside the pid namespace (pids double as the
+    /// main-thread ids; extra threads live above `0x1_0000_0000`).
+    pub fn next_thread_id(&mut self) -> ThreadId {
+        self.next_tid += 1;
+        ThreadId(0x1_0000_0000 + self.next_tid)
+    }
+
+    // ---- process lifecycle -------------------------------------------------
+
+    pub(crate) fn create_proc(&mut self, name: &str, parent: Option<Pid>) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let root = self.vm.sva_create_root(&mut self.machine).expect("proc root");
+        let mut aspace = AddressSpace::new();
+        // 64 KiB initial stack, demand-faulted.
+        let stack_len = 16 * PAGE_SIZE;
+        aspace.regions.insert(
+            STACK_TOP - stack_len,
+            crate::mem::Region { start: STACK_TOP - stack_len, len: stack_len, kind: RegionKind::Anon },
+        );
+        self.procs.insert(
+            pid,
+            Proc {
+                pid,
+                name: name.to_string(),
+                root,
+                aspace,
+                fds: Vec::new(),
+                handlers: HashMap::new(),
+                sig_disposition: HashMap::new(),
+                pending: VecDeque::new(),
+                ghosting: false,
+                ghost_cursor: GHOST_BASE,
+                state: ProcState::Runnable,
+                parent,
+                next_handler_addr: USER_TEXT_BASE + 0x10_0000 + pid * 0x1000,
+                cpu_cycles: 0,
+                program: None,
+            },
+        );
+        pid
+    }
+
+    /// The exec path: verify the binary (under VG this is where substituted
+    /// code is refused), tear down old ghost memory and permits, install the
+    /// fresh program image.
+    pub(crate) fn exec_load(&mut self, pid: Pid, name: &str) -> Result<(), SvaError> {
+        costs::EXEC.charge(&mut self.machine);
+        let spec = self.binaries.get(name).ok_or(SvaError::UntrustedCode)?;
+        let factory = spec.factory.clone();
+        let binary = spec.binary.clone();
+        let digest = spec.digest;
+        let ghosting = spec.ghosting;
+        // Old image's ghost memory is unmapped at reinit (§4.6.2).
+        let root = self.procs[&pid].root;
+        for f in self.vm.sva_release_ghost(&mut self.machine, ProcId(pid), root) {
+            self.machine.phys.free_frame(f);
+        }
+        self.vm.sva_load_app_key(&mut self.machine, ProcId(pid), &binary, digest)?;
+        let thread = ThreadId(pid);
+        if self.vm.ic.depth(thread) > 0 {
+            self.vm.sva_reinit_icontext(
+                &mut self.machine,
+                thread,
+                ProcId(pid),
+                VAddr(USER_TEXT_BASE),
+                VAddr(STACK_TOP),
+            )?;
+        }
+        let proc = self.procs.get_mut(&pid).expect("proc exists");
+        proc.name = name.to_string();
+        proc.ghosting = ghosting;
+        proc.ghost_cursor = GHOST_BASE;
+        proc.handlers.clear();
+        proc.sig_disposition.clear();
+        proc.program = Some(factory());
+        Ok(())
+    }
+
+    pub(crate) fn switch_to(&mut self, pid: Pid) {
+        if self.cur == Some(pid) {
+            return;
+        }
+        self.credit_cpu_time();
+        self.machine.counters.context_switches += 1;
+        let cs = self.machine.costs.context_switch + self.machine.costs.context_switch_vg;
+        self.machine.charge(cs);
+        let root = self.procs[&pid].root;
+        self.vm.sva_load_root(&mut self.machine, root).expect("proc root is declared");
+        self.cur = Some(pid);
+    }
+
+    /// Credits cycles elapsed since the last switch to the outgoing process
+    /// (rusage-style accounting).
+    pub(crate) fn credit_cpu_time(&mut self) {
+        let now = self.machine.clock.cycles();
+        if let Some(prev) = self.cur {
+            if let Some(p) = self.procs.get_mut(&prev) {
+                p.cpu_cycles += now - self.last_switch_cycles;
+            }
+        }
+        self.last_switch_cycles = now;
+    }
+
+    /// CPU cycles attributed to `pid` so far (finalized at switches and
+    /// exits).
+    pub fn proc_cycles(&mut self, pid: Pid) -> u64 {
+        self.credit_cpu_time();
+        self.procs.get(&pid).map(|p| p.cpu_cycles).unwrap_or(0)
+    }
+
+    pub(crate) fn run_proc(&mut self, pid: Pid) -> i32 {
+        self.switch_to(pid);
+        let thread = ThreadId(pid);
+        if self.vm.ic.depth(thread) > 0 {
+            // Forked child: resume from its cloned interrupt context.
+            self.vm.trap_return(&mut self.machine, thread).expect("child IC present");
+        } else {
+            self.machine.cpu.enter_user(VAddr(USER_TEXT_BASE), VAddr(STACK_TOP));
+        }
+        let mut program = self
+            .procs
+            .get_mut(&pid)
+            .and_then(|p| p.program.take())
+            .expect("process has a program");
+        let code = program(&mut UserEnv { sys: self, pid });
+        self.exit_proc(pid, code);
+        code
+    }
+
+    pub(crate) fn exit_proc(&mut self, pid: Pid, code: i32) {
+        costs::EXIT.charge(&mut self.machine);
+        self.credit_cpu_time();
+        let root = self.procs[&pid].root;
+        // Ghost teardown first (frames zeroed by the VM), then user pages,
+        // then the page tables.
+        for f in self.vm.sva_release_ghost(&mut self.machine, ProcId(pid), root) {
+            self.machine.phys.free_frame(f);
+        }
+        let pages: Vec<Pfn> = self.procs[&pid].aspace.pages.values().copied().collect();
+        self.vm.sva_destroy_root(&mut self.machine, root);
+        for f in pages {
+            self.machine.phys.free_frame(f);
+        }
+        self.vm.ic.remove_thread(ThreadId(pid));
+        self.vm.ic.clear_permits(ProcId(pid));
+        self.vm.sva_drop_key(ProcId(pid));
+        self.swap.remove_proc(pid);
+        // Release socket and pipe references (shared with forked relatives).
+        let fds: Vec<Fd> = self.procs[&pid].fds.iter().flatten().cloned().collect();
+        for fd in fds {
+            match fd {
+                Fd::Sock { id } => self.release_socket(id),
+                Fd::PipeR { id } | Fd::PipeW { id } => self.release_pipe_end(&fd, id),
+                Fd::File { .. } => {}
+            }
+        }
+        let proc = self.procs.get_mut(&pid).expect("proc exists");
+        proc.state = ProcState::Zombie(code);
+        proc.fds.clear();
+        self.exited.insert(pid, code);
+        if self.cur == Some(pid) {
+            self.cur = None;
+            self.vm.sva_load_root(&mut self.machine, self.boot_root).expect("boot root");
+        }
+    }
+
+    // ---- trap path ---------------------------------------------------------
+
+    /// The system-call path: trap entry, dispatch (with module hooks),
+    /// return-value injection, signal delivery, trap return. This is what
+    /// `UserEnv::syscall` invokes.
+    pub(crate) fn do_syscall(&mut self, pid: Pid, num: u32, args: [u64; 6]) -> i64 {
+        self.switch_to(pid);
+        let thread = ThreadId(pid);
+        // Marshal arguments into registers like a real syscall stub.
+        let cpu = &mut self.machine.cpu;
+        cpu.set_reg(vg_machine::cpu::Reg::Rax, num as u64);
+        cpu.set_reg(vg_machine::cpu::Reg::Rdi, args[0]);
+        cpu.set_reg(vg_machine::cpu::Reg::Rsi, args[1]);
+        cpu.set_reg(vg_machine::cpu::Reg::Rdx, args[2]);
+        cpu.set_reg(vg_machine::cpu::Reg::R10, args[3]);
+        cpu.set_reg(vg_machine::cpu::Reg::R8, args[4]);
+        cpu.set_reg(vg_machine::cpu::Reg::R9, args[5]);
+        self.vm.trap_enter(&mut self.machine, thread, TrapKind::Syscall(num));
+        self.machine.counters.syscalls += 1;
+        self.machine.charge(self.machine.costs.syscall_dispatch);
+        let ret = self.dispatch_syscall(pid, num, args);
+        let _ = self.vm.ic_set_return_value(thread, ret as u64);
+        self.deliver_pending_signals(pid);
+        self.vm.trap_return(&mut self.machine, thread).expect("balanced trap");
+        // Hardware resumes wherever the (possibly tampered) interrupt
+        // context says. On the baseline system a hostile module may have
+        // rewritten the saved PC (§2.2.4) — if it now points at registered
+        // code, that code executes with the process's privileges.
+        let rip = self.machine.cpu.rip;
+        if rip != USER_TEXT_BASE && self.vm.code.resolve(vg_ir::CodeAddr(rip)).is_some() {
+            self.dispatch_to_user(pid, rip, 0);
+            // The simulation then lets the program body continue (a real
+            // victim would be at the exploit's mercy for good).
+            self.machine.cpu.rip = USER_TEXT_BASE;
+        }
+        self.machine.cpu.reg(vg_machine::cpu::Reg::Rax) as i64
+    }
+
+    // ---- demand paging -------------------------------------------------------
+
+    /// Resolves a user virtual address for `access`, faulting pages in on
+    /// demand. Returns the physical address, or `None` if the address is
+    /// simply not mapped (application bug → would be SIGSEGV).
+    pub(crate) fn user_resolve(
+        &mut self,
+        pid: Pid,
+        va: u64,
+        access: AccessKind,
+    ) -> Option<vg_machine::PAddr> {
+        self.switch_to(pid);
+        loop {
+            match self.machine.mmu.translate(&self.machine.phys, VAddr(va), access, true) {
+                Ok(pa) => return Some(pa),
+                Err(TranslateError::NotMapped { .. }) => {
+                    // A fault in the ghost partition may be a swapped-out
+                    // page: the kernel restores it through the VM's checked
+                    // swap-in (integrity verified before mapping).
+                    if vg_machine::layout::Region::of(VAddr(va)) == vg_machine::layout::Region::Ghost
+                    {
+                        match self.kernel_swap_in_ghost(pid, va) {
+                            Ok(true) => continue,
+                            _ => return None,
+                        }
+                    }
+                    if !self.handle_page_fault(pid, va, access) {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn handle_page_fault(&mut self, pid: Pid, va: u64, access: AccessKind) -> bool {
+        let thread = ThreadId(pid);
+        self.vm.trap_enter(&mut self.machine, thread, TrapKind::PageFault(VAddr(va), access));
+        self.machine.counters.page_faults += 1;
+        costs::PAGE_FAULT.charge(&mut self.machine);
+        let served = self.populate_page(pid, va);
+        self.vm.trap_return(&mut self.machine, thread).expect("balanced fault");
+        served
+    }
+
+    fn populate_page(&mut self, pid: Pid, va: u64) -> bool {
+        let page_va = va & !(PAGE_SIZE - 1);
+        let Some(region) = self.procs[&pid].aspace.region_at(va).cloned() else {
+            return false;
+        };
+        let Some(frame) = self.machine.phys.alloc_frame() else {
+            return false;
+        };
+        self.machine.charge(self.machine.costs.frame_zero);
+        if let RegionKind::File { ino, offset } = region.kind {
+            // File-backed faults run the whole getpages path (what LMBench's
+            // lat_pagefault measures); anonymous faults are just zero-fill.
+            costs::PAGE_FAULT_FILE_EXTRA.charge(&mut self.machine);
+            let file_off = offset + (page_va - region.start);
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            let mut w = FsWork::default();
+            {
+                let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
+                let mut dev = DmaDisk { machine, vm };
+                let _ = fs.read(&mut dev, ino, file_off, &mut buf, &mut w);
+            }
+            self.charge_fswork(&w);
+            self.machine.phys.write_frame(frame, &buf);
+        }
+        let root = self.procs[&pid].root;
+        match self.vm.sva_map_page(&mut self.machine, root, VAddr(page_va), frame, PteFlags::user_rw())
+        {
+            Ok(()) => {
+                self.procs.get_mut(&pid).expect("proc").aspace.pages.insert(page_va, frame);
+                true
+            }
+            Err(_) => {
+                self.machine.phys.free_frame(frame);
+                false
+            }
+        }
+    }
+
+    /// Applies the sandboxing instrumentation's pointer mask when the
+    /// kernel is compiled under Virtual Ghost: copyin/copyout are kernel
+    /// code, so a ghost pointer handed to a system call is displaced out of
+    /// the ghost partition before the access — the copy fails (or reads
+    /// unrelated data) instead of leaking the secret. This is why ghosting
+    /// applications need the wrapper library's staging copies.
+    fn sandbox_mask(&self, va: u64) -> u64 {
+        if self.vm.protections.sandbox {
+            vg_machine::mask_kernel_pointer(VAddr(va)).0
+        } else {
+            va
+        }
+    }
+
+    /// Copies bytes from kernel space into user memory (copyout), faulting
+    /// pages in as needed. Returns false on an unmapped destination.
+    pub(crate) fn copyout(&mut self, pid: Pid, va: u64, data: &[u8]) -> bool {
+        let va = self.sandbox_mask(va);
+        copy_cost(&mut self.machine, data.len() as u64);
+        let mut done = 0;
+        while done < data.len() {
+            let cur = va + done as u64;
+            let Some(pa) = self.user_resolve(pid, cur, AccessKind::Write) else {
+                return false;
+            };
+            let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
+            let take = in_page.min(data.len() - done);
+            self.machine.phys.write_bytes(pa.pfn(), pa.frame_offset(), &data[done..done + take]);
+            done += take;
+        }
+        true
+    }
+
+    /// Copies bytes from user memory into kernel space (copyin).
+    pub(crate) fn copyin(&mut self, pid: Pid, va: u64, len: usize) -> Option<Vec<u8>> {
+        let va = self.sandbox_mask(va);
+        copy_cost(&mut self.machine, len as u64);
+        let mut out = vec![0u8; len];
+        let mut done = 0;
+        while done < len {
+            let cur = va + done as u64;
+            let pa = self.user_resolve(pid, cur, AccessKind::Read)?;
+            let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
+            let take = in_page.min(len - done);
+            self.machine.phys.read_bytes(pa.pfn(), pa.frame_offset(), &mut out[done..done + take]);
+            done += take;
+        }
+        Some(out)
+    }
+
+    /// Charges accumulated filesystem work. The data path (buffer-cache
+    /// copies) is split between instrumentable per-word work and flat
+    /// copying: FreeBSD's write path loops over blocks doing buffer-cache
+    /// bookkeeping per chunk, which the Virtual Ghost compiler instruments —
+    /// this is why the paper's file-op overheads barely shrink as file size
+    /// grows (Tables 3–4).
+    pub(crate) fn charge_fswork(&mut self, w: &FsWork) {
+        kwork(&mut self.machine, w.accesses + w.bytes_copied * 2 / 5, w.branches);
+        self.machine.counters.bytes_copied += w.bytes_copied;
+        let flat = self.machine.costs.copy_per_byte * w.bytes_copied / 5;
+        self.machine.charge(flat);
+        // Disk block costs were charged by DmaDisk at transfer time.
+    }
+
+    // ---- fork / wait --------------------------------------------------------
+
+    pub(crate) fn sys_fork(&mut self, parent: Pid, child: ChildKind) -> i64 {
+        costs::FORK.charge(&mut self.machine);
+        let name = self.procs[&parent].name.clone();
+        let child_pid = self.create_proc(&name, Some(parent));
+        // Duplicate the address space: regions eagerly, pages by copy.
+        let regions = self.procs[&parent].aspace.regions.clone();
+        let brk = self.procs[&parent].aspace.brk;
+        let mmap_cursor = self.procs[&parent].aspace.mmap_cursor;
+        let parent_pages: Vec<(u64, Pfn)> =
+            self.procs[&parent].aspace.pages.iter().map(|(k, v)| (*k, *v)).collect();
+        let child_root = self.procs[&child_pid].root;
+        for (va, ppfn) in &parent_pages {
+            costs::FORK_PER_PAGE.charge(&mut self.machine);
+            copy_cost(&mut self.machine, PAGE_SIZE);
+            let Some(frame) = self.machine.phys.alloc_frame() else {
+                break;
+            };
+            let data = self.machine.phys.read_frame(*ppfn);
+            self.machine.phys.write_frame(frame, &data);
+            if self
+                .vm
+                .sva_map_page(&mut self.machine, child_root, VAddr(*va), frame, PteFlags::user_rw())
+                .is_ok()
+            {
+                self.procs.get_mut(&child_pid).expect("child").aspace.pages.insert(*va, frame);
+            } else {
+                self.machine.phys.free_frame(frame);
+            }
+        }
+        {
+            let cp = self.procs.get_mut(&child_pid).expect("child");
+            cp.aspace.regions = regions;
+            cp.aspace.brk = brk;
+            cp.aspace.mmap_cursor = mmap_cursor;
+        }
+        let fds = self.procs[&parent].fds.clone();
+        for fd in fds.iter().flatten() {
+            match fd {
+                Fd::Sock { id } => {
+                    if let Some(s) = self.sockets.get_mut(id) {
+                        s.refs += 1;
+                    }
+                }
+                Fd::PipeR { id } => {
+                    if let Some(p) = self.pipes.get_mut(id) {
+                        p.readers += 1;
+                    }
+                }
+                Fd::PipeW { id } => {
+                    if let Some(p) = self.pipes.get_mut(id) {
+                        p.writers += 1;
+                    }
+                }
+                Fd::File { .. } => {}
+            }
+        }
+        self.procs.get_mut(&child_pid).expect("child").fds = fds;
+        // Clone the interrupt context into the child thread; child returns 0.
+        self.vm
+            .sva_newstate(&mut self.machine, ThreadId(child_pid), ThreadId(parent))
+            .expect("parent is in a syscall");
+        self.vm.ic_set_return_value(ThreadId(child_pid), 0).expect("child IC exists");
+        // Install the child's program body.
+        let program: AppMain = match child {
+            ChildKind::Exit(code) => Box::new(move |_env| code),
+            ChildKind::Exec(name) => Box::new(move |env| env.execv(&name)),
+            ChildKind::Run(body) => body,
+        };
+        self.procs.get_mut(&child_pid).expect("child").program = Some(program);
+        child_pid as i64
+    }
+
+    pub(crate) fn sys_wait(&mut self, parent: Pid) -> i64 {
+        costs::WAIT.charge(&mut self.machine);
+        let children: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.parent == Some(parent))
+            .map(|p| p.pid)
+            .collect();
+        if children.is_empty() {
+            return -1;
+        }
+        // Reap a zombie if present.
+        for &c in &children {
+            if let ProcState::Zombie(code) = self.procs[&c].state {
+                self.procs.remove(&c);
+                return ((c << 8) | (code as u8 as u64)) as i64;
+            }
+        }
+        // Otherwise run the first runnable child to completion (synchronous
+        // deterministic scheduling), then reap it.
+        for &c in &children {
+            if self.procs[&c].state == ProcState::Runnable && self.procs[&c].program.is_some() {
+                let code = self.run_proc(c);
+                self.switch_to(parent);
+                self.procs.remove(&c);
+                return ((c << 8) | (code as u8 as u64)) as i64;
+            }
+        }
+        -1
+    }
+
+    // ---- signals -----------------------------------------------------------
+
+    /// Posts `sig` to `target` (kernel-internal; also used by modules).
+    pub(crate) fn post_signal(&mut self, target: Pid, sig: i32) {
+        if let Some(p) = self.procs.get_mut(&target) {
+            p.pending.push_back(sig);
+        }
+    }
+
+    pub(crate) fn deliver_pending_signals(&mut self, pid: Pid) {
+        while let Some(sig) = self.procs.get_mut(&pid).and_then(|p| p.pending.pop_front()) {
+            let Some(&handler) = self.procs[&pid].sig_disposition.get(&sig) else {
+                continue; // default action: ignore (sufficient for our workloads)
+            };
+            costs::SIG_DELIVER.charge(&mut self.machine);
+            let thread = ThreadId(pid);
+            if self.vm.sva_icontext_save(&mut self.machine, thread).is_err() {
+                continue;
+            }
+            match self.vm.sva_ipush_function(
+                &mut self.machine,
+                thread,
+                ProcId(pid),
+                handler,
+                sig as u64,
+            ) {
+                Ok(()) => {}
+                Err(e) => {
+                    // Virtual Ghost refused the dispatch: the application
+                    // continues unharmed (paper §7, attack 2).
+                    self.log.push(format!(
+                        "vg: blocked signal dispatch to {handler:#x} for pid {pid}: {e}"
+                    ));
+                    let _ = self.vm.sva_icontext_load(&mut self.machine, thread);
+                    continue;
+                }
+            }
+            // "Resume" into the handler.
+            self.dispatch_to_user(pid, handler, sig);
+            // Handler returns via sigreturn: a real syscall (trap pair).
+            self.vm.trap_enter(&mut self.machine, thread, TrapKind::Syscall(crate::syscall::SYS_SIGRETURN));
+            self.machine.counters.syscalls += 1;
+            let _ = self.vm.sva_icontext_load(&mut self.machine, thread);
+            self.vm.trap_return(&mut self.machine, thread).expect("balanced sigreturn");
+        }
+    }
+
+    /// Simulates the CPU resuming user execution at `addr` — either a
+    /// registered application handler (Rust body) or arbitrary registered
+    /// code (e.g. injected exploit code on a native system), which runs
+    /// through the interpreter *with user privileges*.
+    pub(crate) fn dispatch_to_user(&mut self, pid: Pid, addr: u64, arg: i32) {
+        if let Some(f) = self.procs[&pid].handlers.get(&addr).cloned() {
+            f(&mut UserEnv { sys: self, pid }, arg);
+            return;
+        }
+        if self.vm.code.resolve(vg_ir::CodeAddr(addr)).is_some() {
+            let registry = self.vm.code.clone();
+            let mut interp = vg_ir::Interp::new(&registry);
+            let mut ctx = crate::module::UserCtx { sys: self, pid };
+            let result = interp.run(vg_ir::CodeAddr(addr), &[arg as i64], &mut ctx);
+            let stats = interp.stats;
+            crate::mem::charge_interp(&mut self.machine, &stats);
+            match result {
+                Ok(_) => {}
+                Err(e) => self.log.push(format!("user code at {addr:#x} faulted: {e}")),
+            }
+            return;
+        }
+        self.log.push(format!("pid {pid}: resume at unmapped pc {addr:#x} (would crash)"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Model-based testing of vgfs: random operation sequences checked against
+//! a trivial in-memory reference model (`HashMap<name, Vec<u8>>`).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vg_kernel::fs::{FsError, FsWork, InodeKind, MemDisk, VgFs};
+
+#[derive(Debug, Clone)]
+enum FsOp {
+    Create(u8),
+    Unlink(u8),
+    Write { file: u8, off: u16, data: Vec<u8> },
+    Read { file: u8, off: u16, len: u16 },
+    Truncate(u8),
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        any::<u8>().prop_map(FsOp::Create),
+        any::<u8>().prop_map(FsOp::Unlink),
+        (any::<u8>(), 0u16..20_000, proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(file, off, data)| FsOp::Write { file, off, data }),
+        (any::<u8>(), 0u16..20_000, 0u16..400)
+            .prop_map(|(file, off, len)| FsOp::Read { file, off, len }),
+        any::<u8>().prop_map(FsOp::Truncate),
+        Just(FsOp::Sync),
+    ]
+}
+
+fn name(id: u8) -> String {
+    format!("/f{}", id % 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vgfs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut dev = MemDisk::new(4096);
+        let mut fs = VgFs::mkfs(&mut dev, 128);
+        let mut w = FsWork::default();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                FsOp::Create(id) => {
+                    let n = name(id);
+                    let real = fs.create(&mut dev, &n, InodeKind::File, &mut w);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(n) {
+                        prop_assert!(real.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert_eq!(real, Err(FsError::Exists));
+                    }
+                }
+                FsOp::Unlink(id) => {
+                    let n = name(id);
+                    let real = fs.unlink(&mut dev, &n, &mut w);
+                    if model.remove(&n).is_some() {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert_eq!(real, Err(FsError::NotFound));
+                    }
+                }
+                FsOp::Write { file, off, data } => {
+                    let n = name(file);
+                    let Ok(ino) = fs.lookup(&mut dev, &n, &mut w) else {
+                        prop_assert!(!model.contains_key(&n));
+                        continue;
+                    };
+                    fs.write(&mut dev, ino, off as u64, &data, &mut w).unwrap();
+                    let m = model.get_mut(&n).expect("model in sync");
+                    let end = off as usize + data.len();
+                    if m.len() < end {
+                        m.resize(end, 0);
+                    }
+                    m[off as usize..end].copy_from_slice(&data);
+                }
+                FsOp::Read { file, off, len } => {
+                    let n = name(file);
+                    let Ok(ino) = fs.lookup(&mut dev, &n, &mut w) else {
+                        prop_assert!(!model.contains_key(&n));
+                        continue;
+                    };
+                    let mut buf = vec![0u8; len as usize];
+                    let got = fs.read(&mut dev, ino, off as u64, &mut buf, &mut w).unwrap();
+                    let m = &model[&n];
+                    let expect_n = (len as usize).min(m.len().saturating_sub(off as usize));
+                    prop_assert_eq!(got, expect_n);
+                    if got > 0 {
+                        prop_assert_eq!(&buf[..got], &m[off as usize..off as usize + got]);
+                    }
+                }
+                FsOp::Truncate(id) => {
+                    let n = name(id);
+                    if let Ok(ino) = fs.lookup(&mut dev, &n, &mut w) {
+                        fs.truncate(&mut dev, ino, &mut w).unwrap();
+                        model.insert(n, Vec::new());
+                    }
+                }
+                FsOp::Sync => {
+                    fs.sync(&mut dev);
+                }
+            }
+        }
+
+        // Final sweep: sizes and contents agree for every surviving file.
+        for (n, m) in &model {
+            let ino = fs.lookup(&mut dev, n, &mut w).expect("file exists");
+            let (size, kind) = fs.stat(&mut dev, ino, &mut w).unwrap();
+            prop_assert_eq!(kind, InodeKind::File);
+            prop_assert_eq!(size, m.len() as u64);
+            let mut buf = vec![0u8; m.len()];
+            fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap();
+            prop_assert_eq!(&buf, m);
+        }
+    }
+
+    /// Everything still matches after unmount/remount (cache write-back +
+    /// on-disk layout correctness).
+    #[test]
+    fn contents_survive_remount(files in proptest::collection::btree_map(0u8..8, proptest::collection::vec(any::<u8>(), 0..5000), 1..6)) {
+        let mut dev = MemDisk::new(4096);
+        {
+            let mut fs = VgFs::mkfs(&mut dev, 64);
+            let mut w = FsWork::default();
+            for (id, data) in &files {
+                let ino = fs.create(&mut dev, &name(*id), InodeKind::File, &mut w).unwrap();
+                fs.write(&mut dev, ino, 0, data, &mut w).unwrap();
+            }
+            fs.sync(&mut dev);
+        }
+        let mut fs = VgFs::mount(&mut dev, 64);
+        let mut w = FsWork::default();
+        for (id, data) in &files {
+            let ino = fs.lookup(&mut dev, &name(*id), &mut w).unwrap();
+            let mut buf = vec![0u8; data.len()];
+            fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap();
+            prop_assert_eq!(&buf, data);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The simulated CPU: registers, privilege, traps, and the Interrupt Stack
+//! Table mechanism.
+//!
+//! Virtual Ghost relies on one specific hardware behaviour (paper §5,
+//! "Launching Execution"): the x86-64 IST makes the processor switch to a
+//! designated stack on *every* trap, which lets the SVA VM direct interrupted
+//! program state into SVA-internal memory before the OS runs. We model that
+//! by having [`Cpu::take_trap`] produce a [`TrapFrame`] snapshot and
+//! *scrub the architectural registers* — after the snapshot, whoever handles
+//! the trap sees only what the save policy left behind. The save policy
+//! (native: frame visible to the kernel; Virtual Ghost: frame sequestered in
+//! SVA memory, registers zeroed) is applied by `vg-core`.
+
+use crate::layout::VAddr;
+use crate::mmu::AccessKind;
+
+/// Number of general-purpose registers modeled.
+pub const NUM_GPRS: usize = 16;
+
+/// Symbolic register names (x86-64 ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax = 0,
+    Rbx = 1,
+    Rcx = 2,
+    Rdx = 3,
+    Rsi = 4,
+    Rdi = 5,
+    Rbp = 6,
+    Rsp = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+/// Privilege level: ring 0 (kernel) or ring 3 (user).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Privilege {
+    /// Supervisor mode.
+    Kernel,
+    /// User mode.
+    User,
+}
+
+/// The cause of a trap into the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// System call with its number.
+    Syscall(u32),
+    /// Page fault at an address with the attempted access.
+    PageFault(VAddr, AccessKind),
+    /// Timer interrupt.
+    Timer,
+    /// Device interrupt (device id).
+    Device(u32),
+    /// Software interrupt / exception vector.
+    Software(u8),
+}
+
+/// A snapshot of interrupted program state — the raw material of the paper's
+/// *Interrupt Context*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapFrame {
+    /// General-purpose registers at trap time.
+    pub gprs: [u64; NUM_GPRS],
+    /// Program counter at trap time.
+    pub rip: u64,
+    /// Flags at trap time.
+    pub rflags: u64,
+    /// Privilege the CPU was running at.
+    pub privilege: Privilege,
+    /// What caused the trap.
+    pub kind: TrapKind,
+}
+
+/// The simulated CPU.
+#[derive(Debug)]
+pub struct Cpu {
+    /// General purpose registers.
+    pub gprs: [u64; NUM_GPRS],
+    /// Program counter.
+    pub rip: u64,
+    /// Flags register.
+    pub rflags: u64,
+    privilege: Privilege,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// A CPU in its reset state (kernel mode, registers zero).
+    pub fn new() -> Self {
+        Cpu { gprs: [0; NUM_GPRS], rip: 0, rflags: 0, privilege: Privilege::Kernel }
+    }
+
+    /// Current privilege level.
+    pub fn privilege(&self) -> Privilege {
+        self.privilege
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.gprs[r as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.gprs[r as usize] = v;
+    }
+
+    /// Takes a trap: snapshots state into a [`TrapFrame`], switches to
+    /// kernel mode. The caller (the SVA VM in `vg-core`) decides where the
+    /// frame is stored and whether registers are scrubbed before the OS sees
+    /// them.
+    pub fn take_trap(&mut self, kind: TrapKind) -> TrapFrame {
+        let frame = TrapFrame {
+            gprs: self.gprs,
+            rip: self.rip,
+            rflags: self.rflags,
+            privilege: self.privilege,
+            kind,
+        };
+        self.privilege = Privilege::Kernel;
+        frame
+    }
+
+    /// Zeroes all general-purpose registers except those listed (the paper's
+    /// register-scrubbing before handing control to the OS: "zeros out
+    /// registers (except registers passing system call arguments)").
+    pub fn scrub_registers(&mut self, keep: &[Reg]) {
+        let mut mask = [false; NUM_GPRS];
+        for &r in keep {
+            mask[r as usize] = true;
+        }
+        for (i, g) in self.gprs.iter_mut().enumerate() {
+            if !mask[i] {
+                *g = 0;
+            }
+        }
+    }
+
+    /// Return-from-trap: restores a frame onto the CPU and resumes at its
+    /// privilege.
+    pub fn resume(&mut self, frame: &TrapFrame) {
+        self.gprs = frame.gprs;
+        self.rip = frame.rip;
+        self.rflags = frame.rflags;
+        self.privilege = frame.privilege;
+    }
+
+    /// Enters user mode at `entry` with the given stack pointer (used when
+    /// launching a program).
+    pub fn enter_user(&mut self, entry: VAddr, stack: VAddr) {
+        self.rip = entry.0;
+        self.gprs[Reg::Rsp as usize] = stack.0;
+        self.privilege = Privilege::User;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_snapshot_and_resume() {
+        let mut cpu = Cpu::new();
+        cpu.enter_user(VAddr(0x1000), VAddr(0x8000));
+        cpu.set_reg(Reg::Rax, 42);
+        cpu.set_reg(Reg::Rdi, 7);
+        let frame = cpu.take_trap(TrapKind::Syscall(3));
+        assert_eq!(cpu.privilege(), Privilege::Kernel);
+        assert_eq!(frame.privilege, Privilege::User);
+        assert_eq!(frame.rip, 0x1000);
+        assert_eq!(frame.gprs[Reg::Rax as usize], 42);
+
+        cpu.set_reg(Reg::Rax, 999); // kernel clobbers
+        cpu.resume(&frame);
+        assert_eq!(cpu.privilege(), Privilege::User);
+        assert_eq!(cpu.reg(Reg::Rax), 42);
+        assert_eq!(cpu.reg(Reg::Rdi), 7);
+    }
+
+    #[test]
+    fn scrub_keeps_listed_registers() {
+        let mut cpu = Cpu::new();
+        for i in 0..NUM_GPRS {
+            cpu.gprs[i] = 100 + i as u64;
+        }
+        cpu.scrub_registers(&[Reg::Rdi, Reg::Rsi]);
+        assert_eq!(cpu.reg(Reg::Rdi), 100 + Reg::Rdi as u64);
+        assert_eq!(cpu.reg(Reg::Rsi), 100 + Reg::Rsi as u64);
+        assert_eq!(cpu.reg(Reg::Rax), 0);
+        assert_eq!(cpu.reg(Reg::R15), 0);
+    }
+
+    #[test]
+    fn trap_kinds_preserved() {
+        let mut cpu = Cpu::new();
+        let f = cpu.take_trap(TrapKind::PageFault(VAddr(0xdead), AccessKind::Write));
+        assert_eq!(f.kind, TrapKind::PageFault(VAddr(0xdead), AccessKind::Write));
+    }
+}

@@ -1,0 +1,286 @@
+//! Device models: disk, network interface, console.
+//!
+//! Devices move data by DMA: transfers name physical frames and are checked
+//! against the [`Iommu`] first, so a hostile kernel that programs a device
+//! to read ghost frames hits an IOMMU fault — the paper's DMA attack vector
+//! (§2.2.1, third bullet) and its defense (§4.3.3).
+
+use crate::iommu::{DmaDirection, DmaFault, Iommu};
+use crate::layout::{Pfn, PAGE_SIZE};
+use crate::phys::PhysMem;
+use std::collections::VecDeque;
+
+/// A fixed-capacity block device (4 KiB blocks), SSD-like.
+#[derive(Debug)]
+pub struct Disk {
+    blocks: Vec<Option<Box<[u8]>>>,
+    /// Total blocks read since boot.
+    pub reads: u64,
+    /// Total blocks written since boot.
+    pub writes: u64,
+}
+
+impl Disk {
+    /// Creates a disk of `num_blocks` zeroed blocks.
+    pub fn new(num_blocks: usize) -> Self {
+        Disk { blocks: vec![None; num_blocks], reads: 0, writes: 0 }
+    }
+
+    /// Capacity in blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// DMA one block from disk into physical frame `pfn`.
+    ///
+    /// # Errors
+    ///
+    /// [`DmaFault`] if the IOMMU does not map the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn dma_read(
+        &mut self,
+        iommu: &Iommu,
+        phys: &mut PhysMem,
+        block: u64,
+        pfn: Pfn,
+    ) -> Result<(), DmaFault> {
+        iommu.check(pfn, DmaDirection::ToMemory)?;
+        self.reads += 1;
+        let data = self.blocks[block as usize]
+            .clone()
+            .unwrap_or_else(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        phys.write_frame(pfn, &data);
+        Ok(())
+    }
+
+    /// DMA one block from physical frame `pfn` to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`DmaFault`] if the IOMMU does not map the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn dma_write(
+        &mut self,
+        iommu: &Iommu,
+        phys: &PhysMem,
+        block: u64,
+        pfn: Pfn,
+    ) -> Result<(), DmaFault> {
+        iommu.check(pfn, DmaDirection::FromMemory)?;
+        self.writes += 1;
+        self.blocks[block as usize] = Some(phys.read_frame(pfn).into_boxed_slice());
+        Ok(())
+    }
+
+    /// Direct block read for the harness/tests (models an offline inspection
+    /// of the platter — *not* subject to the IOMMU, because the paper's
+    /// threat model gives the OS full read/write access to persistent
+    /// storage; confidentiality there comes from application encryption).
+    pub fn peek(&self, block: u64) -> Vec<u8> {
+        self.blocks[block as usize]
+            .as_deref()
+            .map(|b| b.to_vec())
+            .unwrap_or_else(|| vec![0u8; PAGE_SIZE as usize])
+    }
+
+    /// Direct block write for the harness/tests (models offline tampering
+    /// with the disk, e.g. an attacker editing stored files).
+    pub fn poke(&mut self, block: u64, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE as usize);
+        self.blocks[block as usize] = Some(data.to_vec().into_boxed_slice());
+    }
+}
+
+/// A network packet on the simulated wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Opaque connection/flow identifier.
+    pub flow: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Maximum payload the NIC accepts per packet (an MTU-ish 1500 bytes).
+pub const MTU: usize = 1500;
+
+/// A network interface with host-side TX/RX queues.
+///
+/// The far end of the wire is driven by the benchmark harness (the paper's
+/// client machines were separate hosts), which calls
+/// [`Nic::wire_inject`]/[`Nic::wire_drain`].
+#[derive(Debug, Default)]
+pub struct Nic {
+    rx: VecDeque<Packet>,
+    tx: VecDeque<Packet>,
+    /// Bytes transmitted since boot.
+    pub tx_bytes: u64,
+    /// Bytes received since boot.
+    pub rx_bytes: u64,
+}
+
+impl Nic {
+    /// A NIC with empty queues.
+    pub fn new() -> Self {
+        Nic::default()
+    }
+
+    /// Host side: transmit a packet (the kernel driver calls this after
+    /// assembling the payload from frames the IOMMU allowed it to read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MTU`].
+    pub fn transmit(&mut self, packet: Packet) {
+        assert!(packet.data.len() <= MTU, "packet exceeds MTU");
+        self.tx_bytes += packet.data.len() as u64;
+        self.tx.push_back(packet);
+    }
+
+    /// Host side: receive the next pending packet, if any.
+    pub fn receive(&mut self) -> Option<Packet> {
+        let p = self.rx.pop_front();
+        if let Some(ref p) = p {
+            self.rx_bytes += p.data.len() as u64;
+        }
+        p
+    }
+
+    /// Number of packets waiting host-side.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Wire side: inject a packet as if it arrived from the network.
+    pub fn wire_inject(&mut self, packet: Packet) {
+        self.rx.push_back(packet);
+    }
+
+    /// Wire side: drain everything the host transmitted.
+    pub fn wire_drain(&mut self) -> Vec<Packet> {
+        self.tx.drain(..).collect()
+    }
+
+    /// Wire side: put a drained packet back on the TX queue (used when a
+    /// selective drain must preserve other flows' traffic). Does not
+    /// re-count statistics.
+    pub fn wire_requeue(&mut self, packet: Packet) {
+        self.tx.push_back(packet);
+    }
+}
+
+/// Console output sink.
+#[derive(Debug, Default)]
+pub struct Console {
+    buffer: Vec<u8>,
+}
+
+impl Console {
+    /// An empty console.
+    pub fn new() -> Self {
+        Console::default()
+    }
+
+    /// Appends bytes to the console.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Everything written so far, lossily decoded.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buffer).into_owned()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dma_env() -> (Iommu, PhysMem, Pfn) {
+        let mut phys = PhysMem::new(8);
+        let pfn = phys.alloc_frame().unwrap();
+        let mut iommu = Iommu::new();
+        iommu.map(pfn);
+        (iommu, phys, pfn)
+    }
+
+    #[test]
+    fn disk_dma_roundtrip() {
+        let (iommu, mut phys, pfn) = dma_env();
+        let mut disk = Disk::new(16);
+        phys.write_bytes(pfn, 0, b"block data");
+        disk.dma_write(&iommu, &phys, 3, pfn).unwrap();
+        phys.zero_frame(pfn);
+        disk.dma_read(&iommu, &mut phys, 3, pfn).unwrap();
+        let mut buf = [0u8; 10];
+        phys.read_bytes(pfn, 0, &mut buf);
+        assert_eq!(&buf, b"block data");
+        assert_eq!((disk.reads, disk.writes), (1, 1));
+    }
+
+    #[test]
+    fn disk_dma_blocked_by_iommu() {
+        let mut phys = PhysMem::new(8);
+        let pfn = phys.alloc_frame().unwrap();
+        let iommu = Iommu::new(); // nothing mapped
+        let mut disk = Disk::new(16);
+        assert!(disk.dma_read(&iommu, &mut phys, 0, pfn).is_err());
+        assert!(disk.dma_write(&iommu, &phys, 0, pfn).is_err());
+        assert_eq!((disk.reads, disk.writes), (0, 0));
+    }
+
+    #[test]
+    fn disk_peek_poke_bypass_iommu() {
+        // Models the paper's assumption that the OS can always touch the
+        // platter directly.
+        let mut disk = Disk::new(4);
+        let mut data = vec![0u8; PAGE_SIZE as usize];
+        data[0] = 0xee;
+        disk.poke(2, &data);
+        assert_eq!(disk.peek(2)[0], 0xee);
+        assert_eq!(disk.peek(1)[0], 0); // unwritten blocks read zero
+    }
+
+    #[test]
+    fn nic_queues() {
+        let mut nic = Nic::new();
+        nic.wire_inject(Packet { flow: 1, data: vec![1, 2, 3] });
+        assert_eq!(nic.rx_pending(), 1);
+        let p = nic.receive().unwrap();
+        assert_eq!(p.data, vec![1, 2, 3]);
+        assert_eq!(nic.rx_bytes, 3);
+        assert!(nic.receive().is_none());
+
+        nic.transmit(Packet { flow: 1, data: vec![9; 100] });
+        let out = nic.wire_drain();
+        assert_eq!(out.len(), 1);
+        assert_eq!(nic.tx_bytes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU")]
+    fn oversized_packet_panics() {
+        let mut nic = Nic::new();
+        nic.transmit(Packet { flow: 0, data: vec![0; MTU + 1] });
+    }
+
+    #[test]
+    fn console_accumulates() {
+        let mut c = Console::new();
+        c.write(b"hello ");
+        c.write(b"world");
+        assert_eq!(c.contents(), "hello world");
+        c.clear();
+        assert_eq!(c.contents(), "");
+    }
+}

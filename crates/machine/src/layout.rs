@@ -1,0 +1,257 @@
+//! Virtual address space layout and the paper's pointer-masking rule.
+//!
+//! The paper (§5, "Compiler Instrumentation") places the ghost memory
+//! partition in an unused 512 GiB slice of the canonical upper half:
+//!
+//! ```text
+//! 0x0000000000000000 .. 0x0000800000000000   user space (traditional memory)
+//! 0xffffff0000000000 .. 0xffffff8000000000   ghost memory partition (512 GiB)
+//! 0xffffff8000000000 .. 0xffffffffffffffff   kernel space
+//! ```
+//!
+//! and the load/store instrumentation "determines whether the address is
+//! greater than or equal to 0xffffff0000000000 and, if so, ORs it with 2^39
+//! to ensure that the address will not access ghost memory" — setting bit 39
+//! maps any ghost address onto a kernel-space alias, so an instrumented
+//! kernel load of ghost memory reads unrelated kernel data instead. That
+//! exact rule is implemented by [`mask_kernel_pointer`].
+
+use std::fmt;
+
+/// Page size in bytes (4 KiB, as on the paper's x86-64 hardware).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Base of the ghost memory partition.
+pub const GHOST_BASE: u64 = 0xffff_ff00_0000_0000;
+/// Exclusive end of the ghost memory partition (512 GiB above the base).
+pub const GHOST_END: u64 = 0xffff_ff80_0000_0000;
+/// Base of kernel space.
+pub const KERNEL_BASE: u64 = 0xffff_ff80_0000_0000;
+/// Base of the kernel's direct map of physical memory (inside kernel space).
+pub const DIRECT_MAP_BASE: u64 = 0xffff_ffc0_0000_0000;
+/// Exclusive end of user space (lower canonical half, 47 bits).
+pub const USER_END: u64 = 0x0000_8000_0000_0000;
+
+/// SVA VM internal memory. The prototype keeps it "within the kernel's data
+/// segment" guarded by extra instrumentation that zeroes pointers into it
+/// (§5); we reserve a fixed 256 MiB window of kernel space for it.
+pub const SVA_INTERNAL_BASE: u64 = 0xffff_ff90_0000_0000;
+/// Exclusive end of the SVA internal region.
+pub const SVA_INTERNAL_END: u64 = 0xffff_ff90_1000_0000;
+
+/// The bit the sandboxing instrumentation ORs into high pointers (2^39).
+pub const MASK_BIT: u64 = 1 << 39;
+
+/// A virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+/// A virtual page number (virtual address / 4096).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical page frame number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+impl VAddr {
+    /// The containing virtual page number.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 / PAGE_SIZE)
+    }
+
+    /// Offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// The memory region this address falls in.
+    pub fn region(self) -> Region {
+        Region::of(self)
+    }
+}
+
+impl Vpn {
+    /// First address of the page.
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_SIZE)
+    }
+}
+
+impl PAddr {
+    /// The containing frame number.
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 / PAGE_SIZE)
+    }
+
+    /// Offset within the frame.
+    pub fn frame_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+}
+
+impl Pfn {
+    /// First physical address of the frame.
+    pub fn base(self) -> PAddr {
+        PAddr(self.0 * PAGE_SIZE)
+    }
+}
+
+/// Classification of a virtual address by partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Traditional user-space memory (OS-accessible).
+    User,
+    /// The ghost memory partition.
+    Ghost,
+    /// SVA VM internal memory.
+    SvaInternal,
+    /// Ordinary kernel memory.
+    Kernel,
+    /// Non-canonical / unused hole.
+    Unmapped,
+}
+
+impl Region {
+    /// Classifies `va`.
+    pub fn of(va: VAddr) -> Region {
+        let a = va.0;
+        if a < USER_END {
+            Region::User
+        } else if (GHOST_BASE..GHOST_END).contains(&a) {
+            Region::Ghost
+        } else if (SVA_INTERNAL_BASE..SVA_INTERNAL_END).contains(&a) {
+            Region::SvaInternal
+        } else if a >= KERNEL_BASE {
+            Region::Kernel
+        } else {
+            Region::Unmapped
+        }
+    }
+}
+
+/// Applies the paper's load/store sandboxing transformation to a pointer:
+/// if the address is ≥ the ghost base, OR in bit 39 so it cannot land in the
+/// ghost partition.
+///
+/// This is the *exact* arithmetic the instrumented kernel executes before
+/// every load, store, atomic and `memcpy` — note that for addresses already
+/// in kernel space bit 39 is already set, so the transformation is the
+/// identity there, which is why the instrumentation is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use vg_machine::layout::{mask_kernel_pointer, GHOST_BASE, KERNEL_BASE};
+/// use vg_machine::VAddr;
+///
+/// // Ghost pointers are displaced into kernel space…
+/// let masked = mask_kernel_pointer(VAddr(GHOST_BASE + 0x1000));
+/// assert!(masked.0 >= KERNEL_BASE);
+/// // …while user and kernel pointers pass through unchanged.
+/// assert_eq!(mask_kernel_pointer(VAddr(0x4000)).0, 0x4000);
+/// assert_eq!(mask_kernel_pointer(VAddr(KERNEL_BASE + 8)).0, KERNEL_BASE + 8);
+/// ```
+#[inline]
+pub fn mask_kernel_pointer(va: VAddr) -> VAddr {
+    if va.0 >= GHOST_BASE {
+        VAddr(va.0 | MASK_BIT)
+    } else {
+        va
+    }
+}
+
+/// Whether a virtual page range lies entirely within one region.
+pub fn range_region(start: VAddr, len: u64) -> Option<Region> {
+    let first = Region::of(start);
+    let last = Region::of(VAddr(start.0 + len.saturating_sub(1)));
+    (first == last).then_some(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_classification() {
+        assert_eq!(Region::of(VAddr(0)), Region::User);
+        assert_eq!(Region::of(VAddr(USER_END - 1)), Region::User);
+        assert_eq!(Region::of(VAddr(USER_END)), Region::Unmapped);
+        assert_eq!(Region::of(VAddr(GHOST_BASE)), Region::Ghost);
+        assert_eq!(Region::of(VAddr(GHOST_END - 1)), Region::Ghost);
+        assert_eq!(Region::of(VAddr(GHOST_END)), Region::Kernel);
+        assert_eq!(Region::of(VAddr(SVA_INTERNAL_BASE)), Region::SvaInternal);
+        assert_eq!(Region::of(VAddr(SVA_INTERNAL_END)), Region::Kernel);
+        assert_eq!(Region::of(VAddr(u64::MAX)), Region::Kernel);
+    }
+
+    #[test]
+    fn mask_never_yields_ghost() {
+        // Sample across the whole ghost partition: the masked address is
+        // never a ghost address.
+        for step in 0..1024u64 {
+            let a = GHOST_BASE + step * ((GHOST_END - GHOST_BASE) / 1024) + 7;
+            let masked = mask_kernel_pointer(VAddr(a));
+            assert_ne!(Region::of(masked), Region::Ghost, "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn mask_identity_on_kernel_and_user() {
+        for a in [0u64, 0x1000, USER_END - 1, KERNEL_BASE, KERNEL_BASE + 0x1234, u64::MAX] {
+            assert_eq!(mask_kernel_pointer(VAddr(a)), VAddr(a));
+        }
+    }
+
+    #[test]
+    fn mask_displaces_sva_adjacent_ghost() {
+        // Bit 39 set on the ghost base lands exactly at the kernel base.
+        assert_eq!(mask_kernel_pointer(VAddr(GHOST_BASE)), VAddr(KERNEL_BASE));
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        let va = VAddr(0x1234_5678);
+        assert_eq!(va.vpn().base().0, 0x1234_5000);
+        assert_eq!(va.page_offset(), 0x678);
+        let pa = PAddr(0x9000 + 12);
+        assert_eq!(pa.pfn(), Pfn(9));
+        assert_eq!(pa.frame_offset(), 12);
+        assert_eq!(Pfn(9).base(), PAddr(0x9000));
+    }
+
+    #[test]
+    fn range_region_detects_straddle() {
+        assert_eq!(range_region(VAddr(0x1000), 0x1000), Some(Region::User));
+        assert_eq!(range_region(VAddr(GHOST_END - 8), 16), None);
+        assert_eq!(range_region(VAddr(GHOST_BASE), 4096), Some(Region::Ghost));
+    }
+}

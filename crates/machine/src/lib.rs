@@ -1,0 +1,139 @@
+//! # vg-machine
+//!
+//! The simulated hardware substrate for the Virtual Ghost reproduction: what
+//! the paper's x86-64 test machine provides, re-built as a deterministic
+//! state machine.
+//!
+//! * [`layout`] — the virtual address space partitioning from the paper:
+//!   user space, the 512 GiB ghost partition at `0xffffff00_00000000`,
+//!   kernel space at `0xffffff80_00000000`, the SVA-internal region, and the
+//!   exact load/store masking rule the instrumentation inserts.
+//! * [`phys`] — sparse physical memory addressed by page frame number.
+//! * [`pte`] — 64-bit page table entries with present/write/user/NX bits.
+//! * [`mmu`] — a 4-level page walker over page tables stored *in* simulated
+//!   physical memory, with a small TLB model.
+//! * [`cpu`] — general-purpose registers, privilege level, and the trap
+//!   mechanism with an Interrupt Stack Table (IST) — the hardware feature
+//!   Virtual Ghost uses to save interrupted state inside SVA memory (§5).
+//! * [`iommu`] — the I/O MMU gating device DMA, and [`devices`] — disk,
+//!   network interface and console models that DMA through it.
+//! * [`cost`] — the cycle cost model and clock that stand in for wall-clock
+//!   measurements on the paper's Core i7-3770 (see DESIGN.md §6).
+//!
+//! The machine is policy-free: it will happily map ghost frames or DMA over
+//! the kernel if asked. Enforcing the Virtual Ghost rules is the job of
+//! `vg-core`, exactly as in the paper where the hardware trusts whoever
+//! programs it.
+
+pub mod cost;
+pub mod cpu;
+pub mod devices;
+pub mod iommu;
+pub mod layout;
+pub mod mmu;
+pub mod phys;
+pub mod pte;
+#[cfg(test)]
+mod proptests;
+
+pub use cost::{Clock, CostModel, Counters};
+pub use cpu::{Cpu, TrapFrame, TrapKind};
+pub use iommu::Iommu;
+pub use layout::{mask_kernel_pointer, PAddr, Pfn, Region, VAddr, Vpn, PAGE_SIZE};
+pub use mmu::{AccessKind, Mmu, TranslateError};
+pub use phys::PhysMem;
+pub use pte::{PageTableLevel, Pte, PteFlags};
+
+use devices::{Console, Disk, Nic};
+
+/// The whole simulated machine: CPU, memory, MMU, devices, and clock.
+///
+/// # Examples
+///
+/// ```
+/// use vg_machine::Machine;
+///
+/// let mut m = Machine::new(Default::default());
+/// let frame = m.phys.alloc_frame().expect("memory available");
+/// m.phys.write_u64(frame, 0, 0xdead_beef);
+/// assert_eq!(m.phys.read_u64(frame, 0), 0xdead_beef);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    /// Physical memory.
+    pub phys: PhysMem,
+    /// The (single) CPU.
+    pub cpu: Cpu,
+    /// MMU state (root pointer, TLB).
+    pub mmu: Mmu,
+    /// IOMMU gating device DMA.
+    pub iommu: Iommu,
+    /// Block device.
+    pub disk: Disk,
+    /// Network interface.
+    pub nic: Nic,
+    /// Console output device.
+    pub console: Console,
+    /// Cycle clock (CPU timeline).
+    pub clock: Clock,
+    /// Wire-occupancy timeline: the NIC/network runs concurrently with the
+    /// CPU (DMA + a pipelined client). Network-bound benchmarks take
+    /// `max(clock, nic_time)` deltas as elapsed time.
+    pub nic_time: Clock,
+    /// Cost model in effect.
+    pub costs: CostModel,
+    /// Event counters for reporting.
+    pub counters: Counters,
+}
+
+/// Configuration for machine construction.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of physical frames available (default 64 MiB worth).
+    pub phys_frames: usize,
+    /// Disk capacity in 4 KiB blocks.
+    pub disk_blocks: usize,
+    /// Cost model (defaults to the calibrated native model).
+    pub costs: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            phys_frames: 16 * 1024, // 64 MiB
+            disk_blocks: 64 * 1024, // 256 MiB
+            costs: CostModel::native(),
+        }
+    }
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine {
+            phys: PhysMem::new(config.phys_frames),
+            cpu: Cpu::new(),
+            mmu: Mmu::new(),
+            iommu: Iommu::new(),
+            disk: Disk::new(config.disk_blocks),
+            nic: Nic::new(),
+            console: Console::new(),
+            clock: Clock::new(),
+            nic_time: Clock::new(),
+            costs: config.costs,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Charges `cycles` to the CPU clock.
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    /// Charges `cycles` of wire occupancy to the NIC timeline.
+    #[inline]
+    pub fn charge_wire(&mut self, cycles: u64) {
+        self.nic_time.advance(cycles);
+    }
+}

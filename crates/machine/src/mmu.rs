@@ -1,0 +1,342 @@
+//! The MMU: a 4-level page walker with a small TLB.
+//!
+//! Page tables live in simulated physical memory as arrays of 512 raw
+//! `Pte` words; the walker reads them exactly as the
+//! hardware would. `vg-core` constrains *writes* to these tables (the SVA-OS
+//! MMU operations); the walker itself is policy-free.
+
+use crate::layout::{PAddr, Pfn, VAddr, Vpn};
+use crate::phys::PhysMem;
+use crate::pte::{PageTableLevel, Pte, PteFlags};
+use std::collections::HashMap;
+
+/// Kind of memory access, for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// No root page table loaded.
+    NoRoot,
+    /// A table entry on the walk was not present.
+    NotMapped {
+        /// Level at which the walk stopped.
+        level: PageTableLevel,
+    },
+    /// The leaf entry forbids this access.
+    Protection {
+        /// The offending access kind.
+        access: AccessKind,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::NoRoot => write!(f, "no page table root loaded"),
+            TranslateError::NotMapped { level } => write!(f, "not mapped at {level:?}"),
+            TranslateError::Protection { access } => write!(f, "protection violation on {access:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    pfn: Pfn,
+    leaf: Pte,
+    user_path: bool,
+}
+
+/// MMU state: the active root table and a TLB.
+#[derive(Debug)]
+pub struct Mmu {
+    root: Option<Pfn>,
+    tlb: HashMap<Vpn, TlbEntry>,
+    tlb_capacity: usize,
+    /// TLB hits observed (reset with [`Mmu::reset_stats`]).
+    pub tlb_hits: u64,
+    /// TLB misses (full walks) observed.
+    pub tlb_misses: u64,
+}
+
+impl Default for Mmu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mmu {
+    /// Creates an MMU with no root loaded.
+    pub fn new() -> Self {
+        Mmu { root: None, tlb: HashMap::new(), tlb_capacity: 1024, tlb_hits: 0, tlb_misses: 0 }
+    }
+
+    /// Loads a new root table (like writing CR3) and flushes the TLB.
+    pub fn set_root(&mut self, root: Pfn) {
+        self.root = Some(root);
+        self.tlb.clear();
+    }
+
+    /// The active root, if any.
+    pub fn root(&self) -> Option<Pfn> {
+        self.root
+    }
+
+    /// Invalidates one page translation (like `invlpg`).
+    pub fn flush_page(&mut self, vpn: Vpn) {
+        self.tlb.remove(&vpn);
+    }
+
+    /// Invalidates the whole TLB.
+    pub fn flush_all(&mut self) {
+        self.tlb.clear();
+    }
+
+    /// Clears hit/miss statistics.
+    pub fn reset_stats(&mut self) {
+        self.tlb_hits = 0;
+        self.tlb_misses = 0;
+    }
+
+    /// Translates `va` for `access` at the given privilege.
+    ///
+    /// `user` means the access executes in user mode, requiring the USER bit
+    /// along the whole walk.
+    ///
+    /// # Errors
+    ///
+    /// See [`TranslateError`].
+    pub fn translate(
+        &mut self,
+        phys: &PhysMem,
+        va: VAddr,
+        access: AccessKind,
+        user: bool,
+    ) -> Result<PAddr, TranslateError> {
+        let vpn = va.vpn();
+        let entry = if let Some(e) = self.tlb.get(&vpn) {
+            self.tlb_hits += 1;
+            *e
+        } else {
+            self.tlb_misses += 1;
+            let e = self.walk(phys, va)?;
+            if self.tlb.len() >= self.tlb_capacity {
+                self.tlb.clear(); // crude capacity eviction
+            }
+            self.tlb.insert(vpn, e);
+            e
+        };
+        if user && !entry.user_path {
+            return Err(TranslateError::Protection { access });
+        }
+        match access {
+            AccessKind::Read => {}
+            AccessKind::Write => {
+                if !entry.leaf.writable() {
+                    return Err(TranslateError::Protection { access });
+                }
+            }
+            AccessKind::Execute => {
+                if entry.leaf.no_execute() {
+                    return Err(TranslateError::Protection { access });
+                }
+            }
+        }
+        Ok(PAddr(entry.pfn.0 * crate::layout::PAGE_SIZE + va.page_offset()))
+    }
+
+    /// Performs a full walk without consulting or filling the TLB. Returns
+    /// the leaf PTE — used by `vg-core` for inspection.
+    pub fn walk_leaf(&self, phys: &PhysMem, va: VAddr) -> Result<Pte, TranslateError> {
+        self.walk(phys, va).map(|e| e.leaf)
+    }
+
+    fn walk(&self, phys: &PhysMem, va: VAddr) -> Result<TlbEntry, TranslateError> {
+        let mut table = self.root.ok_or(TranslateError::NoRoot)?;
+        let mut user_path = true;
+        for level in PageTableLevel::WALK {
+            let idx = level.index(va.0);
+            let raw = phys.read_u64(table, idx * 8);
+            let pte = Pte(raw);
+            if !pte.present() {
+                return Err(TranslateError::NotMapped { level });
+            }
+            user_path &= pte.user();
+            if level == PageTableLevel::L1 {
+                return Ok(TlbEntry { pfn: pte.pfn(), leaf: pte, user_path });
+            }
+            table = pte.pfn();
+        }
+        unreachable!("walk covers all levels")
+    }
+}
+
+/// Helper used by tests and the kernel's page-table construction: writes a
+/// PTE word into a table frame.
+pub fn write_pte(phys: &mut PhysMem, table: Pfn, index: u64, pte: Pte) {
+    phys.write_u64(table, index * 8, pte.0);
+}
+
+/// Reads a PTE word from a table frame.
+pub fn read_pte(phys: &PhysMem, table: Pfn, index: u64) -> Pte {
+    Pte(phys.read_u64(table, index * 8))
+}
+
+/// Builds (allocating as needed) the walk down to the L1 slot for `va` and
+/// installs `leaf` there. Intermediate nodes get [`PteFlags::table`] flags.
+///
+/// This is the *mechanism* used by tests and by the kernel when it prepares
+/// page-table updates to submit to SVA-OS; under Virtual Ghost the kernel
+/// submits the resulting writes through checked operations instead.
+///
+/// Returns `None` if physical memory is exhausted.
+pub fn map_page_raw(phys: &mut PhysMem, root: Pfn, va: VAddr, leaf: Pte) -> Option<()> {
+    let mut table = root;
+    for level in [PageTableLevel::L4, PageTableLevel::L3, PageTableLevel::L2] {
+        let idx = level.index(va.0);
+        let pte = read_pte(phys, table, idx);
+        let next = if pte.present() {
+            pte.pfn()
+        } else {
+            let frame = phys.alloc_frame()?;
+            write_pte(phys, table, idx, Pte::new(frame, PteFlags::table()));
+            frame
+        };
+        table = next;
+    }
+    write_pte(phys, table, PageTableLevel::L1.index(va.0), leaf);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PAGE_SIZE;
+
+    fn setup() -> (PhysMem, Mmu, Pfn) {
+        let mut phys = PhysMem::new(256);
+        let root = phys.alloc_frame().unwrap();
+        let mut mmu = Mmu::new();
+        mmu.set_root(root);
+        (phys, mmu, root)
+    }
+
+    #[test]
+    fn translate_simple_mapping() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x4000), Pte::new(frame, PteFlags::user_rw())).unwrap();
+        let pa = mmu.translate(&phys, VAddr(0x4123), AccessKind::Read, true).unwrap();
+        assert_eq!(pa, PAddr(frame.0 * PAGE_SIZE + 0x123));
+    }
+
+    #[test]
+    fn unmapped_fails_with_level() {
+        let (phys, mut mmu, _) = setup();
+        let err = mmu.translate(&phys, VAddr(0x4000), AccessKind::Read, true).unwrap_err();
+        assert_eq!(err, TranslateError::NotMapped { level: PageTableLevel::L4 });
+    }
+
+    #[test]
+    fn no_root_fails() {
+        let phys = PhysMem::new(4);
+        let mut mmu = Mmu::new();
+        assert_eq!(
+            mmu.translate(&phys, VAddr(0), AccessKind::Read, false),
+            Err(TranslateError::NoRoot)
+        );
+    }
+
+    #[test]
+    fn write_to_readonly_fails() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        let ro = Pte::new(frame, PteFlags::user_rw()).read_only();
+        map_page_raw(&mut phys, root, VAddr(0x5000), ro).unwrap();
+        assert!(mmu.translate(&phys, VAddr(0x5000), AccessKind::Read, true).is_ok());
+        assert_eq!(
+            mmu.translate(&phys, VAddr(0x5000), AccessKind::Write, true),
+            Err(TranslateError::Protection { access: AccessKind::Write })
+        );
+    }
+
+    #[test]
+    fn user_cannot_touch_kernel_mapping() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x6000), Pte::new(frame, PteFlags::kernel_rw()))
+            .unwrap();
+        assert!(mmu.translate(&phys, VAddr(0x6000), AccessKind::Read, false).is_ok());
+        assert_eq!(
+            mmu.translate(&phys, VAddr(0x6000), AccessKind::Read, true),
+            Err(TranslateError::Protection { access: AccessKind::Read })
+        );
+    }
+
+    #[test]
+    fn nx_blocks_execute() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x7000), Pte::new(frame, PteFlags::user_rw())).unwrap();
+        assert_eq!(
+            mmu.translate(&phys, VAddr(0x7000), AccessKind::Execute, true),
+            Err(TranslateError::Protection { access: AccessKind::Execute })
+        );
+    }
+
+    #[test]
+    fn tlb_hit_counted_and_stale_until_flush() {
+        let (mut phys, mut mmu, root) = setup();
+        let f1 = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x8000), Pte::new(f1, PteFlags::user_rw())).unwrap();
+        mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
+        assert_eq!((mmu.tlb_hits, mmu.tlb_misses), (0, 1));
+        mmu.translate(&phys, VAddr(0x8010), AccessKind::Read, true).unwrap();
+        assert_eq!((mmu.tlb_hits, mmu.tlb_misses), (1, 1));
+
+        // Change the mapping behind the TLB's back: translation is stale...
+        let f2 = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x8000), Pte::new(f2, PteFlags::user_rw())).unwrap();
+        let stale = mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
+        assert_eq!(stale.pfn(), f1);
+        // ...until the page is flushed, as on real hardware.
+        mmu.flush_page(VAddr(0x8000).vpn());
+        let fresh = mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
+        assert_eq!(fresh.pfn(), f2);
+    }
+
+    #[test]
+    fn set_root_flushes() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0x9000), Pte::new(frame, PteFlags::user_rw())).unwrap();
+        mmu.translate(&phys, VAddr(0x9000), AccessKind::Read, true).unwrap();
+        let root2 = phys.alloc_frame().unwrap();
+        mmu.set_root(root2);
+        assert_eq!(
+            mmu.translate(&phys, VAddr(0x9000), AccessKind::Read, true),
+            Err(TranslateError::NotMapped { level: PageTableLevel::L4 })
+        );
+    }
+
+    #[test]
+    fn walk_leaf_reports_flags() {
+        let (mut phys, mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(&mut phys, root, VAddr(0xa000), Pte::new(frame, PteFlags::user_code()))
+            .unwrap();
+        let leaf = mmu.walk_leaf(&phys, VAddr(0xa000)).unwrap();
+        assert!(!leaf.no_execute());
+        assert!(!leaf.writable());
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulated physical memory.
+//!
+//! A fixed-size pool of 4 KiB frames with a free list. Frames are allocated
+//! lazily (backing storage appears on first touch) so large machines are
+//! cheap to construct. All kernel, user, ghost and page-table data lives
+//! here — page tables are real bytes in these frames, walked by the MMU.
+
+use crate::layout::{PAddr, Pfn, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Sparse physical memory.
+#[derive(Debug)]
+pub struct PhysMem {
+    frames: HashMap<u64, Box<[u8]>>,
+    free: Vec<u64>,
+    total_frames: usize,
+}
+
+impl PhysMem {
+    /// Creates a memory of `total_frames` frames, all free.
+    pub fn new(total_frames: usize) -> Self {
+        // Hand out ascending frame numbers; keep the free list as a stack of
+        // descending numbers so allocation order is deterministic.
+        let free = (0..total_frames as u64).rev().collect();
+        PhysMem { frames: HashMap::new(), free, total_frames }
+    }
+
+    /// Total frame count.
+    pub fn total_frames(&self) -> usize {
+        self.total_frames
+    }
+
+    /// Number of frames currently free.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a zeroed frame, or `None` if memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Option<Pfn> {
+        let pfn = self.free.pop()?;
+        self.frames.insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        Some(Pfn(pfn))
+    }
+
+    /// Returns a frame to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was not allocated (double free).
+    pub fn free_frame(&mut self, pfn: Pfn) {
+        let existed = self.frames.remove(&pfn.0).is_some();
+        assert!(existed, "double free of {pfn}");
+        self.free.push(pfn.0);
+    }
+
+    /// Whether `pfn` is currently allocated.
+    pub fn is_allocated(&self, pfn: Pfn) -> bool {
+        self.frames.contains_key(&pfn.0)
+    }
+
+    /// Fills an allocated frame with zeros (used by `allocgm`/`freegm`,
+    /// which must not leak prior contents in either direction).
+    pub fn zero_frame(&mut self, pfn: Pfn) {
+        let f = self.frame_mut(pfn);
+        f.fill(0);
+    }
+
+    fn frame(&self, pfn: Pfn) -> &[u8] {
+        self.frames
+            .get(&pfn.0)
+            .unwrap_or_else(|| panic!("access to unallocated {pfn}"))
+    }
+
+    fn frame_mut(&mut self, pfn: Pfn) -> &mut [u8] {
+        self.frames
+            .get_mut(&pfn.0)
+            .unwrap_or_else(|| panic!("access to unallocated {pfn}"))
+    }
+
+    /// Reads `buf.len()` bytes starting at frame `pfn` offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the frame boundary or the frame is
+    /// unallocated — physical accesses are always page-local in this model.
+    pub fn read_bytes(&self, pfn: Pfn, off: u64, buf: &mut [u8]) {
+        let off = off as usize;
+        assert!(off + buf.len() <= PAGE_SIZE as usize, "frame-crossing read");
+        buf.copy_from_slice(&self.frame(pfn)[off..off + buf.len()]);
+    }
+
+    /// Writes `buf` starting at frame `pfn` offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the frame boundary or the frame is
+    /// unallocated.
+    pub fn write_bytes(&mut self, pfn: Pfn, off: u64, buf: &[u8]) {
+        let off = off as usize;
+        assert!(off + buf.len() <= PAGE_SIZE as usize, "frame-crossing write");
+        self.frame_mut(pfn)[off..off + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Reads a little-endian u64 at frame offset `off`.
+    pub fn read_u64(&self, pfn: Pfn, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(pfn, off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 at frame offset `off`.
+    pub fn write_u64(&mut self, pfn: Pfn, off: u64, v: u64) {
+        self.write_bytes(pfn, off, &v.to_le_bytes());
+    }
+
+    /// Reads a byte at a physical address.
+    pub fn read_u8_at(&self, pa: PAddr) -> u8 {
+        let mut b = [0u8];
+        self.read_bytes(pa.pfn(), pa.frame_offset(), &mut b);
+        b[0]
+    }
+
+    /// Writes a byte at a physical address.
+    pub fn write_u8_at(&mut self, pa: PAddr, v: u8) {
+        self.write_bytes(pa.pfn(), pa.frame_offset(), &[v]);
+    }
+
+    /// Copies a whole frame's contents out.
+    pub fn read_frame(&self, pfn: Pfn) -> Vec<u8> {
+        self.frame(pfn).to_vec()
+    }
+
+    /// Overwrites a whole frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page.
+    pub fn write_frame(&mut self, pfn: Pfn, data: &[u8]) {
+        assert_eq!(data.len(), PAGE_SIZE as usize, "frame write must be page-sized");
+        self.frame_mut(pfn).copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = PhysMem::new(4);
+        let a = m.alloc_frame().unwrap();
+        let b = m.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.free_frames(), 2);
+        m.free_frame(a);
+        assert_eq!(m.free_frames(), 3);
+        assert!(!m.is_allocated(a));
+        assert!(m.is_allocated(b));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut m = PhysMem::new(1);
+        assert!(m.alloc_frame().is_some());
+        assert!(m.alloc_frame().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = PhysMem::new(2);
+        let a = m.alloc_frame().unwrap();
+        m.free_frame(a);
+        m.free_frame(a);
+    }
+
+    #[test]
+    fn frames_start_zeroed_and_rezero() {
+        let mut m = PhysMem::new(2);
+        let a = m.alloc_frame().unwrap();
+        assert_eq!(m.read_u64(a, 0), 0);
+        m.write_u64(a, 8, 42);
+        m.zero_frame(a);
+        assert_eq!(m.read_u64(a, 8), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PhysMem::new(2);
+        let a = m.alloc_frame().unwrap();
+        m.write_bytes(a, 100, b"hello");
+        let mut buf = [0u8; 5];
+        m.read_bytes(a, 100, &mut buf);
+        assert_eq!(&buf, b"hello");
+        m.write_u8_at(PAddr(a.0 * PAGE_SIZE + 1), 0xaa);
+        assert_eq!(m.read_u8_at(PAddr(a.0 * PAGE_SIZE + 1)), 0xaa);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame-crossing")]
+    fn cross_frame_access_panics() {
+        let mut m = PhysMem::new(2);
+        let a = m.alloc_frame().unwrap();
+        m.write_bytes(a, PAGE_SIZE - 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn whole_frame_io() {
+        let mut m = PhysMem::new(2);
+        let a = m.alloc_frame().unwrap();
+        let data = vec![7u8; PAGE_SIZE as usize];
+        m.write_frame(a, &data);
+        assert_eq!(m.read_frame(a), data);
+    }
+}

@@ -1,0 +1,193 @@
+//! Page table entries, x86-64 style.
+//!
+//! PTEs are 64-bit words stored in page-table frames in simulated physical
+//! memory. The layout follows the hardware: low flag bits, frame number in
+//! bits 12..51, NX in bit 63. The SVA-OS MMU operations in `vg-core` accept
+//! and validate these raw words, just as the real system validates the words
+//! the kernel wants to write into its page tables.
+
+use crate::layout::Pfn;
+
+/// Flag bits of a page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PteFlags(pub u64);
+
+impl PteFlags {
+    /// Entry is present.
+    pub const PRESENT: u64 = 1 << 0;
+    /// Writable.
+    pub const WRITE: u64 = 1 << 1;
+    /// Accessible from user mode.
+    pub const USER: u64 = 1 << 2;
+    /// No-execute.
+    pub const NX: u64 = 1 << 63;
+
+    /// Flags for a present kernel read/write page.
+    pub fn kernel_rw() -> Self {
+        PteFlags(Self::PRESENT | Self::WRITE | Self::NX)
+    }
+
+    /// Flags for a present user read/write data page (no execute).
+    pub fn user_rw() -> Self {
+        PteFlags(Self::PRESENT | Self::WRITE | Self::USER | Self::NX)
+    }
+
+    /// Flags for user-executable, read-only code.
+    pub fn user_code() -> Self {
+        PteFlags(Self::PRESENT | Self::USER)
+    }
+
+    /// Flags for an intermediate page-table node.
+    pub fn table() -> Self {
+        PteFlags(Self::PRESENT | Self::WRITE | Self::USER)
+    }
+}
+
+/// A decoded page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    const ADDR_MASK: u64 = 0x000f_ffff_ffff_f000;
+
+    /// Builds an entry pointing at `pfn` with `flags`.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Self {
+        Pte(((pfn.0 << 12) & Self::ADDR_MASK) | (flags.0 & !Self::ADDR_MASK))
+    }
+
+    /// The non-present entry.
+    pub fn absent() -> Self {
+        Pte(0)
+    }
+
+    /// Whether the present bit is set.
+    pub fn present(self) -> bool {
+        self.0 & PteFlags::PRESENT != 0
+    }
+
+    /// Whether the writable bit is set.
+    pub fn writable(self) -> bool {
+        self.0 & PteFlags::WRITE != 0
+    }
+
+    /// Whether the user bit is set.
+    pub fn user(self) -> bool {
+        self.0 & PteFlags::USER != 0
+    }
+
+    /// Whether the no-execute bit is set.
+    pub fn no_execute(self) -> bool {
+        self.0 & PteFlags::NX != 0
+    }
+
+    /// The referenced frame.
+    pub fn pfn(self) -> Pfn {
+        Pfn((self.0 & Self::ADDR_MASK) >> 12)
+    }
+
+    /// Returns this entry with the writable bit cleared.
+    pub fn read_only(self) -> Self {
+        Pte(self.0 & !PteFlags::WRITE)
+    }
+}
+
+/// Levels of the 4-level table, top down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageTableLevel {
+    /// Level 4 (PML4 on x86-64): bits 39..47 of the VA.
+    L4,
+    /// Level 3 (PDPT): bits 30..38.
+    L3,
+    /// Level 2 (PD): bits 21..29.
+    L2,
+    /// Level 1 (PT): bits 12..20, maps 4 KiB pages.
+    L1,
+}
+
+impl PageTableLevel {
+    /// All levels, walking order.
+    pub const WALK: [PageTableLevel; 4] =
+        [PageTableLevel::L4, PageTableLevel::L3, PageTableLevel::L2, PageTableLevel::L1];
+
+    /// Index of the entry for `va` at this level.
+    pub fn index(self, va: u64) -> u64 {
+        let shift = match self {
+            PageTableLevel::L4 => 39,
+            PageTableLevel::L3 => 30,
+            PageTableLevel::L2 => 21,
+            PageTableLevel::L1 => 12,
+        };
+        (va >> shift) & 0x1ff
+    }
+
+    /// The next level down, or `None` at L1.
+    pub fn next(self) -> Option<PageTableLevel> {
+        match self {
+            PageTableLevel::L4 => Some(PageTableLevel::L3),
+            PageTableLevel::L3 => Some(PageTableLevel::L2),
+            PageTableLevel::L2 => Some(PageTableLevel::L1),
+            PageTableLevel::L1 => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_roundtrip() {
+        let e = Pte::new(Pfn(0x1234), PteFlags::user_rw());
+        assert!(e.present() && e.writable() && e.user() && e.no_execute());
+        assert_eq!(e.pfn(), Pfn(0x1234));
+    }
+
+    #[test]
+    fn absent_entry() {
+        assert!(!Pte::absent().present());
+    }
+
+    #[test]
+    fn read_only_clears_write() {
+        let e = Pte::new(Pfn(5), PteFlags::user_rw()).read_only();
+        assert!(!e.writable());
+        assert!(e.present());
+        assert_eq!(e.pfn(), Pfn(5));
+    }
+
+    #[test]
+    fn code_flags_executable() {
+        let e = Pte::new(Pfn(1), PteFlags::user_code());
+        assert!(!e.no_execute());
+        assert!(!e.writable());
+    }
+
+    #[test]
+    fn level_indices() {
+        // VA with distinct per-level indices: L4=1, L3=2, L2=3, L1=4.
+        let va = (1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12);
+        assert_eq!(PageTableLevel::L4.index(va), 1);
+        assert_eq!(PageTableLevel::L3.index(va), 2);
+        assert_eq!(PageTableLevel::L2.index(va), 3);
+        assert_eq!(PageTableLevel::L1.index(va), 4);
+    }
+
+    #[test]
+    fn walk_order() {
+        let mut level = PageTableLevel::L4;
+        let mut count = 1;
+        while let Some(next) = level.next() {
+            level = next;
+            count += 1;
+        }
+        assert_eq!(count, 4);
+        assert_eq!(level, PageTableLevel::L1);
+    }
+
+    #[test]
+    fn high_pfn_masked_into_addr_field() {
+        // Only bits 12..51 of the address field are kept.
+        let e = Pte::new(Pfn(u64::MAX >> 12), PteFlags::kernel_rw());
+        assert_eq!(e.pfn().0, Pte::ADDR_MASK >> 12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vg-runtime
+//!
+//! The userspace runtime — this reproduction's modified C library (paper
+//! §6: "We modified the FreeBSD C library so that the heap allocator
+//! functions allocate heap objects in ghost memory instead of in
+//! traditional memory… we wrote a system call wrapper library that copies
+//! data between ghost memory and traditional memory as necessary").
+//!
+//! * [`malloc`] — a free-list heap allocator whose backing pages come from
+//!   `allocgm` (ghost heap) or `brk` (traditional heap), selected per
+//!   process.
+//! * [`wrappers`] — the syscall wrapper library: `read`/`write` variants
+//!   that stage data through a traditional-memory buffer, because under
+//!   Virtual Ghost the (instrumented) kernel cannot dereference ghost
+//!   pointers at all.
+//! * [`secure`] — application-side cryptography: encrypt-then-MAC file
+//!   storage under keys derived from the application key retrieved with
+//!   `sva.getKey`, plus integrity-checked reads. This is the paper's model
+//!   where applications choose their own algorithms and keys (§3.3).
+//! * [`versioned`] — replay-protected files on top of [`secure`], using the
+//!   VM's trusted version counters (the paper's §10 future-work item).
+
+pub mod malloc;
+pub mod secure;
+pub mod versioned;
+pub mod wrappers;
+
+pub use malloc::Heap;
+pub use secure::SecureFiles;
+pub use versioned::VersionedFiles;
+pub use wrappers::Wrappers;

@@ -1,0 +1,195 @@
+//! The heap allocator.
+//!
+//! A first-fit free-list allocator whose *data* lives in simulated process
+//! memory. Backing pages come from `allocgm` for ghosting processes (the
+//! paper's 216-line libc patch) or from `brk` for traditional processes —
+//! the only difference the application sees is where `malloc` gets pages,
+//! exactly as in the paper.
+
+use std::collections::BTreeMap;
+use vg_kernel::UserEnv;
+use vg_machine::layout::PAGE_SIZE;
+
+/// Heap allocator state (the allocator's own metadata would live in the
+/// heap in a real libc; keeping it host-side does not change any simulated
+/// behaviour).
+#[derive(Debug)]
+pub struct Heap {
+    ghost: bool,
+    /// Free chunks: start → length.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: start → length.
+    live: BTreeMap<u64, u64>,
+    /// Total bytes obtained from the system.
+    pub grown: u64,
+    brk_cursor: u64,
+}
+
+impl Heap {
+    /// Creates the heap for the calling process; `ghost` selects the
+    /// ghost-memory backing.
+    pub fn new(env: &mut UserEnv, ghost: bool) -> Self {
+        let brk_cursor = if ghost { 0 } else { env.brk(0) as u64 };
+        Heap { ghost, free: BTreeMap::new(), live: BTreeMap::new(), grown: 0, brk_cursor }
+    }
+
+    /// Whether this heap is backed by ghost memory.
+    pub fn is_ghost(&self) -> bool {
+        self.ghost
+    }
+
+    /// Allocates `size` bytes; returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is out of memory (the simulation's OOM kill).
+    pub fn malloc(&mut self, env: &mut UserEnv, size: u64) -> u64 {
+        let size = size.max(16).next_multiple_of(16);
+        // First fit.
+        if let Some((&start, &len)) = self.free.iter().find(|(_, &len)| len >= size) {
+            self.free.remove(&start);
+            if len > size {
+                self.free.insert(start + size, len - size);
+            }
+            self.live.insert(start, size);
+            return start;
+        }
+        // Grow.
+        let pages = size.div_ceil(PAGE_SIZE).max(4);
+        let base = if self.ghost {
+            env.allocgm(pages).expect("ghost memory available")
+        } else {
+            let cur = self.brk_cursor.max(env.brk(0) as u64);
+            let new = cur + pages * PAGE_SIZE;
+            env.brk(new);
+            self.brk_cursor = new;
+            cur
+        };
+        self.grown += pages * PAGE_SIZE;
+        let chunk = pages * PAGE_SIZE;
+        if chunk > size {
+            self.free.insert(base + size, chunk - size);
+        }
+        self.live.insert(base, size);
+        base
+    }
+
+    /// Frees an allocation made by [`malloc`](Self::malloc).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pointer that is not a live allocation (double free /
+    /// wild free).
+    pub fn free(&mut self, ptr: u64) {
+        let len = self.live.remove(&ptr).expect("free of non-allocated pointer");
+        // Coalesce with right neighbour.
+        let mut start = ptr;
+        let mut size = len;
+        if let Some(&right) = self.free.get(&(ptr + len)) {
+            self.free.remove(&(ptr + len));
+            size += right;
+        }
+        // Coalesce with left neighbour.
+        if let Some((&lstart, &llen)) = self.free.range(..ptr).next_back() {
+            if lstart + llen == start {
+                self.free.remove(&lstart);
+                start = lstart;
+                size += llen;
+            }
+        }
+        self.free.insert(start, size);
+    }
+
+    /// `calloc`: allocate and zero.
+    pub fn calloc(&mut self, env: &mut UserEnv, size: u64) -> u64 {
+        let p = self.malloc(env, size);
+        env.write_mem(p, &vec![0u8; size as usize]);
+        p
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_kernel::{Mode, System, UserEnv};
+    use vg_machine::layout::{GHOST_BASE, GHOST_END};
+
+    fn with_env(ghosting: bool, f: impl Fn(&mut UserEnv) -> i32 + 'static) -> i32 {
+        let f = std::rc::Rc::new(f);
+        let mut sys = System::boot(if ghosting { Mode::VirtualGhost } else { Mode::Native });
+        sys.install_app("t", ghosting, move || {
+            let f = f.clone();
+            Box::new(move |env| f(env))
+        });
+        let pid = sys.spawn("t");
+        sys.run_until_exit(pid)
+    }
+
+    #[test]
+    fn ghost_heap_allocations_live_in_ghost_partition() {
+        let code = with_env(true, |env| {
+            let mut heap = Heap::new(env, true);
+            let p = heap.malloc(env, 100);
+            assert!((GHOST_BASE..GHOST_END).contains(&p), "{p:#x}");
+            env.write_mem(p, b"secret data in ghost heap");
+            assert_eq!(env.read_mem(p, 6), b"secret"[..].to_vec());
+            assert!(heap.is_ghost());
+            0
+        });
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn traditional_heap_allocations_live_in_user_space() {
+        let code = with_env(false, |env| {
+            let mut heap = Heap::new(env, false);
+            let p = heap.malloc(env, 100);
+            assert!(p < GHOST_BASE, "{p:#x}");
+            env.write_mem(p, b"plain heap");
+            0
+        });
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn free_list_reuse_and_coalescing() {
+        let code = with_env(false, |env| {
+            let mut heap = Heap::new(env, false);
+            let a = heap.malloc(env, 64);
+            let b = heap.malloc(env, 64);
+            let c = heap.malloc(env, 64);
+            heap.free(a);
+            heap.free(b); // coalesces with a
+            let big = heap.malloc(env, 128);
+            assert_eq!(big, a, "coalesced chunk reused");
+            heap.free(c);
+            heap.free(big);
+            assert_eq!(heap.live_count(), 0);
+            0
+        });
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let code = with_env(true, |env| {
+            let mut heap = Heap::new(env, true);
+            let mut ptrs = Vec::new();
+            for i in 0..50u64 {
+                let p = heap.malloc(env, 48 + (i % 7) * 16);
+                env.write_mem(p, &[i as u8; 16]);
+                ptrs.push(p);
+            }
+            for (i, &p) in ptrs.iter().enumerate() {
+                assert_eq!(env.read_mem(p, 16), vec![i as u8; 16]);
+            }
+            0
+        });
+        assert_eq!(code, 0);
+    }
+}

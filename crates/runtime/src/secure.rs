@@ -1,0 +1,257 @@
+//! Application-side secure storage.
+//!
+//! The paper's model (§3.3): applications encrypt and integrity-protect
+//! their own data before handing it to the untrusted OS for I/O. Keys
+//! derive from the application key obtained with `sva.getKey`; cooperating
+//! applications installed with the same key (the OpenSSH suite in §6) can
+//! therefore share encrypted files while the OS sees only ciphertext.
+//!
+//! Format of a sealed file: `nonce(8) ‖ ciphertext ‖ hmac(32)` where the
+//! MAC covers nonce ‖ ciphertext under a MAC key derived from the
+//! application key. Corruption (the OS tampering with the platter) is
+//! detected on read.
+
+use crate::wrappers::Wrappers;
+use vg_crypto::aes::ctr_xor;
+use vg_crypto::hmac::HmacSha256;
+use vg_crypto::sha256::Sha256;
+use vg_kernel::syscall::{O_CREAT, O_TRUNC};
+use vg_kernel::UserEnv;
+
+/// Errors from secure file operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecureFileError {
+    /// The file could not be opened/read.
+    Io,
+    /// The MAC did not verify — the OS (or disk) tampered with the data.
+    Tampered,
+    /// The application has no key loaded (exec verification failed?).
+    NoKey,
+}
+
+impl std::fmt::Display for SecureFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SecureFileError::Io => "secure file I/O failed",
+            SecureFileError::Tampered => "secure file failed integrity verification",
+            SecureFileError::NoKey => "no application key available",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for SecureFileError {}
+
+/// Secure file I/O bound to the application key.
+#[derive(Debug)]
+pub struct SecureFiles {
+    enc_key: [u8; 16],
+    mac_key: [u8; 32],
+    nonce_counter: u64,
+}
+
+impl SecureFiles {
+    /// Derives encryption and MAC keys from the application key (fetched
+    /// via `sva.getKey`; under a hostile OS this is the only trustworthy
+    /// key source).
+    ///
+    /// # Errors
+    ///
+    /// [`SecureFileError::NoKey`] if the VM holds no key for this process.
+    pub fn new(env: &mut UserEnv) -> Result<Self, SecureFileError> {
+        let app_key = env.get_app_key().map_err(|_| SecureFileError::NoKey)?;
+        let mut ek = [0u8; 16];
+        ek.copy_from_slice(&Sha256::digest(&[&app_key[..], b"enc"].concat())[..16]);
+        let mut mk = [0u8; 32];
+        mk.copy_from_slice(&Sha256::digest(&[&app_key[..], b"mac"].concat()));
+        // Nonce freshness comes from the trusted RNG (not the OS — Iago).
+        let nonce_counter = env.sva_random();
+        Ok(SecureFiles { enc_key: ek, mac_key: mk, nonce_counter })
+    }
+
+    fn charge_crypto(env: &mut UserEnv, bytes: usize) {
+        let blocks = (bytes as u64).div_ceil(16);
+        let sha_blocks = (bytes as u64).div_ceil(64) + 2;
+        let c = env.sys.machine.costs.aes_per_block * blocks
+            + env.sys.machine.costs.sha_per_block * sha_blocks;
+        env.sys.machine.charge(c);
+    }
+
+    /// Encrypts `plaintext` and writes it to `path` (through the staging
+    /// wrapper — the ciphertext is what the OS sees).
+    ///
+    /// # Errors
+    ///
+    /// [`SecureFileError::Io`] if the file cannot be written.
+    pub fn write(
+        &mut self,
+        env: &mut UserEnv,
+        wrappers: &Wrappers,
+        path: &str,
+        plaintext: &[u8],
+    ) -> Result<(), SecureFileError> {
+        self.nonce_counter = self.nonce_counter.wrapping_add(1);
+        let nonce = self.nonce_counter;
+        let mut ct = plaintext.to_vec();
+        ctr_xor(&self.enc_key, nonce, &mut ct);
+        Self::charge_crypto(env, plaintext.len());
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&nonce.to_be_bytes());
+        mac.update(&ct);
+        let tag = mac.finalize();
+        let mut blob = Vec::with_capacity(8 + ct.len() + 32);
+        blob.extend_from_slice(&nonce.to_be_bytes());
+        blob.extend_from_slice(&ct);
+        blob.extend_from_slice(&tag);
+        let fd = env.open(path, O_CREAT | O_TRUNC);
+        if fd < 0 {
+            return Err(SecureFileError::Io);
+        }
+        let n = wrappers.write_bytes(env, fd, &blob);
+        env.close(fd);
+        if n as usize != blob.len() {
+            return Err(SecureFileError::Io);
+        }
+        Ok(())
+    }
+
+    /// Reads `path`, verifies integrity, and returns the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`SecureFileError::Io`] on missing/short files,
+    /// [`SecureFileError::Tampered`] when the MAC fails — the paper's
+    /// guarantee 3/5: OS tampering is detected before use.
+    pub fn read(
+        &self,
+        env: &mut UserEnv,
+        wrappers: &Wrappers,
+        path: &str,
+    ) -> Result<Vec<u8>, SecureFileError> {
+        let size = env.stat(path);
+        if size < 40 {
+            return Err(SecureFileError::Io);
+        }
+        let fd = env.open(path, 0);
+        if fd < 0 {
+            return Err(SecureFileError::Io);
+        }
+        let blob = wrappers.read_bytes(env, fd, size as usize);
+        env.close(fd);
+        if blob.len() != size as usize {
+            return Err(SecureFileError::Io);
+        }
+        let nonce = u64::from_be_bytes(blob[..8].try_into().expect("size checked"));
+        let (body, tag) = blob.split_at(blob.len() - 32);
+        let ct = &body[8..];
+        Self::charge_crypto(env, ct.len());
+        let mut mac = HmacSha256::new(&self.mac_key);
+        mac.update(&nonce.to_be_bytes());
+        mac.update(ct);
+        let expect = mac.finalize();
+        if expect != *tag {
+            return Err(SecureFileError::Tampered);
+        }
+        let mut pt = ct.to_vec();
+        ctr_xor(&self.enc_key, nonce, &mut pt);
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_kernel::{Mode, System};
+
+    fn ghost_app(
+        sys: &mut System,
+        name: &'static str,
+        body: impl Fn(&mut UserEnv) -> i32 + 'static,
+    ) {
+        let body = std::rc::Rc::new(body);
+        sys.install_app(name, true, move || {
+            let body = body.clone();
+            Box::new(move |env| body(env))
+        });
+    }
+
+    #[test]
+    fn roundtrip_and_ciphertext_on_disk() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        ghost_app(&mut sys, "sec", |env| {
+            let w = Wrappers::new(env);
+            let mut sf = SecureFiles::new(env).unwrap();
+            sf.write(env, &w, "/vault", b"private key material").unwrap();
+            let back = sf.read(env, &w, "/vault").unwrap();
+            assert_eq!(back, b"private key material");
+            0
+        });
+        let pid = sys.spawn("sec");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        // The OS-visible file contains no plaintext.
+        let disk = sys.read_file("/vault").unwrap();
+        assert!(!disk
+            .windows(b"private key material".len())
+            .any(|w| w == b"private key material"));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        // One binary (hence one application key): writes the vault on first
+        // run, reads it back on the second.
+        ghost_app(&mut sys, "w", |env| {
+            let w = Wrappers::new(env);
+            let mut sf = SecureFiles::new(env).unwrap();
+            if env.stat("/vault") < 0 {
+                sf.write(env, &w, "/vault", b"data").unwrap();
+                return 0;
+            }
+            match sf.read(env, &w, "/vault") {
+                Err(SecureFileError::Tampered) => 0,
+                _ => 1,
+            }
+        });
+        let pid = sys.spawn("w");
+        sys.run_until_exit(pid);
+        // The hostile OS flips a ciphertext bit on the platter.
+        let mut blob = sys.read_file("/vault").unwrap();
+        blob[10] ^= 1;
+        sys.write_file("/vault", &blob);
+        let pid = sys.spawn("w");
+        assert_eq!(sys.run_until_exit(pid), 0, "tampering must be detected");
+    }
+
+    #[test]
+    fn shared_app_key_allows_cooperating_processes() {
+        // Install the writer and reader as the *same* binary name → same
+        // application key, like the OpenSSH suite sharing one key.
+        let mut sys = System::boot(Mode::VirtualGhost);
+        ghost_app(&mut sys, "suite", |env| {
+            let w = Wrappers::new(env);
+            let mut sf = SecureFiles::new(env).unwrap();
+            if env.stat("/shared") < 0 {
+                sf.write(env, &w, "/shared", b"suite secret").unwrap();
+                0
+            } else {
+                (sf.read(env, &w, "/shared").unwrap() != b"suite secret") as i32
+            }
+        });
+        let a = sys.spawn("suite");
+        assert_eq!(sys.run_until_exit(a), 0);
+        let b = sys.spawn("suite");
+        assert_eq!(sys.run_until_exit(b), 0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        ghost_app(&mut sys, "m", |env| {
+            let w = Wrappers::new(env);
+            let sf = SecureFiles::new(env).unwrap();
+            matches!(sf.read(env, &w, "/nope"), Err(SecureFileError::Io)) as i32 - 1
+        });
+        let pid = sys.spawn("m");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+}

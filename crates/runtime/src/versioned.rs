@@ -1,0 +1,237 @@
+//! Replay-protected secure files (the paper's §10 future-work item).
+//!
+//! [`super::SecureFiles`] detects *tampering*, but a hostile OS can still
+//! **replay**: silently restore an older, correctly-MAC'd version of a file
+//! ("how should applications ensure that the OS does not perform replay
+//! attacks by providing older versions of previously encrypted files?").
+//!
+//! [`VersionedFiles`] closes that hole with the VM's trusted version
+//! counters (`sva.version.*`): every write bumps the counter for the file's
+//! slot and embeds the new version inside the sealed payload; every read
+//! requires the embedded version to equal the counter. Restoring an old
+//! file body leaves a stale embedded version → [`VersionError::Stale`].
+
+use crate::secure::{SecureFileError, SecureFiles};
+use crate::wrappers::Wrappers;
+use vg_crypto::sha256::Sha256;
+use vg_kernel::UserEnv;
+
+/// Errors from versioned file operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionError {
+    /// Underlying secure-file failure (I/O or MAC).
+    Secure(SecureFileError),
+    /// The file verified but carries an old version — a replay.
+    Stale {
+        /// Version embedded in the file.
+        found: u64,
+        /// Current trusted counter value.
+        expected: u64,
+    },
+    /// The trusted counter is unavailable (no application key).
+    NoCounter,
+}
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionError::Secure(e) => write!(f, "secure layer: {e}"),
+            VersionError::Stale { found, expected } => {
+                write!(f, "replayed file: version {found}, trusted counter {expected}")
+            }
+            VersionError::NoCounter => write!(f, "trusted version counter unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for VersionError {}
+
+impl From<SecureFileError> for VersionError {
+    fn from(e: SecureFileError) -> Self {
+        VersionError::Secure(e)
+    }
+}
+
+/// Secure files with replay protection.
+#[derive(Debug)]
+pub struct VersionedFiles {
+    inner: SecureFiles,
+}
+
+impl VersionedFiles {
+    /// Derives keys from the application key, like [`SecureFiles::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SecureFileError::NoKey`] if no application key is loaded.
+    pub fn new(env: &mut UserEnv) -> Result<Self, VersionError> {
+        Ok(VersionedFiles { inner: SecureFiles::new(env)? })
+    }
+
+    /// Stable counter slot for a path.
+    fn slot(path: &str) -> u64 {
+        u64::from_be_bytes(Sha256::digest(path.as_bytes())[..8].try_into().expect("32-byte digest"))
+    }
+
+    /// Writes `plaintext` to `path`, bumping the trusted version counter and
+    /// sealing the version into the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::NoCounter`] without an app key, or the underlying
+    /// secure-file errors.
+    pub fn write(
+        &mut self,
+        env: &mut UserEnv,
+        wrappers: &Wrappers,
+        path: &str,
+        plaintext: &[u8],
+    ) -> Result<u64, VersionError> {
+        let version = env
+            .sva_version_bump(Self::slot(path))
+            .map_err(|_| VersionError::NoCounter)?;
+        let mut body = Vec::with_capacity(8 + plaintext.len());
+        body.extend_from_slice(&version.to_be_bytes());
+        body.extend_from_slice(plaintext);
+        self.inner.write(env, wrappers, path, &body)?;
+        Ok(version)
+    }
+
+    /// Reads `path`, verifying integrity *and* freshness.
+    ///
+    /// # Errors
+    ///
+    /// [`VersionError::Stale`] when the OS replayed an older version;
+    /// [`VersionError::Secure`] for tampering/I-O.
+    pub fn read(
+        &self,
+        env: &mut UserEnv,
+        wrappers: &Wrappers,
+        path: &str,
+    ) -> Result<Vec<u8>, VersionError> {
+        let body = self.inner.read(env, wrappers, path)?;
+        if body.len() < 8 {
+            return Err(VersionError::Secure(SecureFileError::Io));
+        }
+        let found = u64::from_be_bytes(body[..8].try_into().expect("length checked"));
+        let expected = env
+            .sva_version_read(Self::slot(path))
+            .map_err(|_| VersionError::NoCounter)?;
+        if found != expected {
+            return Err(VersionError::Stale { found, expected });
+        }
+        Ok(body[8..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vg_kernel::{Mode, System};
+
+    fn app(sys: &mut System, name: &'static str, body: impl Fn(&mut UserEnv) -> i32 + 'static) {
+        let body = std::rc::Rc::new(body);
+        sys.install_app_with_key(name, true, [0x31; 16], move || {
+            let body = body.clone();
+            Box::new(move |env| body(env))
+        });
+    }
+
+    #[test]
+    fn versioned_roundtrip() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        app(&mut sys, "v", |env| {
+            let w = Wrappers::new(env);
+            let mut vf = VersionedFiles::new(env).unwrap();
+            assert_eq!(vf.write(env, &w, "/v.db", b"one").unwrap(), 1);
+            assert_eq!(vf.read(env, &w, "/v.db").unwrap(), b"one");
+            assert_eq!(vf.write(env, &w, "/v.db", b"two").unwrap(), 2);
+            assert_eq!(vf.read(env, &w, "/v.db").unwrap(), b"two");
+            0
+        });
+        let pid = sys.spawn("v");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn replay_of_old_version_detected() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        // Run 1: write v1, then v2, and stash the v1 disk image in /backup
+        // (the hostile OS can always copy the raw blocks).
+        app(&mut sys, "writer", |env| {
+            let w = Wrappers::new(env);
+            let mut vf = VersionedFiles::new(env).unwrap();
+            vf.write(env, &w, "/v.db", b"old secret state").unwrap();
+            let snapshot = env.sys.read_file("/v.db").unwrap();
+            env.sys.write_file("/backup", &snapshot);
+            vf.write(env, &w, "/v.db", b"new secret state").unwrap();
+            // Sanity: current reads fine.
+            assert_eq!(vf.read(env, &w, "/v.db").unwrap(), b"new secret state");
+            0
+        });
+        let pid = sys.spawn("writer");
+        assert_eq!(sys.run_until_exit(pid), 0);
+
+        // The hostile OS replays the perfectly-MAC'd old file.
+        let old = sys.read_file("/backup").unwrap();
+        sys.write_file("/v.db", &old);
+
+        // Run 2 (same app key → same counters): the replay must be caught.
+        app(&mut sys, "reader", |env| {
+            let w = Wrappers::new(env);
+            let vf = VersionedFiles::new(env).unwrap();
+            match vf.read(env, &w, "/v.db") {
+                Err(VersionError::Stale { found: 1, expected: 2 }) => 0,
+                other => {
+                    println!("unexpected: {other:?}");
+                    1
+                }
+            }
+        });
+        let pid = sys.spawn("reader");
+        assert_eq!(sys.run_until_exit(pid), 0, "replay must be detected as stale");
+    }
+
+    #[test]
+    fn counters_are_per_path() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        app(&mut sys, "multi", |env| {
+            let w = Wrappers::new(env);
+            let mut vf = VersionedFiles::new(env).unwrap();
+            vf.write(env, &w, "/a", b"a1").unwrap();
+            vf.write(env, &w, "/b", b"b1").unwrap();
+            vf.write(env, &w, "/a", b"a2").unwrap();
+            // /b is still at version 1 and reads fine.
+            assert_eq!(vf.read(env, &w, "/b").unwrap(), b"b1");
+            assert_eq!(vf.read(env, &w, "/a").unwrap(), b"a2");
+            0
+        });
+        let pid = sys.spawn("multi");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn tampering_still_detected_before_version_check() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        app(&mut sys, "t", |env| {
+            let w = Wrappers::new(env);
+            let mut vf = VersionedFiles::new(env).unwrap();
+            if env.stat("/v.db") < 0 {
+                vf.write(env, &w, "/v.db", b"data").unwrap();
+                return 0;
+            }
+            match vf.read(env, &w, "/v.db") {
+                Err(VersionError::Secure(SecureFileError::Tampered)) => 0,
+                _ => 1,
+            }
+        });
+        let pid = sys.spawn("t");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        let mut blob = sys.read_file("/v.db").unwrap();
+        let len = blob.len();
+        blob[len - 5] ^= 0x10;
+        sys.write_file("/v.db", &blob);
+        let pid = sys.spawn("t");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+}

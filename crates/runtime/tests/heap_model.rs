@@ -1,0 +1,94 @@
+//! Model-based testing of the runtime heap allocator: random malloc/free
+//! sequences must never hand out overlapping regions, and data written to
+//! one allocation must never appear in another.
+
+use proptest::prelude::*;
+use vg_kernel::{Mode, System};
+use vg_runtime::Heap;
+
+#[derive(Debug, Clone, Copy)]
+enum HeapOp {
+    Malloc(u16),
+    Free(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        (16u16..3000).prop_map(HeapOp::Malloc),
+        any::<u8>().prop_map(HeapOp::Free),
+    ]
+}
+
+fn run_model(ghost: bool, ops: Vec<HeapOp>) -> Result<(), TestCaseError> {
+    let ops2 = ops.clone();
+    let failed = std::rc::Rc::new(std::cell::RefCell::new(None::<String>));
+    let f2 = failed.clone();
+    let mut sys = System::boot(if ghost { Mode::VirtualGhost } else { Mode::Native });
+    sys.install_app("heap-model", ghost, move || {
+        let ops = ops2.clone();
+        let failed = f2.clone();
+        Box::new(move |env| {
+            let mut heap = Heap::new(env, env.sys.procs[&env.pid].ghosting);
+            // live: (ptr, len, fill byte)
+            let mut live: Vec<(u64, u64, u8)> = Vec::new();
+            let mut stamp = 0u8;
+            for op in &ops {
+                match op {
+                    HeapOp::Malloc(size) => {
+                        let size = *size as u64;
+                        let p = heap.malloc(env, size);
+                        // No overlap with any live allocation.
+                        for (q, qlen, _) in &live {
+                            if p < q + qlen && *q < p + size {
+                                *failed.borrow_mut() =
+                                    Some(format!("overlap: {p:#x}+{size} with {q:#x}+{qlen}"));
+                                return 1;
+                            }
+                        }
+                        stamp = stamp.wrapping_add(1);
+                        env.write_mem(p, &vec![stamp; size as usize]);
+                        live.push((p, size, stamp));
+                    }
+                    HeapOp::Free(idx) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let i = *idx as usize % live.len();
+                        let (p, _, _) = live.swap_remove(i);
+                        heap.free(p);
+                    }
+                }
+                // All live allocations still hold their stamp.
+                for (p, len, s) in &live {
+                    let back = env.read_mem(*p, *len as usize);
+                    if back.iter().any(|b| b != s) {
+                        *failed.borrow_mut() = Some(format!("corruption in {p:#x}"));
+                        return 2;
+                    }
+                }
+            }
+            0
+        })
+    });
+    let pid = sys.spawn("heap-model");
+    let code = sys.run_until_exit(pid);
+    if let Some(msg) = failed.borrow().clone() {
+        return Err(TestCaseError::fail(msg));
+    }
+    prop_assert_eq!(code, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traditional_heap_never_overlaps_or_corrupts(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_model(false, ops)?;
+    }
+
+    #[test]
+    fn ghost_heap_never_overlaps_or_corrupts(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_model(true, ops)?;
+    }
+}

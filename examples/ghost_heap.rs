@@ -1,0 +1,73 @@
+//! Ghost heap + secure storage: a ghosting application using the modified
+//! libc (`vg-runtime`) — ghost `malloc`, staging syscall wrappers, and
+//! encrypt-then-MAC files under its `sva.getKey` application key.
+//!
+//! ```text
+//! cargo run --example ghost_heap
+//! ```
+
+use virtual_ghost::kernel::{Mode, System};
+use virtual_ghost::runtime::{Heap, SecureFiles, Wrappers};
+
+fn main() {
+    println!("== Ghost heap and application-key storage ==\n");
+    let mut sys = System::boot(Mode::VirtualGhost);
+
+    // One key shared by the writer and the auditor (same suite), so the
+    // auditor genuinely verifies rather than failing on a key mismatch.
+    let key = [0x5au8; 16];
+
+    sys.install_app_with_key("vault", true, key, || {
+        Box::new(|env| {
+            // The modified libc: malloc backed by allocgm.
+            let w = Wrappers::new(env);
+            let mut heap = Heap::new(env, true);
+            let note = heap.malloc(env, 64);
+            env.write_mem(note, b"pin=4242; seed=correct horse battery");
+            println!("app: heap allocation landed in ghost partition: {note:#x}");
+
+            // Encrypt-then-MAC file under keys derived from the app key the
+            // VM decrypted out of the signed binary at exec.
+            let mut sf = SecureFiles::new(env).expect("app key loaded at exec");
+            let data = env.read_mem(note, 36);
+            sf.write(env, &w, "/vault.db", &data).expect("sealed write");
+            println!("app: sealed /vault.db ({} plaintext bytes)", data.len());
+
+            // Read it back through the integrity check.
+            let back = sf.read(env, &w, "/vault.db").expect("verified read");
+            assert_eq!(back, data);
+            println!("app: /vault.db verified and decrypted ✓");
+            heap.free(note);
+            0
+        })
+    });
+    let pid = sys.spawn("vault");
+    assert_eq!(sys.run_until_exit(pid), 0);
+
+    // The hostile OS inspects the platter: ciphertext only.
+    let on_disk = sys.read_file("/vault.db").expect("file exists");
+    let visible = !on_disk.windows(8).any(|w| w == b"pin=4242");
+    println!("\nOS view of /vault.db: {} bytes, plaintext visible: {}", on_disk.len(), !visible);
+    assert!(visible);
+
+    // The hostile OS flips one bit on disk; the next run must detect it.
+    let mut tampered = on_disk.clone();
+    tampered[12] ^= 0x01;
+    sys.write_file("/vault.db", &tampered);
+    sys.install_app_with_key("auditor", true, key, || {
+        Box::new(|env| {
+            let w = Wrappers::new(env);
+            let sf = SecureFiles::new(env).expect("key");
+            match sf.read(env, &w, "/vault.db") {
+                Err(e) => {
+                    println!("app: tamper detected as expected: {e}");
+                    0
+                }
+                Ok(_) => 1,
+            }
+        })
+    });
+    let pid = sys.spawn("auditor");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    println!("\nintegrity guarantee held: OS tampering was detected before use ✓");
+}

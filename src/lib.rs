@@ -1,0 +1,52 @@
+//! # Virtual Ghost
+//!
+//! A full-system reproduction of *Virtual Ghost: Protecting Applications from
+//! Hostile Operating Systems* (Criswell, Dautenhahn, Adve — ASPLOS 2014) as a
+//! deterministic machine simulation in Rust.
+//!
+//! This umbrella crate re-exports every layer of the stack:
+//!
+//! * [`machine`] — the simulated hardware: physical memory, a page-walking MMU
+//!   over real 64-bit PTEs, traps with an Interrupt Stack Table, I/O ports,
+//!   DMA-capable devices behind an IOMMU, and the cycle cost model.
+//! * [`crypto`] — from-scratch AES-128, SHA-256, HMAC, bignum/RSA and a
+//!   simulated TPM rooting the chain of trust.
+//! * [`ir`] — the virtual instruction set (the LLVM-bitcode stand-in), its
+//!   interpreter, and the Virtual Ghost compiler passes: load/store
+//!   sandboxing, control-flow integrity, SVA-internal-memory guarding and
+//!   mmap-return masking.
+//! * [`core`] — the paper's contribution: the SVA-OS hardware abstraction
+//!   layer extended with Virtual Ghost's checks, ghost memory management,
+//!   protected interrupt contexts, secure signal dispatch, key management and
+//!   encrypted swapping.
+//! * [`kernel`] — an untrusted FreeBSD-like kernel ported to SVA-OS.
+//! * [`runtime`] — the userspace libc-analog with a ghost-memory allocator.
+//! * [`apps`] — the OpenSSH-suite analogs, a thttpd-like web server, Postmark
+//!   and the LMBench microbenchmarks.
+//! * [`attacks`] — the hostile kernel modules used in the paper's security
+//!   evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use virtual_ghost::kernel::System;
+//!
+//! // Boot a Virtual Ghost protected system and run a program that keeps a
+//! // secret in ghost memory.
+//! let mut sys = System::boot_virtual_ghost();
+//! let pid = sys.spawn_ghost_echo(b"my secret");
+//! sys.run_until_exit(pid);
+//! assert_eq!(sys.exit_status(pid), Some(0));
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios, including the rootkit defense
+//! demonstration from Section 7 of the paper.
+
+pub use vg_apps as apps;
+pub use vg_attacks as attacks;
+pub use vg_core as core;
+pub use vg_crypto as crypto;
+pub use vg_ir as ir;
+pub use vg_kernel as kernel;
+pub use vg_machine as machine;
+pub use vg_runtime as runtime;

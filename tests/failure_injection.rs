@@ -1,0 +1,149 @@
+//! Failure injection: memory exhaustion, disk exhaustion, and hostile
+//! resource starvation must degrade cleanly, never violating the ghost
+//! invariants or panicking the trusted layer.
+
+use vg_core::{Protections, SvaError, SvaVm};
+use vg_crypto::Tpm;
+use vg_kernel::syscall::O_CREAT;
+use vg_kernel::{Mode, System};
+use vg_machine::cost::CostModel;
+use vg_machine::layout::GHOST_BASE;
+use vg_machine::{Machine, MachineConfig, VAddr};
+
+fn tiny_machine(frames: usize) -> Machine {
+    Machine::new(MachineConfig { phys_frames: frames, disk_blocks: 64, costs: CostModel::native() })
+}
+
+#[test]
+fn allocgm_fails_cleanly_when_memory_exhausted() {
+    let tpm = Tpm::new(1);
+    let mut vm = SvaVm::boot_with_key_bits(Protections::virtual_ghost(), &tpm, 1, 128);
+    let mut machine = tiny_machine(8);
+    let root = vm.sva_create_root(&mut machine).unwrap();
+    // Drain physical memory.
+    let mut hold = Vec::new();
+    while let Some(f) = machine.phys.alloc_frame() {
+        hold.push(f);
+    }
+    // allocgm with a donated-but-then-exhausted pool: intermediate
+    // page-table allocation fails → clean error, no partial state left that
+    // violates invariants.
+    let donated = hold.pop().unwrap();
+    let r = vm.sva_allocgm(&mut machine, vg_core::ProcId(1), root, VAddr(GHOST_BASE), &[donated]);
+    assert_eq!(r, Err(SvaError::OutOfFrames));
+}
+
+#[test]
+fn app_survives_ghost_allocation_failure() {
+    // A small machine: the app asks for more ghost memory than exists and
+    // must see a recoverable error.
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("hungry", true, || {
+        Box::new(|env| {
+            let total = env.sys.machine.phys.total_frames() as u64;
+            match env.allocgm(total * 2) {
+                Err(SvaError::OutOfFrames) => 0,
+                Err(_) => 1,
+                Ok(_) => 2,
+            }
+        })
+    });
+    let pid = sys.spawn("hungry");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn filesystem_reports_enospc_and_recovers() {
+    let mut sys = System::boot(Mode::Native);
+    sys.install_app("filler", false, || {
+        Box::new(|env| {
+            let buf = env.mmap_anon(8192);
+            env.write_mem(buf, &[7u8; 8192]);
+            // Fill the disk with one growing file until write fails.
+            let fd = env.open("/bigfile", O_CREAT);
+            let mut writes = 0u64;
+            loop {
+                let n = env.write(fd, buf, 8192);
+                if n <= 0 {
+                    break;
+                }
+                writes += 1;
+                if writes > 1_000_000 {
+                    return 1; // never hit the limit: bug
+                }
+            }
+            env.close(fd);
+            // Deleting frees space; a new small file must succeed again.
+            env.unlink("/bigfile");
+            let fd = env.open("/after", O_CREAT);
+            let ok = env.write(fd, buf, 4096) == 4096;
+            env.close(fd);
+            (!ok) as i32
+        })
+    });
+    let pid = sys.spawn("filler");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn hostile_frame_starvation_cannot_expose_ghost_state() {
+    // The OS "forgets" to donate enough frames / donates garbage: every
+    // failure path must leave ghost bookkeeping consistent.
+    let tpm = Tpm::new(2);
+    let mut vm = SvaVm::boot_with_key_bits(Protections::virtual_ghost(), &tpm, 2, 128);
+    let mut machine = tiny_machine(64);
+    let root = vm.sva_create_root(&mut machine).unwrap();
+    let p = vg_core::ProcId(1);
+
+    // Donating the same frame twice in one call would alias two ghost
+    // pages onto one frame; the VM rejects the duplicate outright and
+    // leaves no residue.
+    let f = machine.phys.alloc_frame().unwrap();
+    let r = vm.sva_allocgm(&mut machine, p, root, VAddr(GHOST_BASE), &[f, f]);
+    assert_eq!(r, Err(SvaError::FrameInUse));
+    assert_eq!(vm.ghost.page_count(p), 0, "failed call leaves no residue");
+    assert_eq!(vm.frames.kind(f), vg_core::FrameKind::Regular);
+}
+
+#[test]
+fn fork_degrades_gracefully_under_memory_pressure() {
+    let mut sys = System::boot(Mode::Native);
+    sys.install_app("forker", false, || {
+        Box::new(|env| {
+            // Consume most memory in the parent.
+            let big = env.mmap_anon(4096 * 64);
+            for i in 0..64u64 {
+                env.write_mem(big + i * 4096, &[1u8; 64]);
+            }
+            // Fork copies what it can; the child still runs.
+            let child = env.fork(vg_kernel::ChildKind::Exit(5));
+            if child <= 0 {
+                return 1;
+            }
+            let status = env.wait();
+            ((status & 0xff) != 5) as i32
+        })
+    });
+    let pid = sys.spawn("forker");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn double_donation_is_refused_or_coherent() {
+    // Focused regression for the double-donation corner above at the
+    // kernel level: allocgm through the env API never double-books.
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("d", true, || {
+        Box::new(|env| {
+            let a = env.allocgm(1).expect("first");
+            let b = env.allocgm(1).expect("second");
+            assert_ne!(a, b);
+            env.write_mem(a, b"AAAA");
+            env.write_mem(b, b"BBBB");
+            // Distinct pages must not alias.
+            (env.read_mem(a, 4) == b"BBBB") as i32
+        })
+    });
+    let pid = sys.spawn("d");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}

@@ -1,0 +1,220 @@
+//! Ghost-memory lifecycle across the whole stack: allocation, isolation,
+//! exec teardown, exit scrubbing, and encrypted swapping.
+
+use vg_core::{ProcId, SvaError};
+use vg_kernel::{Mode, System};
+use vg_machine::layout::{Region, GHOST_BASE};
+use vg_machine::VAddr;
+
+#[test]
+fn ghost_allocations_start_zeroed_even_after_reuse() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("writer", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(2).expect("ghost pages");
+            env.write_mem(va, &[0xaa; 8192]);
+            env.freegm(va, 2).expect("freegm");
+            // Frames went back to the OS zeroed; a new allocation (which may
+            // reuse them) must also read as zeros.
+            let vb = env.allocgm(2).expect("ghost pages again");
+            let back = env.read_mem(vb, 8192);
+            back.iter().all(|&b| b == 0) as i32 - 1
+        })
+    });
+    let pid = sys.spawn("writer");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn exec_unmaps_previous_images_ghost_memory() {
+    // §4.6.2: "any ghost memory associated with the interrupted program is
+    // unmapped when the Interrupt Context is reinitialized."
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("stage2", true, || {
+        Box::new(|env| {
+            // The fresh image starts with zero ghost pages…
+            let pages = env.sys.vm.ghost.page_count(ProcId(env.pid));
+            if pages != 0 {
+                return 1;
+            }
+            // …and a fresh allocation reads zeros (no leakage from stage 1).
+            let va = env.allocgm(1).expect("ghost page");
+            env.read_mem(va, 64).iter().all(|&b| b == 0) as i32 - 1
+        })
+    });
+    sys.install_app("stage1", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(1).expect("ghost page");
+            env.write_mem(va, b"stage one's ghost secret");
+            env.execv("stage2")
+        })
+    });
+    let pid = sys.spawn("stage1");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn exit_scrubs_ghost_frames_before_os_reuse() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("holder", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(1).expect("ghost page");
+            env.write_mem(va, b"scrub-me-on-exit");
+            0
+        })
+    });
+    let pid = sys.spawn("holder");
+    sys.run_until_exit(pid);
+    // Sweep every allocated frame in physical memory for the plaintext.
+    let total = sys.machine.phys.total_frames();
+    for f in 0..total as u64 {
+        let pfn = vg_machine::Pfn(f);
+        if !sys.machine.phys.is_allocated(pfn) {
+            continue;
+        }
+        let data = sys.machine.phys.read_frame(pfn);
+        assert!(
+            !data.windows(16).any(|w| w == b"scrub-me-on-exit"),
+            "plaintext survived in frame {f}"
+        );
+    }
+}
+
+#[test]
+fn two_processes_ghost_spaces_are_disjoint() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("a", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(1).expect("ghost");
+            env.write_mem(va, b"process A data");
+            env.sys.set_module_config(7, va as i64);
+            0
+        })
+    });
+    sys.install_app("b", true, || {
+        Box::new(|env| {
+            // Same virtual address as process A used (each process has its
+            // own root table, so this is a fresh page).
+            let va = env.allocgm(1).expect("ghost");
+            let before = env.read_mem(va, 14);
+            env.write_mem(va, b"process B data");
+            (before != vec![0u8; 14]) as i32
+        })
+    });
+    let a = sys.spawn("a");
+    assert_eq!(sys.run_until_exit(a), 0);
+    let b = sys.spawn("b");
+    assert_eq!(sys.run_until_exit(b), 0, "B never sees A's bytes");
+}
+
+#[test]
+fn swap_roundtrip_through_hostile_storage() {
+    // The OS swaps a ghost page out (getting only ciphertext), stores it
+    // "on disk", and brings it back. Contents survive; tampering is caught.
+    let mut sys = System::boot(Mode::VirtualGhost);
+    let pid_holder = {
+        sys.install_app("h", true, || {
+            Box::new(|env| {
+                let va = env.allocgm(1).expect("ghost");
+                env.write_mem(va, b"swapped ghost contents");
+                env.sys.set_module_config(8, va as i64);
+                0
+            })
+        });
+        sys.spawn("h")
+    };
+    // Keep the process alive conceptually: run it, then operate on its root
+    // before teardown by replicating the flow at the VM level instead.
+    let _ = pid_holder;
+    let tpm = vg_crypto::Tpm::new(7);
+    let mut vm = vg_core::SvaVm::boot_with_key_bits(vg_core::Protections::virtual_ghost(), &tpm, 3, 128);
+    let mut machine = vg_machine::Machine::new(Default::default());
+    let root = vm.sva_create_root(&mut machine).unwrap();
+    let frame = machine.phys.alloc_frame().unwrap();
+    let va = VAddr(GHOST_BASE + 0x7000);
+    vm.sva_allocgm(&mut machine, ProcId(9), root, va, &[frame]).unwrap();
+    machine.phys.write_bytes(frame, 0, b"swapped ghost contents");
+
+    let (blob, freed) = vm.sva_swap_out(&mut machine, ProcId(9), root, va).unwrap();
+    // The "disk" sees only ciphertext.
+    assert!(blob
+        .sealed
+        .open(&[0; 16], &[0; 32], 0).is_err(), "not decryptable with wrong keys");
+    machine.phys.free_frame(freed);
+
+    let fresh = machine.phys.alloc_frame().unwrap();
+    vm.sva_swap_in(&mut machine, ProcId(9), root, va, &blob, fresh).unwrap();
+    let back = vm.ghost.frame_at(ProcId(9), va.vpn().0).unwrap();
+    let mut buf = [0u8; 22];
+    machine.phys.read_bytes(back, 0, &mut buf);
+    assert_eq!(&buf, b"swapped ghost contents");
+}
+
+#[test]
+fn allocgm_address_is_always_in_ghost_partition() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("g", true, || {
+        Box::new(|env| {
+            for pages in [1u64, 2, 5] {
+                let va = env.allocgm(pages).expect("ghost");
+                if Region::of(VAddr(va)) != Region::Ghost {
+                    return 1;
+                }
+            }
+            0
+        })
+    });
+    let pid = sys.spawn("g");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn freegm_of_foreign_range_fails() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("g", true, || {
+        Box::new(|env| {
+            let _mine = env.allocgm(1).expect("ghost");
+            // Try to free a ghost range never allocated to this process.
+            match env.freegm(GHOST_BASE + 0x100_0000, 1) {
+                Err(SvaError::NotGhostMapped) => 0,
+                _ => 1,
+            }
+        })
+    });
+    let pid = sys.spawn("g");
+    assert_eq!(sys.run_until_exit(pid), 0);
+}
+
+#[test]
+fn key_chain_of_trust_holds_across_the_stack() {
+    let sys = System::boot(Mode::VirtualGhost);
+    // The VG private key fingerprint unseals only with the boot TPM.
+    assert!(sys.vm.verify_key_chain(&sys.tpm));
+    let impostor = vg_crypto::Tpm::new(0xbad);
+    assert!(!sys.vm.verify_key_chain(&impostor));
+}
+
+#[test]
+fn ghost_and_traditional_memory_coexist() {
+    // §3.1: applications may protect all, some, or none of their memory.
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("mixed", true, || {
+        Box::new(|env| {
+            let ghost = env.allocgm(1).expect("ghost");
+            let plain = env.mmap_anon(4096);
+            env.write_mem(ghost, b"protected");
+            env.write_mem(plain, b"unprotected");
+            // The kernel can copy from the traditional page…
+            let fd = env.open("/mix", vg_kernel::syscall::O_CREAT);
+            let n1 = env.write(fd, plain, 11);
+            // …but not from the ghost page.
+            let n2 = env.write(fd, ghost, 9);
+            env.close(fd);
+            (n1 == 11 && n2 <= 0) as i32 - 1
+        })
+    });
+    let pid = sys.spawn("mixed");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    let f = sys.read_file("/mix").unwrap();
+    assert_eq!(&f[..11], b"unprotected");
+}

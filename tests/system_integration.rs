@@ -1,0 +1,276 @@
+//! Cross-crate integration: boot, processes, filesystem, signals, network —
+//! the same kernel code exercised under both modes.
+
+use vg_kernel::syscall::{O_APPEND, O_CREAT, O_TRUNC};
+use vg_kernel::{ChildKind, Mode, System};
+
+fn both_modes(test: impl Fn(&mut System)) {
+    for mode in [Mode::Native, Mode::VirtualGhost] {
+        let mut sys = System::boot(mode);
+        test(&mut sys);
+    }
+}
+
+#[test]
+fn file_io_through_syscalls() {
+    both_modes(|sys| {
+        sys.install_app("io", false, || {
+            Box::new(|env| {
+                let buf = env.mmap_anon(8192);
+                env.write_mem(buf, b"line one\n");
+                let fd = env.open("/log", O_CREAT);
+                env.write(fd, buf, 9);
+                env.close(fd);
+                // Append mode positions at EOF.
+                env.write_mem(buf, b"line two\n");
+                let fd = env.open("/log", O_APPEND);
+                env.write(fd, buf, 9);
+                env.close(fd);
+                // O_TRUNC wipes.
+                let fd = env.open("/scratch", O_CREAT);
+                env.write(fd, buf, 9);
+                env.close(fd);
+                let fd = env.open("/scratch", O_TRUNC);
+                env.close(fd);
+                (env.stat("/log") == 18 && env.stat("/scratch") == 0) as i32 - 1
+            })
+        });
+        let pid = sys.spawn("io");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert_eq!(sys.read_file("/log").unwrap(), b"line one\nline two\n");
+    });
+}
+
+#[test]
+fn fork_wait_exit_codes_propagate() {
+    both_modes(|sys| {
+        sys.install_app("parent", false, || {
+            Box::new(|env| {
+                let child = env.fork(ChildKind::Exit(42));
+                assert!(child > 0);
+                let status = env.wait();
+                let (pid, code) = ((status >> 8) as u64, (status & 0xff) as i32);
+                (pid == child as u64 && code == 42) as i32 - 1
+            })
+        });
+        let pid = sys.spawn("parent");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    });
+}
+
+#[test]
+fn fork_child_gets_copied_memory_not_shared() {
+    both_modes(|sys| {
+        sys.install_app("cow", false, || {
+            Box::new(|env| {
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, b"parent value");
+                let child = env.fork(ChildKind::Run(Box::new(move |env| {
+                    // Child sees the parent's data…
+                    if env.read_mem(buf, 12) != b"parent value" {
+                        return 1;
+                    }
+                    // …but its writes are private.
+                    env.write_mem(buf, b"child scribble");
+                    0
+                })));
+                assert!(child > 0);
+                let status = env.wait();
+                if status & 0xff != 0 {
+                    return 2;
+                }
+                (env.read_mem(buf, 12) != b"parent value") as i32
+            })
+        });
+        let pid = sys.spawn("cow");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    });
+}
+
+#[test]
+fn exec_replaces_image_and_runs_target() {
+    both_modes(|sys| {
+        sys.install_app("target", false, || Box::new(|_env| 7));
+        sys.install_app("launcher", false, || {
+            Box::new(|env| {
+                let child = env.fork(ChildKind::Exec("target".into()));
+                assert!(child > 0);
+                let status = env.wait();
+                ((status & 0xff) != 7) as i32
+            })
+        });
+        let pid = sys.spawn("launcher");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    });
+}
+
+#[test]
+fn exec_of_unknown_binary_fails_cleanly() {
+    both_modes(|sys| {
+        sys.install_app("l", false, || {
+            Box::new(|env| {
+                let child = env.fork(ChildKind::Exec("no-such-binary".into()));
+                assert!(child > 0);
+                let status = env.wait();
+                // Child's execv returned -1 → exit code 255.
+                ((status & 0xff) != 0xff) as i32
+            })
+        });
+        let pid = sys.spawn("l");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    });
+}
+
+#[test]
+fn nested_signals_and_reentrant_handlers() {
+    both_modes(|sys| {
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let c2 = count.clone();
+        sys.install_app("sig", false, move || {
+            let c = c2.clone();
+            Box::new(move |env| {
+                let c = c.clone();
+                env.signal(vg_kernel::SIGUSR1, move |env, _| {
+                    c.set(c.get() + 1);
+                    // Handlers can make syscalls.
+                    env.getpid();
+                });
+                let me = env.getpid() as u64;
+                for _ in 0..5 {
+                    env.kill(me, vg_kernel::SIGUSR1);
+                }
+                0
+            })
+        });
+        let pid = sys.spawn("sig");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert_eq!(count.get(), 5);
+    });
+}
+
+#[test]
+fn sockets_roundtrip_inbound() {
+    both_modes(|sys| {
+        let flow = sys.wire_connect(9000).expect("queued");
+        sys.wire_send(flow, b"ping");
+        sys.install_app("server", false, || {
+            Box::new(|env| {
+                let s = env.socket();
+                env.bind(s, 9000);
+                env.listen(s);
+                let c = env.accept(s);
+                assert!(c >= 0);
+                let buf = env.mmap_anon(4096);
+                let n = env.recv(c, buf, 64);
+                assert_eq!(n, 4);
+                assert_eq!(env.read_mem(buf, 4), b"ping");
+                env.write_mem(buf, b"pong");
+                env.send(c, buf, 4);
+                env.close(c);
+                env.close(s);
+                0
+            })
+        });
+        let pid = sys.spawn("server");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        assert_eq!(sys.wire_recv(flow), b"pong");
+    });
+}
+
+#[test]
+fn select_reports_socket_readiness() {
+    both_modes(|sys| {
+        let flow = sys.wire_connect(9001).expect("queued");
+        sys.install_app("sel", false, move || {
+            Box::new(move |env| {
+                let s = env.socket(); // fd 0
+                env.bind(s, 9001);
+                env.listen(s);
+                let c = env.accept(s); // fd 1
+                assert!(c >= 0);
+                // Nothing pending yet on the connection.
+                let r1 = env.select(2);
+                // (listener has nothing pending either)
+                if r1 != 0 {
+                    return 1;
+                }
+                2
+            })
+        });
+        let pid = sys.spawn("sel");
+        assert_eq!(sys.run_until_exit(pid), 2);
+        let _ = flow;
+    });
+}
+
+#[test]
+fn filesystem_survives_cache_pressure_and_fsync() {
+    both_modes(|sys| {
+        sys.install_app("fs", false, || {
+            Box::new(|env| {
+                let buf = env.mmap_anon(8192);
+                env.write_mem(buf, &vec![0x42u8; 8192]);
+                for i in 0..50 {
+                    let fd = env.open(&format!("/pressure{i}"), O_CREAT);
+                    env.write(fd, buf, 8192);
+                    env.close(fd);
+                }
+                env.fsync();
+                for i in 0..50 {
+                    if env.stat(&format!("/pressure{i}")) != 8192 {
+                        return 1;
+                    }
+                }
+                for i in 0..50 {
+                    env.unlink(&format!("/pressure{i}"));
+                }
+                0
+            })
+        });
+        let pid = sys.spawn("fs");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    });
+}
+
+#[test]
+fn counters_track_workload_identically_across_modes() {
+    // Both modes execute the *same logical workload*; only time differs.
+    let run = |mode: Mode| {
+        let mut sys = System::boot(mode);
+        sys.install_app("w", false, || {
+            Box::new(|env| {
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, &[1; 4096]);
+                let fd = env.open("/c", O_CREAT);
+                env.write(fd, buf, 4096);
+                env.close(fd);
+                env.getpid();
+                0
+            })
+        });
+        let pid = sys.spawn("w");
+        sys.run_until_exit(pid);
+        (sys.machine.counters.syscalls, sys.machine.counters.page_faults)
+    };
+    assert_eq!(run(Mode::Native), run(Mode::VirtualGhost));
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    let run = || {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("d", true, || {
+            Box::new(|env| {
+                let g = env.allocgm(1).expect("ghost");
+                env.write_mem(g, b"det");
+                let fd = env.open("/d", O_CREAT);
+                env.close(fd);
+                0
+            })
+        });
+        let pid = sys.spawn("d");
+        sys.run_until_exit(pid);
+        sys.machine.clock.cycles()
+    };
+    assert_eq!(run(), run());
+}
