@@ -195,7 +195,10 @@ pub fn table2(mode: Mode, iters: u64) -> Vec<MicroResult> {
     let mut out = Vec::new();
     let mut bench = |name: &str, f: &dyn Fn(&mut System, u64) -> f64| {
         let mut sys = System::boot(mode.clone());
-        out.push(MicroResult { name: name.to_string(), micros: f(&mut sys, iters) });
+        out.push(MicroResult {
+            name: name.to_string(),
+            micros: f(&mut sys, iters),
+        });
     };
     bench("null syscall", &null_syscall);
     bench("open/close", &open_close);

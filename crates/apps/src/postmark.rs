@@ -158,7 +158,11 @@ mod tests {
     use vg_kernel::Mode;
 
     fn small_cfg() -> PostmarkConfig {
-        PostmarkConfig { base_files: 30, transactions: 120, ..Default::default() }
+        PostmarkConfig {
+            base_files: 30,
+            transactions: 120,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -394,7 +394,10 @@ pub fn ssh_client_bandwidth(
 
 /// Client-side connect: opens an outbound flow to the remote SSH server.
 fn connect_ssh(env: &mut UserEnv) -> i64 {
-    env.syscall(vg_kernel::syscall::SYS_CONNECT, [SSH_PORT as u64, 0, 0, 0, 0, 0])
+    env.syscall(
+        vg_kernel::syscall::SYS_CONNECT,
+        [SSH_PORT as u64, 0, 0, 0, 0, 0],
+    )
 }
 
 #[cfg(test)]
@@ -412,8 +415,10 @@ mod tests {
         // Private key file is ciphertext; public key is plaintext.
         let private = sys.read_file(PRIVATE_KEY_PATH).unwrap();
         let public = sys.read_file(PUBLIC_KEY_PATH).unwrap();
-        assert!(!private.windows(public.len()).any(|w| w == &public[..]),
-            "private key file must not contain the raw key material");
+        assert!(
+            !private.windows(public.len()).any(|w| w == &public[..]),
+            "private key file must not contain the raw key material"
+        );
         let agent = sys.spawn("ssh-agent");
         assert_eq!(sys.run_until_exit(agent), 0, "agent loads the sealed key");
     }
@@ -453,7 +458,9 @@ mod tests {
         assert_ne!(s1, s2);
         // The key material itself never crossed the wire or reached a file
         // in the clear.
-        assert!(!s1.windows(keymat.len().min(8)).any(|w| w == &keymat[..keymat.len().min(8)]));
+        assert!(!s1
+            .windows(keymat.len().min(8))
+            .any(|w| w == &keymat[..keymat.len().min(8)]));
     }
 
     #[test]
@@ -474,7 +481,8 @@ mod tests {
     #[test]
     fn ghosting_client_overhead_is_small() {
         // Figure 4: ≤ 5% bandwidth reduction from ghosting.
-        let plain = ssh_client_bandwidth(&mut System::boot(Mode::VirtualGhost), 64 * 1024, 2, false);
+        let plain =
+            ssh_client_bandwidth(&mut System::boot(Mode::VirtualGhost), 64 * 1024, 2, false);
         let ghost = ssh_client_bandwidth(&mut System::boot(Mode::VirtualGhost), 64 * 1024, 2, true);
         let loss = 1.0 - ghost / plain;
         assert!(loss < 0.15, "ghosting bandwidth loss {loss}");

@@ -125,7 +125,11 @@ pub fn bandwidth(sys: &mut System, file_size: usize, requests: u32) -> HttpBench
 
     let seconds = cycles.get() as f64 / vg_machine::cost::CYCLES_PER_US / 1e6;
     let kb = (file_size as f64 * requests as f64) / 1024.0;
-    HttpBench { file_size, requests, kb_per_sec: kb / seconds }
+    HttpBench {
+        file_size,
+        requests,
+        kb_per_sec: kb / seconds,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +201,10 @@ mod parse_tests {
 
     #[test]
     fn parses_well_formed_requests() {
-        assert_eq!(parse_request(b"GET /index.html HTTP/1.0\r\n\r\n"), Some("/index.html".into()));
+        assert_eq!(
+            parse_request(b"GET /index.html HTTP/1.0\r\n\r\n"),
+            Some("/index.html".into())
+        );
         assert_eq!(parse_request(b"GET / HTTP/1.1\r\n"), Some("/".into()));
     }
 

@@ -1,0 +1,33 @@
+//! Performance-model invariance: the word-granular bus fast path must not
+//! change any *simulated* observable — charged cycles, counters, or
+//! benchmark-reported latencies. Only host wall-time may differ.
+//!
+//! Runs an lmbench microbenchmark on two identical systems, one with
+//! `byte_granular_bus` forcing the per-byte reference paths, and asserts the
+//! results are bit-identical. The TLB hit/miss/eviction mirrors are the one
+//! legitimately mode-dependent statistic (the fast path translates once per
+//! word instead of once per byte), so they are normalized before comparing.
+
+use vg_apps::lmbench;
+use vg_kernel::{Mode, System};
+
+fn run(byte_granular: bool) -> (f64, u64, vg_machine::cost::Counters) {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.machine.byte_granular_bus = byte_granular;
+    let micros = lmbench::open_close(&mut sys, 200);
+    let mut counters = sys.machine.counters;
+    counters.tlb_hits = [0; 3];
+    counters.tlb_misses = [0; 3];
+    counters.tlb_evictions = 0;
+    (micros, sys.machine.clock.cycles(), counters)
+}
+
+#[test]
+fn lmbench_results_identical_under_byte_and_word_bus() {
+    let (micros_word, cycles_word, counters_word) = run(false);
+    let (micros_byte, cycles_byte, counters_byte) = run(true);
+    assert!(cycles_word > 0, "benchmark must actually run");
+    assert_eq!(cycles_word, cycles_byte, "charged cycles diverged");
+    assert_eq!(micros_word, micros_byte, "reported latency diverged");
+    assert_eq!(counters_word, counters_byte, "counters diverged");
+}

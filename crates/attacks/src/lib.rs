@@ -72,7 +72,10 @@ fn emit_copy_secret_to_scratch(b: &mut FunctionBuilder) -> vg_ir::VReg {
 
 fn emit_orig_read(b: &mut FunctionBuilder) -> vg_ir::VReg {
     let (fd, buf, n) = (b.param(0), b.param(1), b.param(2));
-    b.ext("kern.orig_syscall", &[(SYS_READ as i64).into(), fd.into(), buf.into(), n.into()])
+    b.ext(
+        "kern.orig_syscall",
+        &[(SYS_READ as i64).into(), fd.into(), buf.into(), n.into()],
+    )
 }
 
 fn push_init_hooking(module: &mut Module, hook_name: &str, syscall: u32) {
@@ -89,7 +92,10 @@ pub fn direct_read_module() -> Module {
     let mut m = Module::new("rootkit-direct-read");
     let mut b = FunctionBuilder::new("hook_read", 3);
     let len = emit_copy_secret_to_scratch(&mut b);
-    b.ext("kern.log_bytes", &[(MODULE_SCRATCH as i64).into(), len.into()]);
+    b.ext(
+        "kern.log_bytes",
+        &[(MODULE_SCRATCH as i64).into(), len.into()],
+    );
     let ret = emit_orig_read(&mut b);
     m.push_function(b.ret(Some(ret.into())));
     push_init_hooking(&mut m, "hook_read", SYS_READ);
@@ -117,8 +123,14 @@ pub fn signal_inject_module() -> Module {
     // 3. point the victim's signal handler at the buffer, 4. raise.
     let buf = b.ext("kern.mmap_user", &[pid.into(), 4096.into()]);
     let own = b.ext("kern.own_module", &[]);
-    b.ext("kern.inject_code", &[buf.into(), own.into(), (exploit_idx as i64).into()]);
-    b.ext("kern.set_sighandler", &[pid.into(), (SIGUSR1 as i64).into(), buf.into()]);
+    b.ext(
+        "kern.inject_code",
+        &[buf.into(), own.into(), (exploit_idx as i64).into()],
+    );
+    b.ext(
+        "kern.set_sighandler",
+        &[pid.into(), (SIGUSR1 as i64).into(), buf.into()],
+    );
     b.ext("kern.send_signal", &[pid.into(), (SIGUSR1 as i64).into()]);
     let ret = emit_orig_read(&mut b);
     m.push_function(b.ret(Some(ret.into())));
@@ -140,7 +152,10 @@ pub fn ic_hijack_module() -> Module {
     let pid = b.ext("kern.cur_pid", &[]);
     let buf = b.ext("kern.mmap_user", &[pid.into(), 4096.into()]);
     let own = b.ext("kern.own_module", &[]);
-    b.ext("kern.inject_code", &[buf.into(), own.into(), (exploit_idx as i64).into()]);
+    b.ext(
+        "kern.inject_code",
+        &[buf.into(), own.into(), (exploit_idx as i64).into()],
+    );
     // The thread id equals the pid in this kernel.
     b.ext("kern.write_ic_rip", &[pid.into(), buf.into()]);
     let ret = emit_orig_read(&mut b);
@@ -167,7 +182,10 @@ pub fn fptr_hijack_module() -> Module {
     // exploit_k: runs in KERNEL context when reached.
     let mut e = FunctionBuilder::new("exploit_k", 0);
     let len = emit_copy_secret_to_scratch(&mut e);
-    e.ext("kern.log_bytes", &[(MODULE_SCRATCH as i64).into(), len.into()]);
+    e.ext(
+        "kern.log_bytes",
+        &[(MODULE_SCRATCH as i64).into(), len.into()],
+    );
     let exploit_idx = m.push_function(e.ret(Some(0.into())));
 
     // Two-phase hook (injected code only becomes reachable after the
@@ -185,7 +203,10 @@ pub fn fptr_hijack_module() -> Module {
     let pid = b.ext("kern.cur_pid", &[]);
     let buf = b.ext("kern.mmap_user", &[pid.into(), 4096.into()]);
     let own = b.ext("kern.own_module", &[]);
-    b.ext("kern.inject_code", &[buf.into(), own.into(), (exploit_idx as i64).into()]);
+    b.ext(
+        "kern.inject_code",
+        &[buf.into(), own.into(), (exploit_idx as i64).into()],
+    );
     b.ext("kern.set_config", &[6.into(), buf.into()]);
     b.jmp(done_blk);
     b.switch_to(fire_blk);
@@ -274,11 +295,13 @@ mod tests {
             s ^= s << 17;
             s
         };
-        let compiler =
-            vg_ir::VgCompiler::new(vg_crypto::RsaKeyPair::generate(256, &mut rng));
+        let compiler = vg_ir::VgCompiler::new(vg_crypto::RsaKeyPair::generate(256, &mut rng));
         let t = compiler.compile(direct_read_module()).unwrap();
         let f = &t.module.functions[t.module.find("hook_read").unwrap() as usize];
-        let masks = f.insts().filter(|i| matches!(i, Inst::MaskGhost { .. })).count();
+        let masks = f
+            .insts()
+            .filter(|i| matches!(i, Inst::MaskGhost { .. }))
+            .count();
         assert!(masks >= 2, "load + store masked");
         assert!(t.module.fully_labeled());
     }
@@ -309,11 +332,15 @@ mod tests {
                 0
             })
         });
-        sys.install_raw_module(direct_read_module()).expect("native accepts raw modules");
+        sys.install_raw_module(direct_read_module())
+            .expect("native accepts raw modules");
         let pid = sys.spawn("victim");
         sys.run_until_exit(pid);
         let log = sys.log.join("\n");
-        assert!(log.contains("SECRET-KEY-MATERIAL"), "attack 1 succeeds natively: {log}");
+        assert!(
+            log.contains("SECRET-KEY-MATERIAL"),
+            "attack 1 succeeds natively: {log}"
+        );
     }
 
     #[test]
@@ -336,10 +363,14 @@ mod tests {
             })
         });
         // The rootkit must go through the VG compiler to load at all.
-        sys.install_module(direct_read_module()).expect("instrumented module loads");
+        sys.install_module(direct_read_module())
+            .expect("instrumented module loads");
         let pid = sys.spawn("victim");
         assert_eq!(sys.run_until_exit(pid), 0, "victim unaffected");
         let log = sys.log.join("\n");
-        assert!(!log.contains("SECRET-KEY-MATERIAL"), "attack 1 defeated: {log}");
+        assert!(
+            !log.contains("SECRET-KEY-MATERIAL"),
+            "attack 1 defeated: {log}"
+        );
     }
 }

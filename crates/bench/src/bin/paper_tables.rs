@@ -18,8 +18,20 @@ struct Scale {
     transfers: u32,
 }
 
-const FULL: Scale = Scale { lm_iters: 300, files: 300, pm_tx: 5_000, http_reqs: 40, transfers: 8 };
-const FAST: Scale = Scale { lm_iters: 40, files: 60, pm_tx: 400, http_reqs: 8, transfers: 3 };
+const FULL: Scale = Scale {
+    lm_iters: 300,
+    files: 300,
+    pm_tx: 5_000,
+    http_reqs: 40,
+    transfers: 8,
+};
+const FAST: Scale = Scale {
+    lm_iters: 40,
+    files: 60,
+    pm_tx: 400,
+    http_reqs: 8,
+    transfers: 3,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +44,11 @@ fn main() {
         println!("--fast: reduced iteration counts for smoke runs");
         return;
     }
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = which.is_empty();
     let want = |name: &str| all || which.contains(&name);
 
@@ -78,22 +94,37 @@ fn counters() {
         "workload", "syscalls", "traps", "kern-acc", "kern-brnch", "pte-upd", "faults", "disk-blk"
     );
     let workloads: Vec<(&str, WorkloadFn)> = vec![
-        ("open/close", Box::new(|sys: &mut System| {
-            lmbench::open_close(sys, 100);
-        })),
-        ("fork+exec", Box::new(|sys: &mut System| {
-            lmbench::fork_exec(sys, 20);
-        })),
-        ("postmark", Box::new(|sys: &mut System| {
-            postmark::run(sys, postmark::PostmarkConfig {
-                base_files: 50,
-                transactions: 200,
-                ..Default::default()
-            });
-        })),
-        ("thttpd-4k", Box::new(|sys: &mut System| {
-            thttpd::bandwidth(sys, 4096, 10);
-        })),
+        (
+            "open/close",
+            Box::new(|sys: &mut System| {
+                lmbench::open_close(sys, 100);
+            }),
+        ),
+        (
+            "fork+exec",
+            Box::new(|sys: &mut System| {
+                lmbench::fork_exec(sys, 20);
+            }),
+        ),
+        (
+            "postmark",
+            Box::new(|sys: &mut System| {
+                postmark::run(
+                    sys,
+                    postmark::PostmarkConfig {
+                        base_files: 50,
+                        transactions: 200,
+                        ..Default::default()
+                    },
+                );
+            }),
+        ),
+        (
+            "thttpd-4k",
+            Box::new(|sys: &mut System| {
+                thttpd::bandwidth(sys, 4096, 10);
+            }),
+        ),
     ];
     for (name, run) in workloads {
         let mut sys = System::boot(Mode::VirtualGhost);
@@ -134,7 +165,10 @@ fn table2(scale: &Scale) {
             paper.1,
             paper.2,
             paper.2 / paper.1,
-            paper.3.map(|x| format!("{x:.1}x")).unwrap_or_else(|| "-".into()),
+            paper
+                .3
+                .map(|x| format!("{x:.1}x"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 }
@@ -168,7 +202,10 @@ fn tables_3_4(scale: &Scale) {
 
 fn table5(scale: &Scale) {
     println!("\n== Table 5: Postmark ==");
-    let cfg = postmark::PostmarkConfig { transactions: scale.pm_tx, ..Default::default() };
+    let cfg = postmark::PostmarkConfig {
+        transactions: scale.pm_tx,
+        ..Default::default()
+    };
     let n = postmark::run(&mut System::boot(Mode::Native), cfg.clone());
     let v = postmark::run(&mut System::boot(Mode::VirtualGhost), cfg);
     println!(
@@ -185,10 +222,17 @@ fn table5(scale: &Scale) {
 
 fn figure2(scale: &Scale) {
     println!("\n== Figure 2: thttpd average bandwidth (KB/s) ==");
-    println!("{:<10} {:>12} {:>12} {:>10}", "file size", "native", "vg", "vg/native");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "file size", "native", "vg", "vg/native"
+    );
     for kb in [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
         let n = thttpd::bandwidth(&mut System::boot(Mode::Native), kb * 1024, scale.http_reqs);
-        let v = thttpd::bandwidth(&mut System::boot(Mode::VirtualGhost), kb * 1024, scale.http_reqs);
+        let v = thttpd::bandwidth(
+            &mut System::boot(Mode::VirtualGhost),
+            kb * 1024,
+            scale.http_reqs,
+        );
         println!(
             "{:<10} {:>12.0} {:>12.0} {:>9.1}%",
             format!("{kb} KB"),
@@ -202,11 +246,17 @@ fn figure2(scale: &Scale) {
 
 fn figure3(scale: &Scale) {
     println!("\n== Figure 3: SSH server transfer rate (KB/s) ==");
-    println!("{:<10} {:>12} {:>12} {:>10}", "file size", "native", "vg", "vg/native");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "file size", "native", "vg", "vg/native"
+    );
     for kb in [1usize, 4, 16, 64, 256, 1024] {
         let n = ssh::sshd_bandwidth(&mut System::boot(Mode::Native), kb * 1024, scale.transfers);
-        let v =
-            ssh::sshd_bandwidth(&mut System::boot(Mode::VirtualGhost), kb * 1024, scale.transfers);
+        let v = ssh::sshd_bandwidth(
+            &mut System::boot(Mode::VirtualGhost),
+            kb * 1024,
+            scale.transfers,
+        );
         println!(
             "{:<10} {:>12.0} {:>12.0} {:>9.1}%",
             format!("{kb} KB"),
@@ -220,7 +270,10 @@ fn figure3(scale: &Scale) {
 
 fn figure4(scale: &Scale) {
     println!("\n== Figure 4: ghosting vs original ssh client (KB/s, both on VG kernel) ==");
-    println!("{:<10} {:>12} {:>12} {:>10}", "file size", "original", "ghosting", "ghost/orig");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "file size", "original", "ghosting", "ghost/orig"
+    );
     for kb in [1usize, 4, 16, 64, 256, 1024] {
         let o = ssh::ssh_client_bandwidth(
             &mut System::boot(Mode::VirtualGhost),
@@ -248,14 +301,27 @@ fn figure4(scale: &Scale) {
 fn security() {
     println!("\n== Section 7: security experiments ==");
     for (attack_name, module) in [
-        ("attack 1 (direct read)", vg_attacks::direct_read_module as fn() -> vg_ir::Module),
-        ("attack 2 (signal-handler injection)", vg_attacks::signal_inject_module),
-        ("attack 3 (interrupt-context hijack)", vg_attacks::ic_hijack_module),
-        ("attack 4 (CFI: corrupted fn pointer)", vg_attacks::fptr_hijack_module),
+        (
+            "attack 1 (direct read)",
+            vg_attacks::direct_read_module as fn() -> vg_ir::Module,
+        ),
+        (
+            "attack 2 (signal-handler injection)",
+            vg_attacks::signal_inject_module,
+        ),
+        (
+            "attack 3 (interrupt-context hijack)",
+            vg_attacks::ic_hijack_module,
+        ),
+        (
+            "attack 4 (CFI: corrupted fn pointer)",
+            vg_attacks::fptr_hijack_module,
+        ),
     ] {
-        for (mode, label, ghosting) in
-            [(Mode::Native, "native", false), (Mode::VirtualGhost, "virtual-ghost", true)]
-        {
+        for (mode, label, ghosting) in [
+            (Mode::Native, "native", false),
+            (Mode::VirtualGhost, "virtual-ghost", true),
+        ] {
             let mut sys = System::boot(mode);
             ssh::install_ssh_agent(&mut sys, ghosting, 3);
             let load = if ghosting {
@@ -284,9 +350,21 @@ fn security() {
 fn ablation(scale: &Scale) {
     println!("\n== Ablation: LMBench overhead by protection mechanism ==");
     let modes: [(&str, Mode); 4] = [
-        ("sandbox-only", Mode::Custom(Protections::virtual_ghost(), CostModel::sandbox_only())),
-        ("cfi-only", Mode::Custom(Protections::virtual_ghost(), CostModel::cfi_only())),
-        ("ic-only", Mode::Custom(Protections::virtual_ghost(), CostModel::ic_protection_only())),
+        (
+            "sandbox-only",
+            Mode::Custom(Protections::virtual_ghost(), CostModel::sandbox_only()),
+        ),
+        (
+            "cfi-only",
+            Mode::Custom(Protections::virtual_ghost(), CostModel::cfi_only()),
+        ),
+        (
+            "ic-only",
+            Mode::Custom(
+                Protections::virtual_ghost(),
+                CostModel::ic_protection_only(),
+            ),
+        ),
         ("full-vg", Mode::VirtualGhost),
     ];
     let native = lmbench::table2(Mode::Native, scale.lm_iters);
@@ -295,8 +373,10 @@ fn ablation(scale: &Scale) {
         print!(" {name:>13}");
     }
     println!();
-    let results: Vec<Vec<lmbench::MicroResult>> =
-        modes.iter().map(|(_, m)| lmbench::table2(m.clone(), scale.lm_iters)).collect();
+    let results: Vec<Vec<lmbench::MicroResult>> = modes
+        .iter()
+        .map(|(_, m)| lmbench::table2(m.clone(), scale.lm_iters))
+        .collect();
     for (i, base) in native.iter().enumerate() {
         print!("{:<26}", base.name);
         for r in &results {

@@ -41,7 +41,10 @@ impl GhostManager {
     /// may see *which* pages exist (it donated the frames); only their
     /// contents are protected. Used by the kernel to pick swap victims.
     pub fn resident_vpns(&self, proc: ProcId) -> Vec<u64> {
-        self.pages.get(&proc).map(|m| m.keys().copied().collect()).unwrap_or_default()
+        self.pages
+            .get(&proc)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -68,9 +71,7 @@ impl SvaVm {
             return Err(SvaError::NotGhostRegion);
         }
         let len = frames.len() as u64 * PAGE_SIZE;
-        if Region::of(va) != Region::Ghost
-            || Region::of(VAddr(va.0 + len - 1)) != Region::Ghost
-        {
+        if Region::of(va) != Region::Ghost || Region::of(VAddr(va.0 + len - 1)) != Region::Ghost {
             return Err(SvaError::NotGhostRegion);
         }
         // Verify the OS has removed all mappings for every donated frame
@@ -101,7 +102,11 @@ impl SvaVm {
                 FrameKind::PageTable,
             )?;
             machine.mmu.flush_page(page_va.vpn());
-            self.ghost.pages.entry(proc).or_default().insert(page_va.vpn().0, f);
+            self.ghost
+                .pages
+                .entry(proc)
+                .or_default()
+                .insert(page_va.vpn().0, f);
         }
         Ok(())
     }
@@ -125,7 +130,11 @@ impl SvaVm {
             return Err(SvaError::NotGhostRegion);
         }
         // Validate the whole range first (all-or-nothing).
-        let proc_pages = self.ghost.pages.get(&proc).ok_or(SvaError::NotGhostMapped)?;
+        let proc_pages = self
+            .ghost
+            .pages
+            .get(&proc)
+            .ok_or(SvaError::NotGhostMapped)?;
         let base_vpn = va.vpn().0;
         for i in 0..num {
             if !proc_pages.contains_key(&(base_vpn + i)) {
@@ -137,7 +146,13 @@ impl SvaVm {
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
             machine.counters.ghost_pages_freed += 1;
             let vpn = base_vpn + i;
-            let pfn = self.ghost.pages.get_mut(&proc).unwrap().remove(&vpn).unwrap();
+            let pfn = self
+                .ghost
+                .pages
+                .get_mut(&proc)
+                .unwrap()
+                .remove(&vpn)
+                .unwrap();
             self.unmap_page_unchecked(machine, root, VAddr(vpn * PAGE_SIZE));
             machine.mmu.flush_page(vg_machine::Vpn(vpn));
             machine.phys.zero_frame(pfn);
@@ -193,7 +208,9 @@ mod tests {
     }
 
     fn donate(machine: &mut Machine, n: usize) -> Vec<Pfn> {
-        (0..n).map(|_| machine.phys.alloc_frame().unwrap()).collect()
+        (0..n)
+            .map(|_| machine.phys.alloc_frame().unwrap())
+            .collect()
     }
 
     #[test]
@@ -209,7 +226,10 @@ mod tests {
         assert_eq!(machine.phys.read_u64(frames[0], 0), 0);
         // The mapping is live for the application.
         vm.sva_load_root(&mut machine, root).unwrap();
-        let pa = machine.mmu.translate(&machine.phys, va, AccessKind::Write, true).unwrap();
+        let pa = machine
+            .mmu
+            .translate(&machine.phys, va, AccessKind::Write, true)
+            .unwrap();
         assert_eq!(pa.pfn(), frames[0]);
     }
 
@@ -233,7 +253,14 @@ mod tests {
         let (mut vm, mut machine, root) = setup();
         let frames = donate(&mut machine, 1);
         // The OS "forgot" to unmap the frame first.
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), frames[0], PteFlags::user_rw()).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            frames[0],
+            PteFlags::user_rw(),
+        )
+        .unwrap();
         assert_eq!(
             vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames),
             Err(SvaError::FrameInUse)
@@ -244,10 +271,17 @@ mod tests {
     fn ghost_frames_cannot_be_mapped_by_os_afterwards() {
         let (mut vm, mut machine, root) = setup();
         let frames = donate(&mut machine, 1);
-        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames).unwrap();
+        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames)
+            .unwrap();
         // The §2.2.1 MMU attack: map the ghost frame at an OS-readable VA.
         let err = vm
-            .sva_map_page(&mut machine, root, VAddr(0x4000), frames[0], PteFlags::kernel_rw())
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(0x4000),
+                frames[0],
+                PteFlags::kernel_rw(),
+            )
             .unwrap_err();
         assert_eq!(err, SvaError::Mmu(crate::MmuCheckError::GhostFrame));
     }
@@ -272,7 +306,8 @@ mod tests {
     fn freegm_rejects_unallocated_range() {
         let (mut vm, mut machine, root) = setup();
         let frames = donate(&mut machine, 1);
-        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames).unwrap();
+        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames)
+            .unwrap();
         // Range extends one page past the allocation: all-or-nothing reject.
         assert_eq!(
             vm.sva_freegm(&mut machine, P, root, VAddr(GHOST_BASE), 2),
@@ -290,7 +325,8 @@ mod tests {
     fn release_ghost_tears_down_everything() {
         let (mut vm, mut machine, root) = setup();
         let frames = donate(&mut machine, 3);
-        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames).unwrap();
+        vm.sva_allocgm(&mut machine, P, root, VAddr(GHOST_BASE), &frames)
+            .unwrap();
         machine.phys.write_u64(frames[2], 8, 42);
         let freed = vm.sva_release_ghost(&mut machine, P, root);
         assert_eq!(freed.len(), 3);
@@ -305,10 +341,21 @@ mod tests {
         let (mut vm, mut machine, root) = setup();
         let f1 = donate(&mut machine, 1);
         let f2 = donate(&mut machine, 1);
-        vm.sva_allocgm(&mut machine, ProcId(1), root, VAddr(GHOST_BASE), &f1).unwrap();
-        vm.sva_allocgm(&mut machine, ProcId(2), root, VAddr(GHOST_BASE + 0x1000), &f2).unwrap();
+        vm.sva_allocgm(&mut machine, ProcId(1), root, VAddr(GHOST_BASE), &f1)
+            .unwrap();
+        vm.sva_allocgm(
+            &mut machine,
+            ProcId(2),
+            root,
+            VAddr(GHOST_BASE + 0x1000),
+            &f2,
+        )
+        .unwrap();
         assert_eq!(vm.ghost.page_count(ProcId(1)), 1);
         assert_eq!(vm.ghost.page_count(ProcId(2)), 1);
-        assert_eq!(vm.ghost.frame_at(ProcId(1), VAddr(GHOST_BASE).vpn().0), Some(f1[0]));
+        assert_eq!(
+            vm.ghost.frame_at(ProcId(1), VAddr(GHOST_BASE).vpn().0),
+            Some(f1[0])
+        );
     }
 }

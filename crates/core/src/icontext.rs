@@ -49,7 +49,10 @@ impl std::fmt::Display for IcError {
         match self {
             IcError::NoContext => write!(f, "no interrupt context for thread"),
             IcError::PermitDenied { addr } => {
-                write!(f, "function {addr:#x} not registered with sva.permitFunction")
+                write!(
+                    f,
+                    "function {addr:#x} not registered with sva.permitFunction"
+                )
             }
             IcError::NothingSaved => write!(f, "no saved interrupt context"),
         }
@@ -99,7 +102,15 @@ impl IcStore {
 /// System-call argument registers preserved across the trap-entry scrub
 /// (x86-64 SysV syscall convention: number in RAX, args in RDI RSI RDX
 /// R10 R8 R9).
-const SYSCALL_REGS: [Reg; 7] = [Reg::Rax, Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9];
+const SYSCALL_REGS: [Reg; 7] = [
+    Reg::Rax,
+    Reg::Rdi,
+    Reg::Rsi,
+    Reg::Rdx,
+    Reg::R10,
+    Reg::R8,
+    Reg::R9,
+];
 
 impl SvaVm {
     /// Trap entry: the hardware (via the IST) hands interrupted state to the
@@ -109,7 +120,11 @@ impl SvaVm {
         machine.counters.traps += 1;
         machine.charge(machine.costs.trap_entry + machine.costs.ic_save);
         let frame = machine.cpu.take_trap(kind);
-        self.ic.stacks.entry(thread).or_default().push(InterruptContext { frame });
+        self.ic
+            .stacks
+            .entry(thread)
+            .or_default()
+            .push(InterruptContext { frame });
         if self.ic.protected {
             match kind {
                 TrapKind::Syscall(_) => machine.cpu.scrub_registers(&SYSCALL_REGS),
@@ -189,7 +204,11 @@ impl SvaVm {
     /// # Errors
     ///
     /// [`IcError::NoContext`] if the thread has no pending trap.
-    pub fn sva_icontext_save(&mut self, machine: &mut Machine, thread: ThreadId) -> Result<(), SvaError> {
+    pub fn sva_icontext_save(
+        &mut self,
+        machine: &mut Machine,
+        thread: ThreadId,
+    ) -> Result<(), SvaError> {
         machine.charge(machine.costs.ic_save / 8 + 20);
         let top = self
             .ic
@@ -209,7 +228,11 @@ impl SvaVm {
     ///
     /// [`IcError::NothingSaved`] on unbalanced load, [`IcError::NoContext`]
     /// if the thread has no pending trap.
-    pub fn sva_icontext_load(&mut self, machine: &mut Machine, thread: ThreadId) -> Result<(), SvaError> {
+    pub fn sva_icontext_load(
+        &mut self,
+        machine: &mut Machine,
+        thread: ThreadId,
+    ) -> Result<(), SvaError> {
         machine.charge(machine.costs.ic_restore / 8 + 20);
         let saved = self
             .ic
@@ -313,7 +336,12 @@ impl SvaVm {
             }
         }
         self.sva_newstate(machine, new_thread, from_thread)?;
-        if let Some(ic) = self.ic.stacks.get_mut(&new_thread).and_then(|s| s.last_mut()) {
+        if let Some(ic) = self
+            .ic
+            .stacks
+            .get_mut(&new_thread)
+            .and_then(|s| s.last_mut())
+        {
             ic.frame.rip = kernel_entry;
             ic.frame.privilege = Privilege::Kernel;
         }
@@ -404,7 +432,11 @@ mod tests {
         vm.ic_set_return_value(T, 42).unwrap();
         vm.trap_return(&mut machine, T).unwrap();
         assert_eq!(machine.cpu.reg(Reg::Rax), 42);
-        assert_eq!(machine.cpu.reg(Reg::R15), 0xdeadbeef, "app registers restored");
+        assert_eq!(
+            machine.cpu.reg(Reg::R15),
+            0xdeadbeef,
+            "app registers restored"
+        );
         assert_eq!(machine.cpu.rip, 0x1000);
         assert_eq!(machine.cpu.privilege(), Privilege::User);
         assert_eq!(vm.ic.depth(T), 0);
@@ -429,11 +461,14 @@ mod tests {
     fn ipush_requires_permit_under_vg() {
         let (mut vm, mut machine) = setup(Protections::virtual_ghost());
         enter_user_and_trap(&mut vm, &mut machine);
-        let err = vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9).unwrap_err();
+        let err = vm
+            .sva_ipush_function(&mut machine, T, P, 0x5555, 9)
+            .unwrap_err();
         assert_eq!(err, SvaError::Ic(IcError::PermitDenied { addr: 0x5555 }));
 
         vm.sva_permit_function(P, 0x5555);
-        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9).unwrap();
+        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9)
+            .unwrap();
         vm.trap_return(&mut machine, T).unwrap();
         assert_eq!(machine.cpu.rip, 0x5555);
         assert_eq!(machine.cpu.reg(Reg::Rdi), 9);
@@ -444,7 +479,8 @@ mod tests {
         let (mut vm, mut machine) = setup(Protections::native());
         enter_user_and_trap(&mut vm, &mut machine);
         // No permit registered, still succeeds: the attack surface.
-        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9).unwrap();
+        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9)
+            .unwrap();
     }
 
     #[test]
@@ -453,7 +489,8 @@ mod tests {
         enter_user_and_trap(&mut vm, &mut machine);
         vm.sva_permit_function(P, 0x5555);
         vm.sva_icontext_save(&mut machine, T).unwrap();
-        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9).unwrap();
+        vm.sva_ipush_function(&mut machine, T, P, 0x5555, 9)
+            .unwrap();
         // …handler runs, calls sigreturn…
         vm.sva_icontext_load(&mut machine, T).unwrap();
         vm.trap_return(&mut machine, T).unwrap();
@@ -484,14 +521,21 @@ mod tests {
         let (mut vm, mut machine) = setup(Protections::virtual_ghost());
         enter_user_and_trap(&mut vm, &mut machine);
         vm.sva_permit_function(P, 0x5555);
-        vm.sva_reinit_icontext(&mut machine, T, P, VAddr(0x2000), VAddr(0x8000)).unwrap();
+        vm.sva_reinit_icontext(&mut machine, T, P, VAddr(0x2000), VAddr(0x8000))
+            .unwrap();
         // Old permits gone: the new image must re-register handlers.
-        let err = vm.sva_ipush_function(&mut machine, T, P, 0x5555, 0).unwrap_err();
+        let err = vm
+            .sva_ipush_function(&mut machine, T, P, 0x5555, 0)
+            .unwrap_err();
         assert!(matches!(err, SvaError::Ic(IcError::PermitDenied { .. })));
         vm.trap_return(&mut machine, T).unwrap();
         assert_eq!(machine.cpu.rip, 0x2000);
         assert_eq!(machine.cpu.reg(Reg::Rsp), 0x8000);
-        assert_eq!(machine.cpu.reg(Reg::Rdi), 0, "registers cleared for new image");
+        assert_eq!(
+            machine.cpu.reg(Reg::Rdi),
+            0,
+            "registers cleared for new image"
+        );
     }
 
     #[test]
@@ -532,7 +576,8 @@ mod kernel_thread_tests {
     fn kernel_thread_creation_accepts_labeled_kernel_entry() {
         let (mut vm, mut machine, entry) = vm_with_kernel_fn(Protections::virtual_ghost());
         trap(&mut vm, &mut machine);
-        vm.sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), entry).unwrap();
+        vm.sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), entry)
+            .unwrap();
         vm.trap_return(&mut machine, ThreadId(9)).unwrap();
         assert_eq!(machine.cpu.rip, entry);
         assert_eq!(machine.cpu.privilege(), Privilege::Kernel);
@@ -564,7 +609,8 @@ mod kernel_thread_tests {
         let (mut vm, mut machine, _entry) = vm_with_kernel_fn(Protections::native());
         trap(&mut vm, &mut machine);
         // Native kernels can start threads anywhere — the attack surface.
-        vm.sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), 0x40_0000).unwrap();
+        vm.sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), 0x40_0000)
+            .unwrap();
     }
 
     #[test]
@@ -580,8 +626,9 @@ mod kernel_thread_tests {
         let h = vm.code.register_module(m, CodeSpace::Kernel);
         let entry = vm.code.addr_of(h, "f").unwrap().0;
         trap(&mut vm, &mut machine);
-        let err =
-            vm.sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), entry).unwrap_err();
+        let err = vm
+            .sva_newstate_kernel(&mut machine, ThreadId(9), ThreadId(1), entry)
+            .unwrap_err();
         assert!(matches!(err, SvaError::Ic(IcError::PermitDenied { .. })));
     }
 }

@@ -25,7 +25,8 @@ impl SvaVm {
     /// SVA-internal, so every subsequent `sva_map_page` of them is refused.
     pub fn sva_declare_iommu_mmio(&mut self, frames: &[Pfn]) {
         for &f in frames {
-            self.frames.set_kind(f, crate::frames::FrameKind::SvaInternal);
+            self.frames
+                .set_kind(f, crate::frames::FrameKind::SvaInternal);
         }
     }
 }
@@ -130,11 +131,24 @@ mod tests {
         let (mut vm, mut machine) = setup(Protections::virtual_ghost());
         let root = vm.sva_create_root(&mut machine).unwrap();
         let f = machine.phys.alloc_frame().unwrap();
-        vm.sva_allocgm(&mut machine, crate::ProcId(1), root, VAddr(GHOST_BASE), &[f]).unwrap();
-        assert_eq!(vm.sva_iommu_map(&mut machine, f), Err(SvaError::DmaProtected));
+        vm.sva_allocgm(
+            &mut machine,
+            crate::ProcId(1),
+            root,
+            VAddr(GHOST_BASE),
+            &[f],
+        )
+        .unwrap();
+        assert_eq!(
+            vm.sva_iommu_map(&mut machine, f),
+            Err(SvaError::DmaProtected)
+        );
         assert!(!machine.iommu.is_mapped(f));
         // Page tables also refused.
-        assert_eq!(vm.sva_iommu_map(&mut machine, root), Err(SvaError::DmaProtected));
+        assert_eq!(
+            vm.sva_iommu_map(&mut machine, root),
+            Err(SvaError::DmaProtected)
+        );
     }
 
     #[test]
@@ -153,7 +167,10 @@ mod tests {
             vm.sva_port_write(&mut machine, IOMMU_CONFIG_PORT, 5),
             Err(SvaError::PortProtected)
         );
-        assert_eq!(vm.sva_port_read(&mut machine, IOMMU_CONFIG_PORT), Err(SvaError::PortProtected));
+        assert_eq!(
+            vm.sva_port_read(&mut machine, IOMMU_CONFIG_PORT),
+            Err(SvaError::PortProtected)
+        );
         // Ordinary ports pass through.
         vm.sva_port_write(&mut machine, 0x3F8, b'x' as u64).unwrap();
         assert_eq!(machine.console.contents(), "x");
@@ -168,17 +185,26 @@ mod tests {
         let mmio = machine.phys.alloc_frame().unwrap();
         vm.sva_declare_iommu_mmio(&[mmio]);
         // The OS cannot map the IOMMU's MMIO page anywhere it can touch.
-        let err =
-            vm.sva_map_page(&mut machine, root, VAddr(0x4000), mmio, PteFlags::kernel_rw());
+        let err = vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            mmio,
+            PteFlags::kernel_rw(),
+        );
         assert_eq!(err, Err(SvaError::Mmu(crate::MmuCheckError::SvaFrame)));
         // Nor expose it to DMA.
-        assert_eq!(vm.sva_iommu_map(&mut machine, mmio), Err(SvaError::DmaProtected));
+        assert_eq!(
+            vm.sva_iommu_map(&mut machine, mmio),
+            Err(SvaError::DmaProtected)
+        );
     }
 
     #[test]
     fn iommu_port_works_natively() {
         let (mut vm, mut machine) = setup(Protections::native());
-        vm.sva_port_write(&mut machine, IOMMU_CONFIG_PORT, 9).unwrap();
+        vm.sva_port_write(&mut machine, IOMMU_CONFIG_PORT, 9)
+            .unwrap();
         assert!(machine.iommu.is_mapped(Pfn(9)));
     }
 }

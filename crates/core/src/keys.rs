@@ -134,7 +134,12 @@ impl SvaVm {
             .expect("16-byte key fits any supported modulus");
         let payload = AppBinary::signed_payload(name, &code_digest, &key_section);
         let signature = self.keys.vg_keys().sign(&payload);
-        AppBinary { name: name.to_string(), code_digest, key_section, signature }
+        AppBinary {
+            name: name.to_string(),
+            code_digest,
+            key_section,
+            signature,
+        }
     }
 
     /// Exec-time verification and key loading. `presented_code_digest` is
@@ -158,7 +163,12 @@ impl SvaVm {
         machine.charge(machine.costs.sha_per_block * 8 + machine.costs.aes_per_block * 4);
         let payload =
             AppBinary::signed_payload(&binary.name, &binary.code_digest, &binary.key_section);
-        if !self.keys.vg_keys().public().verify(&payload, &binary.signature) {
+        if !self
+            .keys
+            .vg_keys()
+            .public()
+            .verify(&payload, &binary.signature)
+        {
             return Err(KeyError::BadSignature.into());
         }
         if binary.code_digest != presented_code_digest {
@@ -169,8 +179,9 @@ impl SvaVm {
             .vg_keys()
             .decrypt(&binary.key_section)
             .map_err(|_| SvaError::Key(KeyError::SectionCorrupt))?;
-        let key: [u8; 16] =
-            key_bytes.try_into().map_err(|_| SvaError::Key(KeyError::SectionCorrupt))?;
+        let key: [u8; 16] = key_bytes
+            .try_into()
+            .map_err(|_| SvaError::Key(KeyError::SectionCorrupt))?;
         self.keys.app_keys.insert(proc, key);
         Ok(())
     }
@@ -183,7 +194,11 @@ impl SvaVm {
     ///
     /// [`KeyError::NoKey`] if the process has no loaded key.
     pub fn sva_get_key(&self, proc: ProcId) -> Result<[u8; 16], SvaError> {
-        self.keys.app_keys.get(&proc).copied().ok_or(SvaError::Key(KeyError::NoKey))
+        self.keys
+            .app_keys
+            .get(&proc)
+            .copied()
+            .ok_or(SvaError::Key(KeyError::NoKey))
     }
 
     /// Drops per-process key material (process exit). Version counters are
@@ -202,9 +217,18 @@ impl SvaVm {
     /// # Errors
     ///
     /// [`KeyError::NoKey`] if the process has no loaded application key.
-    pub fn sva_version_bump(&mut self, machine: &mut Machine, proc: ProcId, slot: u64) -> Result<u64, SvaError> {
+    pub fn sva_version_bump(
+        &mut self,
+        machine: &mut Machine,
+        proc: ProcId,
+        slot: u64,
+    ) -> Result<u64, SvaError> {
         machine.charge(160);
-        let key = *self.keys.app_keys.get(&proc).ok_or(SvaError::Key(KeyError::NoKey))?;
+        let key = *self
+            .keys
+            .app_keys
+            .get(&proc)
+            .ok_or(SvaError::Key(KeyError::NoKey))?;
         let c = self.keys.version_counters.entry((key, slot)).or_insert(0);
         *c += 1;
         Ok(*c)
@@ -217,8 +241,17 @@ impl SvaVm {
     ///
     /// [`KeyError::NoKey`] if the process has no loaded application key.
     pub fn sva_version_read(&self, proc: ProcId, slot: u64) -> Result<u64, SvaError> {
-        let key = *self.keys.app_keys.get(&proc).ok_or(SvaError::Key(KeyError::NoKey))?;
-        Ok(self.keys.version_counters.get(&(key, slot)).copied().unwrap_or(0))
+        let key = *self
+            .keys
+            .app_keys
+            .get(&proc)
+            .ok_or(SvaError::Key(KeyError::NoKey))?;
+        Ok(self
+            .keys
+            .version_counters
+            .get(&(key, slot))
+            .copied()
+            .unwrap_or(0))
     }
 
     /// Proves the TPM unseal path: re-derives the sealed fingerprint and
@@ -251,7 +284,8 @@ mod tests {
         let digest = Sha256::digest(b"ssh-agent code v1");
         let app_key = [0x42u8; 16];
         let binary = vm.sva_install_app("ssh-agent", digest, app_key);
-        vm.sva_load_app_key(&mut machine, P, &binary, digest).unwrap();
+        vm.sva_load_app_key(&mut machine, P, &binary, digest)
+            .unwrap();
         assert_eq!(vm.sva_get_key(P).unwrap(), app_key);
     }
 
@@ -300,12 +334,17 @@ mod tests {
         let digest = Sha256::digest(b"code");
         let b1 = vm.sva_install_app("a", digest, [1; 16]);
         let b2 = vm.sva_install_app("b", digest, [2; 16]);
-        vm.sva_load_app_key(&mut machine, ProcId(1), &b1, digest).unwrap();
-        vm.sva_load_app_key(&mut machine, ProcId(2), &b2, digest).unwrap();
+        vm.sva_load_app_key(&mut machine, ProcId(1), &b1, digest)
+            .unwrap();
+        vm.sva_load_app_key(&mut machine, ProcId(2), &b2, digest)
+            .unwrap();
         assert_eq!(vm.sva_get_key(ProcId(1)).unwrap(), [1; 16]);
         assert_eq!(vm.sva_get_key(ProcId(2)).unwrap(), [2; 16]);
         vm.sva_drop_key(ProcId(1));
-        assert_eq!(vm.sva_get_key(ProcId(1)), Err(SvaError::Key(KeyError::NoKey)));
+        assert_eq!(
+            vm.sva_get_key(ProcId(1)),
+            Err(SvaError::Key(KeyError::NoKey))
+        );
     }
 
     #[test]

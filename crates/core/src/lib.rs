@@ -52,9 +52,9 @@ pub mod icontext;
 pub mod io;
 pub mod keys;
 pub mod mmu;
-pub mod swap;
 #[cfg(test)]
 mod proptests;
+pub mod swap;
 
 pub use frames::{FrameKind, FrameTable};
 pub use icontext::{IcError, InterruptContext};
@@ -107,7 +107,13 @@ impl Protections {
 
     /// Everything on — full Virtual Ghost.
     pub fn virtual_ghost() -> Self {
-        Protections { sandbox: true, cfi: true, ic_protect: true, mmu_checks: true, dma_checks: true }
+        Protections {
+            sandbox: true,
+            cfi: true,
+            ic_protect: true,
+            mmu_checks: true,
+            dma_checks: true,
+        }
     }
 }
 
@@ -281,13 +287,16 @@ impl SvaVm {
                 return Err(SvaError::UntrustedCode);
             }
         }
-        Ok(self.code.register_module(translation.module, vg_ir::registry::CodeSpace::Kernel))
+        Ok(self
+            .code
+            .register_module(translation.module, vg_ir::registry::CodeSpace::Kernel))
     }
 
     /// Registers application code (not instrumented; apps are untrusted to
     /// the kernel but trusted to themselves).
     pub fn load_app_module(&mut self, module: vg_ir::Module) -> vg_ir::registry::ModuleHandle {
-        self.code.register_module(module, vg_ir::registry::CodeSpace::User)
+        self.code
+            .register_module(module, vg_ir::registry::CodeSpace::User)
     }
 
     /// Raw code registration at an arbitrary address — the code-injection
@@ -360,7 +369,10 @@ mod tests {
         assert!(v.load_kernel_module(t.clone()).is_ok());
 
         // Unsigned/uninstrumented: rejected.
-        let forged = vg_ir::Translation { module: m.clone(), signature: vec![1, 2, 3] };
+        let forged = vg_ir::Translation {
+            module: m.clone(),
+            signature: vec![1, 2, 3],
+        };
         assert_eq!(v.load_kernel_module(forged), Err(SvaError::UntrustedCode));
 
         // Tampered after signing: rejected.
@@ -375,7 +387,10 @@ mod tests {
         let mut n = SvaVm::boot_native(&tpm, 1);
         let mut m = vg_ir::Module::new("mod");
         m.push_function(vg_ir::FunctionBuilder::new("f", 0).ret(Some(1.into())));
-        let raw = vg_ir::Translation { module: m, signature: vec![] };
+        let raw = vg_ir::Translation {
+            module: m,
+            signature: vec![],
+        };
         assert!(n.load_kernel_module(raw).is_ok());
     }
 
@@ -389,7 +404,11 @@ mod tests {
         let h = v.load_kernel_module(t).unwrap();
         // Kernel text is unforgeable under VG…
         assert_eq!(
-            v.inject_code_at(vg_ir::CodeAddr(vg_machine::layout::KERNEL_BASE + 0x5000), h, 0),
+            v.inject_code_at(
+                vg_ir::CodeAddr(vg_machine::layout::KERNEL_BASE + 0x5000),
+                h,
+                0
+            ),
             Err(SvaError::DeniedByVirtualGhost)
         );
         // …but user data pages remain OS-writable; the injected entry is
@@ -401,8 +420,13 @@ mod tests {
         let mut n = vm(Protections::native());
         let mut m2 = vg_ir::Module::new("mod");
         m2.push_function(vg_ir::FunctionBuilder::new("f", 0).ret(Some(1.into())));
-        let t2 = vg_ir::Translation { module: m2, signature: vec![] };
+        let t2 = vg_ir::Translation {
+            module: m2,
+            signature: vec![],
+        };
         let h2 = n.load_kernel_module(t2).unwrap();
-        assert!(n.inject_code_at(vg_ir::CodeAddr(0x7000_0000), h2, 0).is_ok());
+        assert!(n
+            .inject_code_at(vg_ir::CodeAddr(0x7000_0000), h2, 0)
+            .is_ok());
     }
 }

@@ -131,7 +131,13 @@ impl SvaVm {
             self.check_update(machine, root, va, Some((pfn, flags)))
                 .inspect_err(|_| machine.counters.mmu_rejections += 1)?;
         }
-        self.map_page_unchecked(machine, root, va, Pte::new(pfn, flags), FrameKind::PageTable)?;
+        self.map_page_unchecked(
+            machine,
+            root,
+            va,
+            Pte::new(pfn, flags),
+            FrameKind::PageTable,
+        )?;
         self.frames.inc_map(pfn);
         machine.mmu.flush_page(va.vpn());
         Ok(())
@@ -254,11 +260,21 @@ impl SvaVm {
             } else {
                 let frame = machine.phys.alloc_frame().ok_or(SvaError::OutOfFrames)?;
                 self.frames.set_kind(frame, table_kind);
-                write_pte(&mut machine.phys, table, idx, Pte::new(frame, PteFlags::table()));
+                write_pte(
+                    &mut machine.phys,
+                    table,
+                    idx,
+                    Pte::new(frame, PteFlags::table()),
+                );
                 frame
             };
         }
-        write_pte(&mut machine.phys, table, PageTableLevel::L1.index(va.0), leaf);
+        write_pte(
+            &mut machine.phys,
+            table,
+            PageTableLevel::L1.index(va.0),
+            leaf,
+        );
         Ok(())
     }
 
@@ -303,7 +319,14 @@ mod tests {
     fn map_and_translate() {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), frame, PteFlags::user_rw()).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            frame,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
         vm.sva_load_root(&mut machine, root).unwrap();
         let pa = machine
             .mmu
@@ -318,7 +341,13 @@ mod tests {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
         let err = vm
-            .sva_map_page(&mut machine, root, VAddr(GHOST_BASE + 0x1000), frame, PteFlags::kernel_rw())
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(GHOST_BASE + 0x1000),
+                frame,
+                PteFlags::kernel_rw(),
+            )
             .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::GhostVa));
         assert_eq!(machine.counters.mmu_rejections, 1);
@@ -329,7 +358,13 @@ mod tests {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
         let err = vm
-            .sva_map_page(&mut machine, root, VAddr(SVA_INTERNAL_BASE), frame, PteFlags::kernel_rw())
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(SVA_INTERNAL_BASE),
+                frame,
+                PteFlags::kernel_rw(),
+            )
             .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::SvaVa));
     }
@@ -339,16 +374,24 @@ mod tests {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
         vm.frames.set_kind(frame, FrameKind::Ghost);
-        let err =
-            vm.sva_map_page(&mut machine, root, VAddr(0x4000), frame, PteFlags::user_rw()).unwrap_err();
+        let err = vm
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(0x4000),
+                frame,
+                PteFlags::user_rw(),
+            )
+            .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::GhostFrame));
     }
 
     #[test]
     fn page_table_frame_rejected_under_vg() {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
-        let err =
-            vm.sva_map_page(&mut machine, root, VAddr(0x4000), root, PteFlags::user_rw()).unwrap_err();
+        let err = vm
+            .sva_map_page(&mut machine, root, VAddr(0x4000), root, PteFlags::user_rw())
+            .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::PageTableFrame));
     }
 
@@ -356,22 +399,38 @@ mod tests {
     fn code_page_rules() {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let code = machine.phys.alloc_frame().unwrap();
-        vm.sva_map_code_page(&mut machine, root, VAddr(0x400000), code).unwrap();
+        vm.sva_map_code_page(&mut machine, root, VAddr(0x400000), code)
+            .unwrap();
         // Cannot alias the code frame writable elsewhere.
         let err = vm
-            .sva_map_page(&mut machine, root, VAddr(0x500000), code, PteFlags::user_rw())
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(0x500000),
+                code,
+                PteFlags::user_rw(),
+            )
             .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::CodeWritable));
         // Cannot remap or unmap the code VA.
         let other = machine.phys.alloc_frame().unwrap();
         let err = vm
-            .sva_map_page(&mut machine, root, VAddr(0x400000), other, PteFlags::user_rw())
+            .sva_map_page(
+                &mut machine,
+                root,
+                VAddr(0x400000),
+                other,
+                PteFlags::user_rw(),
+            )
             .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::CodeRemap));
-        let err = vm.sva_unmap_page(&mut machine, root, VAddr(0x400000)).unwrap_err();
+        let err = vm
+            .sva_unmap_page(&mut machine, root, VAddr(0x400000))
+            .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::CodeRemap));
         // Read-only aliasing is fine (shared text).
-        vm.sva_map_code_page(&mut machine, root, VAddr(0x600000), code).unwrap();
+        vm.sva_map_code_page(&mut machine, root, VAddr(0x600000), code)
+            .unwrap();
     }
 
     #[test]
@@ -381,7 +440,14 @@ mod tests {
         vm.frames.set_kind(frame, FrameKind::Ghost);
         // The hostile MMU attack the paper defends against: map a ghost
         // frame into a kernel-readable address. Native kernels can.
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), frame, PteFlags::kernel_rw()).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            frame,
+            PteFlags::kernel_rw(),
+        )
+        .unwrap();
         assert_eq!(machine.counters.mmu_rejections, 0);
     }
 
@@ -389,12 +455,25 @@ mod tests {
     fn unmap_returns_frame_and_decrements() {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), frame, PteFlags::user_rw()).unwrap();
-        let got = vm.sva_unmap_page(&mut machine, root, VAddr(0x4000)).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            frame,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
+        let got = vm
+            .sva_unmap_page(&mut machine, root, VAddr(0x4000))
+            .unwrap();
         assert_eq!(got, Some(frame));
         assert_eq!(vm.frames.map_count(frame), 0);
         // Unmapping an absent page is a no-op.
-        assert_eq!(vm.sva_unmap_page(&mut machine, root, VAddr(0x9000)).unwrap(), None);
+        assert_eq!(
+            vm.sva_unmap_page(&mut machine, root, VAddr(0x9000))
+                .unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -402,22 +481,42 @@ mod tests {
         let (mut vm, mut machine, _root) = setup(Protections::virtual_ghost());
         let fake = machine.phys.alloc_frame().unwrap();
         let frame = machine.phys.alloc_frame().unwrap();
-        let err =
-            vm.sva_map_page(&mut machine, fake, VAddr(0x4000), frame, PteFlags::user_rw()).unwrap_err();
+        let err = vm
+            .sva_map_page(
+                &mut machine,
+                fake,
+                VAddr(0x4000),
+                frame,
+                PteFlags::user_rw(),
+            )
+            .unwrap_err();
         assert_eq!(err, SvaError::Mmu(MmuCheckError::BadRoot));
-        assert_eq!(vm.sva_load_root(&mut machine, fake), Err(SvaError::Mmu(MmuCheckError::BadRoot)));
+        assert_eq!(
+            vm.sva_load_root(&mut machine, fake),
+            Err(SvaError::Mmu(MmuCheckError::BadRoot))
+        );
     }
 
     #[test]
     fn destroy_root_frees_tables() {
         let (mut vm, mut machine, root) = setup(Protections::virtual_ghost());
         let frame = machine.phys.alloc_frame().unwrap();
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), frame, PteFlags::user_rw()).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            frame,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
         let free_before = machine.phys.free_frames();
         vm.sva_destroy_root(&mut machine, root);
         // Root + 3 intermediate tables returned.
         assert_eq!(machine.phys.free_frames(), free_before + 4);
         assert_eq!(vm.frames.map_count(frame), 0);
-        assert!(machine.phys.is_allocated(frame), "data frame stays with the OS");
+        assert!(
+            machine.phys.is_allocated(frame),
+            "data frame stays with the OS"
+        );
     }
 }

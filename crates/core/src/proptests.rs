@@ -247,4 +247,23 @@ proptest! {
         machine.phys.read_bytes(back, 0, &mut buf);
         prop_assert_eq!(buf, data);
     }
+
+    /// The swap-blob binding context is injective in (proc, vpn): distinct
+    /// identities or locations never share a context. The old
+    /// `(proc << 40) ^ vpn` packing violated this (ProcId(p) collided with
+    /// ProcId(p + 2^24), and shifted-off proc bits collided with vpn bits).
+    #[test]
+    fn swap_context_injective(
+        p1 in any::<u64>(),
+        v1 in any::<u64>(),
+        p2 in any::<u64>(),
+        v2 in any::<u64>(),
+    ) {
+        prop_assume!((p1, v1) != (p2, v2));
+        let mgr = crate::swap::SwapManager::new([7; 16], [9; 32]);
+        prop_assert_ne!(mgr.context(ProcId(p1), v1), mgr.context(ProcId(p2), v2));
+        // The historically colliding pair in particular:
+        let (pa, pb) = (ProcId(p1), ProcId(p1.wrapping_add(1 << 24)));
+        prop_assert_ne!(mgr.context(pa, v1), mgr.context(pb, v1));
+    }
 }

@@ -32,9 +32,22 @@ impl SwapManager {
         SwapManager { enc_key, mac_key }
     }
 
-    fn context(proc: ProcId, vpn: u64) -> u64 {
-        // Bind to both identity and location.
-        (proc.0 << 40) ^ vpn ^ 0x5357_4150
+    /// Derives the sealing context binding a blob to (process, location).
+    ///
+    /// The context must be *injective* in `(proc, vpn)`: the earlier
+    /// `(proc.0 << 40) ^ vpn` packing collided — `ProcId(p)` and
+    /// `ProcId(p + 2^24)` landed on the same context (the shift discards the
+    /// high bits), letting the OS replay one process's swapped page into
+    /// another. Deriving the 64-bit context from a keyed MAC over the
+    /// fixed-width encoding of both fields makes finding *any* colliding
+    /// pair as hard as breaking HMAC-SHA256.
+    pub(crate) fn context(&self, proc: ProcId, vpn: u64) -> u64 {
+        let mut mac = vg_crypto::hmac::HmacSha256::new(&self.mac_key);
+        mac.update(b"vg-swap-context");
+        mac.update(&proc.0.to_be_bytes());
+        mac.update(&vpn.to_be_bytes());
+        let tag = mac.finalize();
+        u64::from_be_bytes(tag[..8].try_into().expect("tag is 32 bytes"))
     }
 }
 
@@ -68,7 +81,10 @@ impl SvaVm {
             return Err(SvaError::NotGhostRegion);
         }
         let vpn = va.vpn().0;
-        let pfn = self.ghost.frame_at(proc, vpn).ok_or(SvaError::NotGhostMapped)?;
+        let pfn = self
+            .ghost
+            .frame_at(proc, vpn)
+            .ok_or(SvaError::NotGhostMapped)?;
         machine.charge(
             machine.costs.aes_per_block * (PAGE_SIZE / 16)
                 + machine.costs.sha_per_block * (PAGE_SIZE / 64)
@@ -78,7 +94,7 @@ impl SvaVm {
         let sealed = SealedBox::seal(
             &self.swap.enc_key,
             &self.swap.mac_key,
-            SwapManager::context(proc, vpn),
+            self.swap.context(proc, vpn),
             &contents,
         );
         // Tear the page down exactly like freegm.
@@ -126,17 +142,29 @@ impl SvaVm {
         let vpn = va.vpn().0;
         let contents = blob
             .sealed
-            .open(&self.swap.enc_key, &self.swap.mac_key, SwapManager::context(proc, vpn))
+            .open(
+                &self.swap.enc_key,
+                &self.swap.mac_key,
+                self.swap.context(proc, vpn),
+            )
             .map_err(|_| SvaError::SwapIntegrity)?;
         machine.phys.write_frame(frame, &contents);
         self.frames.set_kind(frame, FrameKind::Ghost);
-        self.map_page_unchecked(
+        if let Err(e) = self.map_page_unchecked(
             machine,
             root,
             va,
             Pte::new(frame, PteFlags::user_rw()),
             FrameKind::PageTable,
-        )?;
+        ) {
+            // Mapping failed (e.g. no frames left for intermediate tables)
+            // after the plaintext was already written: scrub the frame and
+            // hand it back in the state the OS donated it, so nothing ghost
+            // leaks and a later retry can succeed.
+            machine.phys.zero_frame(frame);
+            self.frames.set_kind(frame, FrameKind::Regular);
+            return Err(e);
+        }
         machine.mmu.flush_page(va.vpn());
         self.ghost.pages.entry(proc).or_default().insert(vpn, frame);
         Ok(())
@@ -176,7 +204,8 @@ mod tests {
 
         // OS later donates a (possibly different) frame for swap-in.
         let new_frame = machine.phys.alloc_frame().unwrap();
-        vm.sva_swap_in(&mut machine, P, root, va, &blob, new_frame).unwrap();
+        vm.sva_swap_in(&mut machine, P, root, va, &blob, new_frame)
+            .unwrap();
         let back = vm.ghost.frame_at(P, va.vpn().0).unwrap();
         assert_eq!(machine.phys.read_u64(back, 16), 0xfeed_f00d);
     }
@@ -216,11 +245,68 @@ mod tests {
         let (mut vm, mut machine, root, va) = setup_with_ghost_page();
         let (blob, _f) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
         let mapped = machine.phys.alloc_frame().unwrap();
-        vm.sva_map_page(&mut machine, root, VAddr(0x4000), mapped, PteFlags::user_rw()).unwrap();
+        vm.sva_map_page(
+            &mut machine,
+            root,
+            VAddr(0x4000),
+            mapped,
+            PteFlags::user_rw(),
+        )
+        .unwrap();
         assert_eq!(
             vm.sva_swap_in(&mut machine, P, root, va, &blob, mapped),
             Err(SvaError::FrameInUse)
         );
+    }
+
+    #[test]
+    fn context_collision_across_proc_ids_rejected() {
+        // Under the old `(proc.0 << 40) ^ vpn` context, ProcId(p) and
+        // ProcId(p + 2^24) collided, so a page swapped out by one process
+        // could be replayed into the other.
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let (blob, _f) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+        let frame = machine.phys.alloc_frame().unwrap();
+        let alias = ProcId(P.0 + (1 << 24));
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, alias, root, va, &blob, frame),
+            Err(SvaError::SwapIntegrity)
+        );
+        // The legitimate owner still gets the page back.
+        vm.sva_swap_in(&mut machine, P, root, va, &blob, frame)
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_swap_in_rolls_back_frame_state() {
+        let (mut vm, mut machine, root, va) = setup_with_ghost_page();
+        let pfn = vm.ghost.frame_at(P, va.vpn().0).unwrap();
+        machine.phys.write_u64(pfn, 16, 0xfeed_f00d);
+        let (blob, donated) = vm.sva_swap_out(&mut machine, P, root, va).unwrap();
+
+        // A second root has none of the intermediate tables for `va`; with
+        // physical memory exhausted, map_page_unchecked must fail *after*
+        // the frame has been filled with decrypted plaintext.
+        let root2 = vm.sva_create_root(&mut machine).unwrap();
+        let mut hoard = Vec::new();
+        while let Some(f) = machine.phys.alloc_frame() {
+            hoard.push(f);
+        }
+        assert_eq!(
+            vm.sva_swap_in(&mut machine, P, root2, va, &blob, donated),
+            Err(SvaError::OutOfFrames)
+        );
+        // No plaintext left behind, no ghost mapping recorded…
+        assert!(machine.phys.read_frame(donated).iter().all(|&b| b == 0));
+        assert_eq!(vm.ghost.frame_at(P, va.vpn().0), None);
+        // …and the frame is donatable again: the retry succeeds once the OS
+        // frees memory. (Without the kind rollback this reports FrameInUse.)
+        for f in hoard {
+            machine.phys.free_frame(f);
+        }
+        vm.sva_swap_in(&mut machine, P, root2, va, &blob, donated)
+            .unwrap();
+        assert_eq!(machine.phys.read_u64(donated, 16), 0xfeed_f00d);
     }
 
     #[test]

@@ -248,7 +248,11 @@ impl SealedBox {
         let mut ct = plaintext.to_vec();
         ctr_xor(enc_key, nonce, &mut ct);
         let tag = Self::tag(mac_key, context, nonce, &ct);
-        SealedBox { nonce, ciphertext: ct, tag }
+        SealedBox {
+            nonce,
+            ciphertext: ct,
+            tag,
+        }
     }
 
     /// Opens the box, verifying the MAC and the binding `context`.
@@ -362,7 +366,10 @@ mod tests {
     #[test]
     fn sealed_box_roundtrip() {
         let sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
-        assert_eq!(sealed.open(&[3; 16], &[4; 32], 7).unwrap(), b"page data here");
+        assert_eq!(
+            sealed.open(&[3; 16], &[4; 32], 7).unwrap(),
+            b"page data here"
+        );
     }
 
     #[test]

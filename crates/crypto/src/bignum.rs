@@ -56,7 +56,9 @@ impl From<u128> for BigUint {
     fn from(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -194,7 +196,9 @@ impl BigUint {
     /// Value of bit `i` (false beyond the top bit).
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
-        self.limbs.get(limb).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+        self.limbs
+            .get(limb)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
     }
 
     /// Returns the low limb, or 0 for zero. Useful for small-value checks.
@@ -370,8 +374,7 @@ impl BigUint {
             let mut qhat = numer / v_top as u128;
             let mut rhat = numer % v_top as u128;
             // Refine qhat (at most two corrections, per Knuth).
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -406,7 +409,9 @@ impl BigUint {
         }
         let mut quotient = BigUint { limbs: q };
         quotient.normalize();
-        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
         rem.normalize();
         (quotient, rem.shr(shift))
     }
@@ -482,7 +487,11 @@ impl BigUint {
         }
         let (mag, neg) = t0;
         let mag = mag.rem(m);
-        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
     }
 
     /// Miller–Rabin probabilistic primality test with `rounds` random bases
@@ -513,7 +522,9 @@ impl BigUint {
         }
         // Write self-1 = d * 2^s with d odd.
         let n_minus_1 = self.sub(&BigUint::one());
-        let s = (0..n_minus_1.bit_len()).take_while(|&i| !n_minus_1.bit(i)).count();
+        let s = (0..n_minus_1.bit_len())
+            .take_while(|&i| !n_minus_1.bit(i))
+            .count();
         let d = n_minus_1.shr(s);
         'witness: for _ in 0..rounds {
             // Random base in [2, n-2].
@@ -549,7 +560,11 @@ impl BigUint {
             // Force exact bit length and oddness.
             let top_bit = (bits - 1) % 64;
             let top = &mut limbs[limbs_needed - 1];
-            *top &= if top_bit == 63 { u64::MAX } else { (1u64 << (top_bit + 1)) - 1 };
+            *top &= if top_bit == 63 {
+                u64::MAX
+            } else {
+                (1u64 << (top_bit + 1)) - 1
+            };
             *top |= 1u64 << top_bit;
             limbs[0] |= 1;
             let mut cand = BigUint { limbs };
@@ -715,8 +730,20 @@ mod tests {
         for p in [2u64, 3, 5, 17, 101, 7919, 1_000_000_007] {
             assert!(n(p).is_probable_prime(16, &mut rng), "{p} should be prime");
         }
-        for c in [0u64, 1, 4, 9, 100, 7917, 561 /* Carmichael */, 1_000_000_005] {
-            assert!(!n(c).is_probable_prime(16, &mut rng), "{c} should be composite");
+        for c in [
+            0u64,
+            1,
+            4,
+            9,
+            100,
+            7917,
+            561, /* Carmichael */
+            1_000_000_005,
+        ] {
+            assert!(
+                !n(c).is_probable_prime(16, &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -724,7 +751,9 @@ mod tests {
     fn gen_prime_has_requested_size() {
         let mut s = 42u64;
         let mut rng = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         let p = BigUint::gen_prime(96, &mut rng);

@@ -28,12 +28,17 @@ pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64
     state[2] = 0x79622d32;
     state[3] = 0x6b206574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
     }
     let initial = state;
     for _ in 0..10 {
@@ -78,14 +83,26 @@ impl ChaChaRng {
     pub fn from_seed(seed: u64) -> Self {
         let mut key = [0u8; 32];
         for (i, chunk) in key.chunks_mut(8).enumerate() {
-            chunk.copy_from_slice(&(seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15)).to_le_bytes());
+            chunk.copy_from_slice(
+                &(seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15)).to_le_bytes(),
+            );
         }
-        ChaChaRng { key, counter: 0, buf: [0; 64], pos: 64 }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buf: [0; 64],
+            pos: 64,
+        }
     }
 
     /// Creates a generator from a full 32-byte key.
     pub fn from_key(key: [u8; 32]) -> Self {
-        ChaChaRng { key, counter: 0, buf: [0; 64], pos: 64 }
+        ChaChaRng {
+            key,
+            counter: 0,
+            buf: [0; 64],
+            pos: 64,
+        }
     }
 
     fn refill(&mut self) {
@@ -147,13 +164,17 @@ mod tests {
         let block = chacha20_block(&key, 1, &nonce);
         assert_eq!(
             &block[..16],
-            &[0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
-              0x71, 0xc4]
+            &[
+                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+                0x71, 0xc4
+            ]
         );
         assert_eq!(
             &block[48..],
-            &[0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50,
-              0x3c, 0x4e]
+            &[
+                0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50,
+                0x3c, 0x4e
+            ]
         );
     }
 

@@ -170,7 +170,10 @@ impl RsaKeyPair {
             let n = p.mul(&q);
             let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
             if let Some(d) = e.modinv(&phi) {
-                return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+                return RsaKeyPair {
+                    public: RsaPublicKey { n, e },
+                    d,
+                };
             }
         }
     }

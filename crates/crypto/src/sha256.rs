@@ -52,7 +52,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// One-shot digest of `data`.
@@ -96,7 +101,11 @@ impl Sha256 {
         // Padding: 0x80, zeros so the length field ends a block, then the
         // 64-bit big-endian message bit length.
         let msg_rem = (self.total_len % 64) as usize;
-        let pad_zeros = if msg_rem < 56 { 55 - msg_rem } else { 119 - msg_rem };
+        let pad_zeros = if msg_rem < 56 {
+            55 - msg_rem
+        } else {
+            119 - msg_rem
+        };
         let mut pad = Vec::with_capacity(1 + pad_zeros + 8);
         pad.push(0x80);
         pad.resize(1 + pad_zeros, 0);
@@ -113,7 +122,12 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
-            w[i] = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);

@@ -48,7 +48,11 @@ impl Tpm {
         let mut mac = [0u8; 32];
         rng.fill(&mut enc);
         rng.fill(&mut mac);
-        Tpm { storage_enc_key: enc, storage_mac_key: mac, monotonic: 0 }
+        Tpm {
+            storage_enc_key: enc,
+            storage_mac_key: mac,
+            monotonic: 0,
+        }
     }
 
     /// Seals `data` under the storage key, bound to `context`.

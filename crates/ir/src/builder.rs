@@ -44,7 +44,10 @@ impl FunctionBuilder {
         FunctionBuilder {
             name: name.into(),
             params,
-            blocks: vec![PartialBlock { insts: Vec::new(), term: None }],
+            blocks: vec![PartialBlock {
+                insts: Vec::new(),
+                term: None,
+            }],
             current: 0,
             next_reg: params,
         }
@@ -69,7 +72,10 @@ impl FunctionBuilder {
 
     /// Creates a new (empty, unselected) block.
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(PartialBlock { insts: Vec::new(), term: None });
+        self.blocks.push(PartialBlock {
+            insts: Vec::new(),
+            term: None,
+        });
         BlockId((self.blocks.len() - 1) as u32)
     }
 
@@ -132,21 +138,33 @@ impl FunctionBuilder {
     /// Appends a direct call to function index `callee`.
     pub fn call(&mut self, callee: u32, args: &[Operand]) -> VReg {
         let dst = self.fresh();
-        self.push(Inst::Call { dst: Some(dst), callee, args: args.to_vec() });
+        self.push(Inst::Call {
+            dst: Some(dst),
+            callee,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Appends an indirect call through `target`.
     pub fn call_indirect(&mut self, target: Operand, args: &[Operand]) -> VReg {
         let dst = self.fresh();
-        self.push(Inst::CallIndirect { dst: Some(dst), target, args: args.to_vec() });
+        self.push(Inst::CallIndirect {
+            dst: Some(dst),
+            target,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Appends a host call.
     pub fn ext(&mut self, name: impl Into<String>, args: &[Operand]) -> VReg {
         let dst = self.fresh();
-        self.push(Inst::Extern { dst: Some(dst), name: name.into(), args: args.to_vec() });
+        self.push(Inst::Extern {
+            dst: Some(dst),
+            name: name.into(),
+            args: args.to_vec(),
+        });
         dst
     }
 
@@ -157,7 +175,11 @@ impl FunctionBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn br(&mut self, cond: Operand, then_blk: BlockId, else_blk: BlockId) {
-        self.terminate(Terminator::Br { cond, then_blk, else_blk });
+        self.terminate(Terminator::Br {
+            cond,
+            then_blk,
+            else_blk,
+        });
     }
 
     /// Terminates the current block with a return and finishes the function.
@@ -185,9 +207,17 @@ impl FunctionBuilder {
         let blocks = self
             .blocks
             .into_iter()
-            .map(|b| Block { insts: b.insts, term: b.term.unwrap_or(Terminator::Ret(None)) })
+            .map(|b| Block {
+                insts: b.insts,
+                term: b.term.unwrap_or(Terminator::Ret(None)),
+            })
             .collect();
-        Function { name: self.name, params: self.params, blocks, cfi_label: None }
+        Function {
+            name: self.name,
+            params: self.params,
+            blocks,
+            cfi_label: None,
+        }
     }
 }
 

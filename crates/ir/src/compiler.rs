@@ -128,8 +128,12 @@ mod tests {
         let c = test_compiler();
         let t = c.compile(sample_module()).unwrap();
         assert!(t.module.fully_labeled());
-        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::MaskGhost { .. })));
-        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::CfiCheck { .. })));
+        assert!(t.module.functions[0]
+            .insts()
+            .any(|i| matches!(i, Inst::MaskGhost { .. })));
+        assert!(t.module.functions[0]
+            .insts()
+            .any(|i| matches!(i, Inst::CfiCheck { .. })));
         assert!(t.verify(c.public_key()));
     }
 
@@ -146,7 +150,10 @@ mod tests {
     fn unsigned_module_fails_verification() {
         let c = test_compiler();
         let t = c.compile(sample_module()).unwrap();
-        let forged = Translation { module: t.module.clone(), signature: vec![0u8; 32] };
+        let forged = Translation {
+            module: t.module.clone(),
+            signature: vec![0u8; 32],
+        };
         assert!(!forged.verify(c.public_key()));
     }
 
@@ -174,6 +181,8 @@ mod tests {
         // No CFI labels (apps are not kernel code)…
         assert!(!t.module.fully_labeled());
         // …but mmap results are masked.
-        assert!(t.module.functions[0].insts().any(|i| matches!(i, Inst::MaskGhost { .. })));
+        assert!(t.module.functions[0]
+            .insts()
+            .any(|i| matches!(i, Inst::MaskGhost { .. })));
     }
 }

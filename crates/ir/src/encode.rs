@@ -25,7 +25,10 @@ pub fn encode_module(m: &Module) -> Vec<u8> {
     let mut s = String::new();
     let _ = writeln!(s, "module {}", m.name);
     for f in &m.functions {
-        let label = f.cfi_label.map(|l| l.to_string()).unwrap_or_else(|| "-".into());
+        let label = f
+            .cfi_label
+            .map(|l| l.to_string())
+            .unwrap_or_else(|| "-".into());
         let _ = writeln!(s, "fn {} params={} label={}", f.name, f.params, label);
         for (bi, b) in f.blocks.iter().enumerate() {
             let _ = writeln!(s, " b{bi}:");
@@ -39,7 +42,11 @@ pub fn encode_module(m: &Module) -> Vec<u8> {
                 Terminator::Jmp(t) => {
                     let _ = write!(s, "jmp b{}", t.0);
                 }
-                Terminator::Br { cond, then_blk, else_blk } => {
+                Terminator::Br {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
                     s.push_str("br ");
                     op(&mut s, cond);
                     let _ = write!(s, " b{} b{}", then_blk.0, else_blk.0);
@@ -60,7 +67,12 @@ pub fn encode_module(m: &Module) -> Vec<u8> {
 
 fn encode_inst(s: &mut String, i: &Inst) {
     match i {
-        Inst::Bin { op: o, dst, lhs, rhs } => {
+        Inst::Bin {
+            op: o,
+            dst,
+            lhs,
+            rhs,
+        } => {
             let _ = write!(s, "%{} = {:?} ", dst.0, o);
             op(s, lhs);
             s.push(' ');
@@ -127,7 +139,10 @@ fn encode_inst(s: &mut String, i: &Inst) {
             let _ = write!(s, "%{} = zerosva ", dst.0);
             op(s, src);
         }
-        Inst::CfiCheck { target, expected_label } => {
+        Inst::CfiCheck {
+            target,
+            expected_label,
+        } => {
             s.push_str("cficheck ");
             op(s, target);
             let _ = write!(s, " label={expected_label}");

@@ -295,14 +295,19 @@ pub struct Module {
 impl std::fmt::Display for Module {
     /// Renders the canonical textual assembly (same bytes that get signed).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&String::from_utf8_lossy(&crate::encode::encode_module(self)))
+        f.write_str(&String::from_utf8_lossy(&crate::encode::encode_module(
+            self,
+        )))
     }
 }
 
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), functions: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
     }
 
     /// Appends a function, returning its index.
@@ -313,7 +318,10 @@ impl Module {
 
     /// Finds a function index by name.
     pub fn find(&self, name: &str) -> Option<u32> {
-        self.functions.iter().position(|f| f.name == name).map(|i| i as u32)
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
     }
 
     /// Whether every function carries a CFI label (i.e. the module has been
@@ -342,7 +350,12 @@ mod tests {
     #[test]
     fn module_find_and_push() {
         let mut m = Module::new("test");
-        let f = Function { name: "a".into(), params: 0, blocks: vec![], cfi_label: None };
+        let f = Function {
+            name: "a".into(),
+            params: 0,
+            blocks: vec![],
+            cfi_label: None,
+        };
         let idx = m.push_function(f);
         assert_eq!(idx, 0);
         assert_eq!(m.find("a"), Some(0));
@@ -357,8 +370,17 @@ mod tests {
             params: 1,
             blocks: vec![Block {
                 insts: vec![
-                    Inst::Bin { op: BinOp::Add, dst: VReg(5), lhs: VReg(0).into(), rhs: 1.into() },
-                    Inst::Load { dst: VReg(9), addr: VReg(5).into(), width: Width::W8 },
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst: VReg(5),
+                        lhs: VReg(0).into(),
+                        rhs: 1.into(),
+                    },
+                    Inst::Load {
+                        dst: VReg(9),
+                        addr: VReg(5).into(),
+                        width: Width::W8,
+                    },
                 ],
                 term: Terminator::Ret(Some(VReg(9).into())),
             }],

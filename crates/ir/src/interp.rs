@@ -158,10 +158,17 @@ impl std::fmt::Display for InterpFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             InterpFault::Mem(m) => {
-                write!(f, "memory fault at {:#x} ({})", m.addr, if m.write { "write" } else { "read" })
+                write!(
+                    f,
+                    "memory fault at {:#x} ({})",
+                    m.addr,
+                    if m.write { "write" } else { "read" }
+                )
             }
             InterpFault::CfiViolation { target } => write!(f, "CFI violation: target {target:#x}"),
-            InterpFault::BadIndirect { target } => write!(f, "indirect call to non-code {target:#x}"),
+            InterpFault::BadIndirect { target } => {
+                write!(f, "indirect call to non-code {target:#x}")
+            }
             InterpFault::UnknownExtern { name } => write!(f, "unknown extern `{name}`"),
             InterpFault::HostFailed { reason } => write!(f, "host call failed: {reason}"),
             InterpFault::OutOfFuel => write!(f, "out of fuel"),
@@ -206,7 +213,12 @@ pub struct Interp<'a> {
 impl<'a> Interp<'a> {
     /// Creates an interpreter over `registry` with a default fuel budget.
     pub fn new(registry: &'a CodeRegistry) -> Self {
-        Interp { registry, stats: InterpStats::default(), fuel: 10_000_000, max_depth: 128 }
+        Interp {
+            registry,
+            stats: InterpStats::default(),
+            fuel: 10_000_000,
+            max_depth: 128,
+        }
     }
 
     /// Overrides the fuel budget (instructions executed before
@@ -280,8 +292,16 @@ impl<'a> Interp<'a> {
             }
             match &blk.term {
                 Terminator::Jmp(t) => block = t.0 as usize,
-                Terminator::Br { cond, then_blk, else_blk } => {
-                    block = if eval(cond, &regs) != 0 { then_blk.0 } else { else_blk.0 } as usize;
+                Terminator::Br {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    block = if eval(cond, &regs) != 0 {
+                        then_blk.0
+                    } else {
+                        else_blk.0
+                    } as usize;
                 }
                 Terminator::Ret(v) => {
                     if instrumented {
@@ -377,10 +397,16 @@ impl<'a> Interp<'a> {
             Inst::ZeroSva { dst, src } => {
                 self.stats.masks += 1;
                 let a = eval(src, regs) as u64;
-                regs[dst.0 as usize] =
-                    if (SVA_INTERNAL_BASE..SVA_INTERNAL_END).contains(&a) { 0 } else { a as i64 };
+                regs[dst.0 as usize] = if (SVA_INTERNAL_BASE..SVA_INTERNAL_END).contains(&a) {
+                    0
+                } else {
+                    a as i64
+                };
             }
-            Inst::CfiCheck { target, expected_label } => {
+            Inst::CfiCheck {
+                target,
+                expected_label,
+            } => {
                 self.stats.cfi_checks += 1;
                 let t = eval(target, regs) as u64;
                 // The check first masks the target into kernel space, then
@@ -433,7 +459,9 @@ pub struct FlatMem {
 impl FlatMem {
     /// A zeroed memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        FlatMem { bytes: vec![0; size] }
+        FlatMem {
+            bytes: vec![0; size],
+        }
     }
 }
 
@@ -444,11 +472,9 @@ impl MemBus for FlatMem {
         if a + n > self.bytes.len() {
             return Err(MemFault { addr, write: false });
         }
-        let mut v = 0u64;
-        for i in (0..n).rev() {
-            v = (v << 8) | self.bytes[a + i] as u64;
-        }
-        Ok(v)
+        let mut le = [0u8; 8];
+        le[..n].copy_from_slice(&self.bytes[a..a + n]);
+        Ok(u64::from_le_bytes(le))
     }
 
     fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
@@ -457,8 +483,26 @@ impl MemBus for FlatMem {
         if a + n > self.bytes.len() {
             return Err(MemFault { addr, write: true });
         }
-        for i in 0..n {
-            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        self.bytes[a..a + n].copy_from_slice(&value.to_le_bytes()[..n]);
+        Ok(())
+    }
+
+    fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemFault> {
+        let blen = self.bytes.len() as u64;
+        let fits = src.checked_add(len).is_some_and(|e| e <= blen)
+            && dst.checked_add(len).is_some_and(|e| e <= blen);
+        let overlaps = len != 0 && src < dst.wrapping_add(len) && dst < src.wrapping_add(len);
+        if fits && !overlaps {
+            self.bytes
+                .copy_within(src as usize..(src + len) as usize, dst as usize);
+            return Ok(());
+        }
+        // Out-of-bounds or overlapping: the default interleaved byte copy
+        // gets both the partial-write prefix and the propagation semantics
+        // right, and it faults on exactly the right byte.
+        for i in 0..len {
+            let b = self.load(src + i, Width::W1)?;
+            self.store(dst + i, Width::W1, b)?;
         }
         Ok(())
     }
@@ -488,7 +532,14 @@ mod tests {
         let mut interp = Interp::new(&reg);
         let mut mem = FlatMem::new(4096);
         let mut host = NullHost;
-        interp.run(addr, args, &mut Pair { mem: &mut mem, host: &mut host })
+        interp.run(
+            addr,
+            args,
+            &mut Pair {
+                mem: &mut mem,
+                host: &mut host,
+            },
+        )
     }
 
     #[test]
@@ -574,7 +625,10 @@ mod tests {
         let mut interp = Interp::new(&reg);
         let mut mem = FlatMem::new(16);
         let mut host = NullHost;
-        let mut env = Pair { mem: &mut mem, host: &mut host };
+        let mut env = Pair {
+            mem: &mut mem,
+            host: &mut host,
+        };
         assert_eq!(interp.run(maddr, &[taddr.0 as i64], &mut env).unwrap(), 7);
         // Unregistered target faults.
         assert!(matches!(
@@ -599,7 +653,14 @@ mod tests {
         let mut interp = Interp::new(&reg).with_fuel(1000);
         let mut mem = FlatMem::new(16);
         assert_eq!(
-            interp.run(addr, &[], &mut Pair { mem: &mut mem, host: &mut NullHost }),
+            interp.run(
+                addr,
+                &[],
+                &mut Pair {
+                    mem: &mut mem,
+                    host: &mut NullHost
+                }
+            ),
             Err(InterpFault::OutOfFuel)
         );
     }
@@ -621,7 +682,9 @@ mod tests {
         m.push_function(b.ret(None));
         assert_eq!(
             run_one(m, "f", &[]),
-            Err(InterpFault::UnknownExtern { name: "no.such.fn".into() })
+            Err(InterpFault::UnknownExtern {
+                name: "no.such.fn".into()
+            })
         );
     }
 
@@ -638,7 +701,16 @@ mod tests {
         let addr = reg.addr_of(h, "f").unwrap();
         let mut interp = Interp::new(&reg);
         let mut mem = FlatMem::new(64);
-        interp.run(addr, &[], &mut Pair { mem: &mut mem, host: &mut NullHost }).unwrap();
+        interp
+            .run(
+                addr,
+                &[],
+                &mut Pair {
+                    mem: &mut mem,
+                    host: &mut NullHost,
+                },
+            )
+            .unwrap();
         assert_eq!(interp.stats.loads, 1);
         assert_eq!(interp.stats.stores, 1);
         assert_eq!(interp.stats.memcpy_bytes, 8);

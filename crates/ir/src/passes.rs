@@ -40,13 +40,21 @@ fn instrument_pointers(f: &mut Function, guard: fn(VReg, Operand) -> Inst) {
                     let masked = VReg(next_reg);
                     next_reg += 1;
                     out.push(guard(masked, addr));
-                    out.push(Inst::Load { dst, addr: masked.into(), width });
+                    out.push(Inst::Load {
+                        dst,
+                        addr: masked.into(),
+                        width,
+                    });
                 }
                 Inst::Store { src, addr, width } => {
                     let masked = VReg(next_reg);
                     next_reg += 1;
                     out.push(guard(masked, addr));
-                    out.push(Inst::Store { src, addr: masked.into(), width });
+                    out.push(Inst::Store {
+                        src,
+                        addr: masked.into(),
+                        width,
+                    });
                 }
                 Inst::Memcpy { dst, src, len } => {
                     let md = VReg(next_reg);
@@ -54,7 +62,11 @@ fn instrument_pointers(f: &mut Function, guard: fn(VReg, Operand) -> Inst) {
                     next_reg += 2;
                     out.push(guard(md, dst));
                     out.push(guard(ms, src));
-                    out.push(Inst::Memcpy { dst: md.into(), src: ms.into(), len });
+                    out.push(Inst::Memcpy {
+                        dst: md.into(),
+                        src: ms.into(),
+                        len,
+                    });
                 }
                 other => out.push(other),
             }
@@ -130,13 +142,22 @@ pub mod mmapmask {
                 let mut out = Vec::with_capacity(block.insts.len());
                 for inst in block.insts.drain(..) {
                     match inst {
-                        Inst::Extern { dst: Some(dst), name, args }
-                            if mmap_names.contains(&name.as_str()) =>
-                        {
+                        Inst::Extern {
+                            dst: Some(dst),
+                            name,
+                            args,
+                        } if mmap_names.contains(&name.as_str()) => {
                             let raw = VReg(next_reg);
                             next_reg += 1;
-                            out.push(Inst::Extern { dst: Some(raw), name, args });
-                            out.push(Inst::MaskGhost { dst, src: raw.into() });
+                            out.push(Inst::Extern {
+                                dst: Some(raw),
+                                name,
+                                args,
+                            });
+                            out.push(Inst::MaskGhost {
+                                dst,
+                                src: raw.into(),
+                            });
                         }
                         other => out.push(other),
                     }
@@ -168,13 +189,19 @@ mod tests {
         let mut m = module_with_access();
         sandbox::run(&mut m);
         let f = &m.functions[0];
-        let masks = f.insts().filter(|i| matches!(i, Inst::MaskGhost { .. })).count();
+        let masks = f
+            .insts()
+            .filter(|i| matches!(i, Inst::MaskGhost { .. }))
+            .count();
         // load + store + 2 for memcpy.
         assert_eq!(masks, 4);
         // Every Load/Store address operand is now a register written by a mask.
         for i in f.insts() {
             if let Inst::Load { addr, .. } | Inst::Store { addr, .. } = i {
-                assert!(matches!(addr, Operand::Reg(_)), "unmasked access survives: {i:?}");
+                assert!(
+                    matches!(addr, Operand::Reg(_)),
+                    "unmasked access survives: {i:?}"
+                );
             }
         }
     }
@@ -185,8 +212,14 @@ mod tests {
         sandbox::run(&mut m);
         svaguard::run(&mut m);
         let f = &m.functions[0];
-        let ghost = f.insts().filter(|i| matches!(i, Inst::MaskGhost { .. })).count();
-        let sva = f.insts().filter(|i| matches!(i, Inst::ZeroSva { .. })).count();
+        let ghost = f
+            .insts()
+            .filter(|i| matches!(i, Inst::MaskGhost { .. }))
+            .count();
+        let sva = f
+            .insts()
+            .filter(|i| matches!(i, Inst::ZeroSva { .. }))
+            .count();
         assert_eq!(ghost, 4);
         assert_eq!(sva, 4);
     }
@@ -201,7 +234,13 @@ mod tests {
         assert!(m.fully_labeled());
         let f = &m.functions[0];
         let insts: Vec<_> = f.insts().collect();
-        assert!(matches!(insts[0], Inst::CfiCheck { expected_label: KERNEL_CFI_LABEL, .. }));
+        assert!(matches!(
+            insts[0],
+            Inst::CfiCheck {
+                expected_label: KERNEL_CFI_LABEL,
+                ..
+            }
+        ));
         assert!(matches!(insts[1], Inst::CallIndirect { .. }));
     }
 

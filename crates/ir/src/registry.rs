@@ -87,7 +87,11 @@ impl CodeRegistry {
             };
             self.entries.insert(
                 addr,
-                RegisteredFn { module: handle, func: i as u32, label: f.cfi_label },
+                RegisteredFn {
+                    module: handle,
+                    func: i as u32,
+                    label: f.cfi_label,
+                },
             );
         }
         self.modules.push(module);
@@ -101,7 +105,14 @@ impl CodeRegistry {
     /// module was compiled with CFI.
     pub fn register_at(&mut self, addr: CodeAddr, module: ModuleHandle, func: u32) {
         let label = self.modules[module.0].functions[func as usize].cfi_label;
-        self.entries.insert(addr.0, RegisteredFn { module, func, label });
+        self.entries.insert(
+            addr.0,
+            RegisteredFn {
+                module,
+                func,
+                label,
+            },
+        );
     }
 
     /// Resolves a code address.

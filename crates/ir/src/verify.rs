@@ -43,10 +43,16 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "function `{function}` has no blocks")
             }
             VerifyError::BadBlockTarget { function, target } => {
-                write!(f, "function `{function}` branches to nonexistent block {target}")
+                write!(
+                    f,
+                    "function `{function}` branches to nonexistent block {target}"
+                )
             }
             VerifyError::BadCallee { function, callee } => {
-                write!(f, "function `{function}` calls nonexistent function index {callee}")
+                write!(
+                    f,
+                    "function `{function}` calls nonexistent function index {callee}"
+                )
             }
             VerifyError::DuplicateName { name } => {
                 write!(f, "duplicate function name `{name}`")
@@ -66,7 +72,9 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
     let mut seen = std::collections::HashSet::new();
     for f in &module.functions {
         if !seen.insert(f.name.clone()) {
-            return Err(VerifyError::DuplicateName { name: f.name.clone() });
+            return Err(VerifyError::DuplicateName {
+                name: f.name.clone(),
+            });
         }
         verify_function(f, module.functions.len() as u32)?;
     }
@@ -75,12 +83,17 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 
 fn verify_function(f: &Function, num_functions: u32) -> Result<(), VerifyError> {
     if f.blocks.is_empty() {
-        return Err(VerifyError::EmptyFunction { function: f.name.clone() });
+        return Err(VerifyError::EmptyFunction {
+            function: f.name.clone(),
+        });
     }
     let nblocks = f.blocks.len() as u32;
     let check_target = |t: u32| -> Result<(), VerifyError> {
         if t >= nblocks {
-            Err(VerifyError::BadBlockTarget { function: f.name.clone(), target: t })
+            Err(VerifyError::BadBlockTarget {
+                function: f.name.clone(),
+                target: t,
+            })
         } else {
             Ok(())
         }
@@ -98,7 +111,9 @@ fn verify_function(f: &Function, num_functions: u32) -> Result<(), VerifyError> 
         }
         match &b.term {
             Terminator::Jmp(t) => check_target(t.0)?,
-            Terminator::Br { then_blk, else_blk, .. } => {
+            Terminator::Br {
+                then_blk, else_blk, ..
+            } => {
                 check_target(then_blk.0)?;
                 check_target(else_blk.0)?;
             }
@@ -137,7 +152,9 @@ mod tests {
         });
         assert_eq!(
             verify_module(&m),
-            Err(VerifyError::EmptyFunction { function: "empty".into() })
+            Err(VerifyError::EmptyFunction {
+                function: "empty".into()
+            })
         );
     }
 
@@ -147,10 +164,16 @@ mod tests {
         m.push_function(Function {
             name: "f".into(),
             params: 0,
-            blocks: vec![Block { insts: vec![], term: Terminator::Jmp(BlockId(7)) }],
+            blocks: vec![Block {
+                insts: vec![],
+                term: Terminator::Jmp(BlockId(7)),
+            }],
             cfi_label: None,
         });
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadBlockTarget { target: 7, .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadBlockTarget { target: 7, .. })
+        ));
     }
 
     #[test]
@@ -159,7 +182,10 @@ mod tests {
         let mut b = FunctionBuilder::new("g", 0);
         b.call(99, &[]);
         m.push_function(b.ret(None));
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadCallee { callee: 99, .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadCallee { callee: 99, .. })
+        ));
     }
 
     #[test]
@@ -167,6 +193,9 @@ mod tests {
         let mut m = simple_module();
         let b = FunctionBuilder::new("f", 0);
         m.push_function(b.ret(None));
-        assert_eq!(verify_module(&m), Err(VerifyError::DuplicateName { name: "f".into() }));
+        assert_eq!(
+            verify_module(&m),
+            Err(VerifyError::DuplicateName { name: "f".into() })
+        );
     }
 }

@@ -24,10 +24,19 @@ const MEM_SIZE: usize = 4096;
 fn gen_function() -> impl Strategy<Value = Function> {
     let inst = prop_oneof![
         // Arithmetic between registers/immediates.
-        (0u32..8, 0u32..8, any::<i16>(), prop_oneof![
-            Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-            Just(BinOp::And), Just(BinOp::Or), Just(BinOp::Xor),
-        ])
+        (
+            0u32..8,
+            0u32..8,
+            any::<i16>(),
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::And),
+                Just(BinOp::Or),
+                Just(BinOp::Xor),
+            ]
+        )
             .prop_map(|(d, s, imm, op)| Inst::Bin {
                 op,
                 dst: VReg(d),
@@ -35,23 +44,31 @@ fn gen_function() -> impl Strategy<Value = Function> {
                 rhs: Operand::Imm(imm as i64),
             }),
         // Load from a bounded user address.
-        (0u32..8, 0u32..(MEM_SIZE as u32 - 8))
-            .prop_map(|(d, a)| Inst::Load { dst: VReg(d), addr: Operand::Imm(a as i64), width: Width::W8 }),
+        (0u32..8, 0u32..(MEM_SIZE as u32 - 8)).prop_map(|(d, a)| Inst::Load {
+            dst: VReg(d),
+            addr: Operand::Imm(a as i64),
+            width: Width::W8
+        }),
         // Store a register to a bounded user address.
-        (0u32..8, 0u32..(MEM_SIZE as u32 - 8))
-            .prop_map(|(s, a)| Inst::Store { src: Operand::Reg(VReg(s)), addr: Operand::Imm(a as i64), width: Width::W8 }),
+        (0u32..8, 0u32..(MEM_SIZE as u32 - 8)).prop_map(|(s, a)| Inst::Store {
+            src: Operand::Reg(VReg(s)),
+            addr: Operand::Imm(a as i64),
+            width: Width::W8
+        }),
         // Bounded memcpy.
-        (0u32..1024, 2048u32..3072, 0u32..64)
-            .prop_map(|(s, d, n)| Inst::Memcpy {
-                dst: Operand::Imm(d as i64),
-                src: Operand::Imm(s as i64),
-                len: Operand::Imm(n as i64),
-            }),
+        (0u32..1024, 2048u32..3072, 0u32..64).prop_map(|(s, d, n)| Inst::Memcpy {
+            dst: Operand::Imm(d as i64),
+            src: Operand::Imm(s as i64),
+            len: Operand::Imm(n as i64),
+        }),
     ];
     (proptest::collection::vec(inst, 0..25), 0u32..8).prop_map(|(insts, ret)| Function {
         name: "f".to_string(),
         params: 2,
-        blocks: vec![Block { insts, term: Terminator::Ret(Some(Operand::Reg(VReg(ret)))) }],
+        blocks: vec![Block {
+            insts,
+            term: Terminator::Ret(Some(Operand::Reg(VReg(ret)))),
+        }],
         cfi_label: None,
     })
 }
@@ -64,7 +81,14 @@ fn run_module(m: &Module, args: &[i64]) -> (i64, Vec<u8>) {
     let mut mem = FlatMem::new(MEM_SIZE);
     let mut host = NullHost;
     let r = interp
-        .run(addr, args, &mut Pair { mem: &mut mem, host: &mut host })
+        .run(
+            addr,
+            args,
+            &mut Pair {
+                mem: &mut mem,
+                host: &mut host,
+            },
+        )
         .expect("user-space program runs");
     (r, mem.bytes)
 }

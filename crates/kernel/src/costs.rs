@@ -37,62 +37,170 @@ impl PathCost {
 }
 
 /// `getpid` and other trivial syscalls (beyond trap + dispatch).
-pub const NULL_SYSCALL: PathCost = PathCost { acc: 4, br: 2, fixed: 0 };
+pub const NULL_SYSCALL: PathCost = PathCost {
+    acc: 4,
+    br: 2,
+    fixed: 0,
+};
 /// `open`: path lookup, fd allocation, vnode setup (excl. fs work).
-pub const OPEN: PathCost = PathCost { acc: 1650, br: 100, fixed: 800 };
+pub const OPEN: PathCost = PathCost {
+    acc: 1650,
+    br: 100,
+    fixed: 800,
+};
 /// `close`: fd teardown.
-pub const CLOSE: PathCost = PathCost { acc: 420, br: 20, fixed: 60 };
+pub const CLOSE: PathCost = PathCost {
+    acc: 420,
+    br: 20,
+    fixed: 60,
+};
 /// `read`/`write` fixed part (copy and fs work charged separately).
-pub const RW_BASE: PathCost = PathCost { acc: 170, br: 9, fixed: 150 };
+pub const RW_BASE: PathCost = PathCost {
+    acc: 170,
+    br: 9,
+    fixed: 150,
+};
 /// File create path beyond OPEN (inode + dirent allocation).
-pub const CREATE_EXTRA: PathCost = PathCost { acc: 4000, br: 120, fixed: 4160 };
+pub const CREATE_EXTRA: PathCost = PathCost {
+    acc: 4000,
+    br: 120,
+    fixed: 4160,
+};
 /// `unlink`.
-pub const UNLINK: PathCost = PathCost { acc: 5500, br: 260, fixed: 5600 };
+pub const UNLINK: PathCost = PathCost {
+    acc: 5500,
+    br: 260,
+    fixed: 5600,
+};
 /// `mmap` region setup.
-pub const MMAP: PathCost = PathCost { acc: 7200, br: 420, fixed: 4700 };
+pub const MMAP: PathCost = PathCost {
+    acc: 7200,
+    br: 420,
+    fixed: 4700,
+};
 /// `munmap`.
-pub const MUNMAP: PathCost = PathCost { acc: 700, br: 36, fixed: 600 };
+pub const MUNMAP: PathCost = PathCost {
+    acc: 700,
+    br: 36,
+    fixed: 600,
+};
 /// `brk`.
-pub const BRK: PathCost = PathCost { acc: 160, br: 8, fixed: 120 };
+pub const BRK: PathCost = PathCost {
+    acc: 160,
+    br: 8,
+    fixed: 120,
+};
 /// Page-fault service for a zero-fill anonymous page.
-pub const PAGE_FAULT: PathCost = PathCost { acc: 600, br: 40, fixed: 2_500 };
+pub const PAGE_FAULT: PathCost = PathCost {
+    acc: 600,
+    br: 40,
+    fixed: 2_500,
+};
 /// Additional work for a file-backed fault (vnode getpages path) — what
 /// LMBench's `lat_pagefault` on a mapped file measures on top.
-pub const PAGE_FAULT_FILE_EXTRA: PathCost = PathCost { acc: 0, br: 0, fixed: 97_500 };
+pub const PAGE_FAULT_FILE_EXTRA: PathCost = PathCost {
+    acc: 0,
+    br: 0,
+    fixed: 97_500,
+};
 /// Signal handler installation (`sigaction`).
-pub const SIG_INSTALL: PathCost = PathCost { acc: 40, br: 3, fixed: 150 };
+pub const SIG_INSTALL: PathCost = PathCost {
+    acc: 40,
+    br: 3,
+    fixed: 150,
+};
 /// Signal delivery path (kernel side, excl. SVA IC operations).
-pub const SIG_DELIVER: PathCost = PathCost { acc: 45, br: 4, fixed: 3250 };
+pub const SIG_DELIVER: PathCost = PathCost {
+    acc: 45,
+    br: 4,
+    fixed: 3250,
+};
 /// `kill`.
-pub const KILL: PathCost = PathCost { acc: 60, br: 5, fixed: 180 };
+pub const KILL: PathCost = PathCost {
+    acc: 60,
+    br: 5,
+    fixed: 180,
+};
 /// `fork`: proc/vmspace/cred duplication (excl. per-page copies).
-pub const FORK: PathCost = PathCost { acc: 59_600, br: 3500, fixed: 52_000 };
+pub const FORK: PathCost = PathCost {
+    acc: 59_600,
+    br: 3500,
+    fixed: 52_000,
+};
 /// Per copied page during fork (excl. the byte copy itself).
-pub const FORK_PER_PAGE: PathCost = PathCost { acc: 120, br: 6, fixed: 200 };
+pub const FORK_PER_PAGE: PathCost = PathCost {
+    acc: 120,
+    br: 6,
+    fixed: 200,
+};
 /// `exec`: image setup, argument shuffling (excl. signature checks).
-pub const EXEC: PathCost = PathCost { acc: 35_000, br: 1200, fixed: 45_000 };
+pub const EXEC: PathCost = PathCost {
+    acc: 35_000,
+    br: 1200,
+    fixed: 45_000,
+};
 /// `exit` + reaping.
-pub const EXIT: PathCost = PathCost { acc: 9000, br: 460, fixed: 2000 };
+pub const EXIT: PathCost = PathCost {
+    acc: 9000,
+    br: 460,
+    fixed: 2000,
+};
 /// `wait4`.
-pub const WAIT: PathCost = PathCost { acc: 330, br: 18, fixed: 250 };
+pub const WAIT: PathCost = PathCost {
+    acc: 330,
+    br: 18,
+    fixed: 250,
+};
 /// `select` per file descriptor polled.
-pub const SELECT_PER_FD: PathCost = PathCost { acc: 17, br: 3, fixed: 49 };
+pub const SELECT_PER_FD: PathCost = PathCost {
+    acc: 17,
+    br: 3,
+    fixed: 49,
+};
 /// `select` fixed part.
-pub const SELECT_BASE: PathCost = PathCost { acc: 130, br: 8, fixed: 80 };
+pub const SELECT_BASE: PathCost = PathCost {
+    acc: 130,
+    br: 8,
+    fixed: 80,
+};
 /// Socket creation / bind / listen.
-pub const SOCK_SETUP: PathCost = PathCost { acc: 600, br: 30, fixed: 700 };
+pub const SOCK_SETUP: PathCost = PathCost {
+    acc: 600,
+    br: 30,
+    fixed: 700,
+};
 /// `accept`.
-pub const ACCEPT: PathCost = PathCost { acc: 900, br: 46, fixed: 900 };
+pub const ACCEPT: PathCost = PathCost {
+    acc: 900,
+    br: 46,
+    fixed: 900,
+};
 /// Network send/receive per packet (protocol processing).
-pub const NET_PER_PACKET: PathCost = PathCost { acc: 380, br: 20, fixed: 250 };
+pub const NET_PER_PACKET: PathCost = PathCost {
+    acc: 380,
+    br: 20,
+    fixed: 250,
+};
 /// `fsync`.
-pub const FSYNC: PathCost = PathCost { acc: 420, br: 22, fixed: 600 };
+pub const FSYNC: PathCost = PathCost {
+    acc: 420,
+    br: 22,
+    fixed: 600,
+};
 /// SSH per-session kernel work beyond fork/exec: pty allocation, auth file
 /// lookups, credential churn (calibrated against Figure 3's small-file
 /// bandwidth reduction).
-pub const SSHD_SESSION: PathCost = PathCost { acc: 100_000, br: 4000, fixed: 30_000 };
+pub const SSHD_SESSION: PathCost = PathCost {
+    acc: 100_000,
+    br: 4000,
+    fixed: 30_000,
+};
 /// Kernel module load/link.
-pub const MODULE_LOAD: PathCost = PathCost { acc: 8000, br: 400, fixed: 6000 };
+pub const MODULE_LOAD: PathCost = PathCost {
+    acc: 8000,
+    br: 400,
+    fixed: 6000,
+};
 
 #[cfg(test)]
 mod tests {
@@ -101,7 +209,10 @@ mod tests {
     use vg_machine::MachineConfig;
 
     fn cycles(path: PathCost, costs: CostModel) -> u64 {
-        let mut m = Machine::new(MachineConfig { costs, ..Default::default() });
+        let mut m = Machine::new(MachineConfig {
+            costs,
+            ..Default::default()
+        });
         path.charge(&mut m);
         m.clock.cycles()
     }
@@ -128,7 +239,10 @@ mod tests {
         // Paper: page faults only 1.15× slower under VG — dominated by the
         // non-instrumentable getpages path (the file-extra component).
         let total = |m: CostModel| {
-            let mut mach = Machine::new(MachineConfig { costs: m, ..Default::default() });
+            let mut mach = Machine::new(MachineConfig {
+                costs: m,
+                ..Default::default()
+            });
             PAGE_FAULT.charge(&mut mach);
             PAGE_FAULT_FILE_EXTRA.charge(&mut mach);
             mach.clock.cycles() as f64

@@ -166,13 +166,17 @@ pub struct MemDisk {
 impl MemDisk {
     /// A zeroed device of `n` blocks.
     pub fn new(n: u32) -> Self {
-        MemDisk { blocks: vec![None; n as usize] }
+        MemDisk {
+            blocks: vec![None; n as usize],
+        }
     }
 }
 
 impl BlockDev for MemDisk {
     fn read_block(&mut self, bno: u32) -> Vec<u8> {
-        self.blocks[bno as usize].clone().unwrap_or_else(|| vec![0; BLOCK_SIZE])
+        self.blocks[bno as usize]
+            .clone()
+            .unwrap_or_else(|| vec![0; BLOCK_SIZE])
     }
 
     fn write_block(&mut self, bno: u32, data: &[u8]) {
@@ -224,7 +228,11 @@ impl VgFs {
             fs.bitmap_set(dev, b, true, &mut w);
         }
         // Root directory.
-        let root = DiskInode { kind: 2, nlink: 1, ..Default::default() };
+        let root = DiskInode {
+            kind: 2,
+            nlink: 1,
+            ..Default::default()
+        };
         fs.write_inode(dev, ROOT_INO, &root, &mut w);
         fs.sync(dev);
         fs
@@ -363,12 +371,17 @@ impl VgFs {
     // ---- inodes ----------------------------------------------------------
 
     fn inode_block(&self, ino: Ino) -> (u32, usize) {
-        (1 + ino.0 / INODES_PER_BLOCK as u32, (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE)
+        (
+            1 + ino.0 / INODES_PER_BLOCK as u32,
+            (ino.0 as usize % INODES_PER_BLOCK) * INODE_SIZE,
+        )
     }
 
     fn read_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, w: &mut FsWork) -> DiskInode {
         let (bno, off) = self.inode_block(ino);
-        self.with_block(dev, bno, w, |blk| DiskInode::decode(&blk.data[off..off + INODE_SIZE]))
+        self.with_block(dev, bno, w, |blk| {
+            DiskInode::decode(&blk.data[off..off + INODE_SIZE])
+        })
     }
 
     fn write_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, inode: &DiskInode, w: &mut FsWork) {
@@ -379,7 +392,12 @@ impl VgFs {
         });
     }
 
-    fn alloc_inode(&mut self, dev: &mut dyn BlockDev, kind: InodeKind, w: &mut FsWork) -> Result<Ino, FsError> {
+    fn alloc_inode(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        kind: InodeKind,
+        w: &mut FsWork,
+    ) -> Result<Ino, FsError> {
         for i in 1..self.ninodes {
             let ino = Ino(i);
             let d = self.read_inode(dev, ino, w);
@@ -540,7 +558,12 @@ impl VgFs {
     }
 
     /// Truncates a file to zero length, freeing its blocks.
-    pub fn truncate(&mut self, dev: &mut dyn BlockDev, ino: Ino, w: &mut FsWork) -> Result<(), FsError> {
+    pub fn truncate(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
         let mut inode = self.read_inode(dev, ino, w);
         if inode.kind == 0 {
             return Err(FsError::NotFound);
@@ -640,7 +663,12 @@ impl VgFs {
     }
 
     /// Resolves an absolute path to an inode.
-    pub fn lookup(&mut self, dev: &mut dyn BlockDev, path: &str, w: &mut FsWork) -> Result<Ino, FsError> {
+    pub fn lookup(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        path: &str,
+        w: &mut FsWork,
+    ) -> Result<Ino, FsError> {
         let mut cur = ROOT_INO;
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             cur = self.lookup_in(dev, cur, comp, w)?;
@@ -679,11 +707,19 @@ impl VgFs {
     }
 
     /// Removes the file or (empty) directory at `path`.
-    pub fn unlink(&mut self, dev: &mut dyn BlockDev, path: &str, w: &mut FsWork) -> Result<(), FsError> {
+    pub fn unlink(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        path: &str,
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
         let (parent_path, name) = Self::split_path(path)?;
         let parent = self.lookup(dev, parent_path, w)?;
         let mut entries = self.dir_entries(dev, parent, w)?;
-        let idx = entries.iter().position(|(n, _)| n == name).ok_or(FsError::NotFound)?;
+        let idx = entries
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or(FsError::NotFound)?;
         let ino = entries[idx].1;
         let (_, kind) = self.stat(dev, ino, w)?;
         if kind == InodeKind::Dir && !self.dir_entries(dev, ino, w)?.is_empty() {
@@ -722,12 +758,17 @@ mod tests {
     fn create_write_read_roundtrip() {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
-        let ino = fs.create(&mut dev, "/hello.txt", InodeKind::File, &mut w).unwrap();
+        let ino = fs
+            .create(&mut dev, "/hello.txt", InodeKind::File, &mut w)
+            .unwrap();
         fs.write(&mut dev, ino, 0, b"hello vgfs", &mut w).unwrap();
         let mut buf = [0u8; 10];
         assert_eq!(fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap(), 10);
         assert_eq!(&buf, b"hello vgfs");
-        assert_eq!(fs.stat(&mut dev, ino, &mut w).unwrap(), (10, InodeKind::File));
+        assert_eq!(
+            fs.stat(&mut dev, ino, &mut w).unwrap(),
+            (10, InodeKind::File)
+        );
     }
 
     #[test]
@@ -736,7 +777,10 @@ mod tests {
         let mut w = FsWork::default();
         let ino = fs.create(&mut dev, "/a", InodeKind::File, &mut w).unwrap();
         assert_eq!(fs.lookup(&mut dev, "/a", &mut w).unwrap(), ino);
-        assert_eq!(fs.create(&mut dev, "/a", InodeKind::File, &mut w), Err(FsError::Exists));
+        assert_eq!(
+            fs.create(&mut dev, "/a", InodeKind::File, &mut w),
+            Err(FsError::Exists)
+        );
         assert_eq!(fs.lookup(&mut dev, "/nope", &mut w), Err(FsError::NotFound));
     }
 
@@ -745,12 +789,19 @@ mod tests {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
         fs.create(&mut dev, "/usr", InodeKind::Dir, &mut w).unwrap();
-        fs.create(&mut dev, "/usr/share", InodeKind::Dir, &mut w).unwrap();
-        let f = fs.create(&mut dev, "/usr/share/f.txt", InodeKind::File, &mut w).unwrap();
+        fs.create(&mut dev, "/usr/share", InodeKind::Dir, &mut w)
+            .unwrap();
+        let f = fs
+            .create(&mut dev, "/usr/share/f.txt", InodeKind::File, &mut w)
+            .unwrap();
         fs.write(&mut dev, f, 0, b"deep", &mut w).unwrap();
         assert_eq!(fs.lookup(&mut dev, "/usr/share/f.txt", &mut w).unwrap(), f);
-        let names: Vec<String> =
-            fs.readdir(&mut dev, "/usr", &mut w).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = fs
+            .readdir(&mut dev, "/usr", &mut w)
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["share"]);
     }
 
@@ -759,7 +810,8 @@ mod tests {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
         let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
-        fs.write(&mut dev, ino, 0, &vec![7u8; 10_000], &mut w).unwrap();
+        fs.write(&mut dev, ino, 0, &vec![7u8; 10_000], &mut w)
+            .unwrap();
         fs.unlink(&mut dev, "/f", &mut w).unwrap();
         assert_eq!(fs.lookup(&mut dev, "/f", &mut w), Err(FsError::NotFound));
         // The inode and blocks are reusable.
@@ -772,7 +824,8 @@ mod tests {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
         fs.create(&mut dev, "/d", InodeKind::Dir, &mut w).unwrap();
-        fs.create(&mut dev, "/d/x", InodeKind::File, &mut w).unwrap();
+        fs.create(&mut dev, "/d/x", InodeKind::File, &mut w)
+            .unwrap();
         assert_eq!(fs.unlink(&mut dev, "/d", &mut w), Err(FsError::NotEmpty));
         fs.unlink(&mut dev, "/d/x", &mut w).unwrap();
         fs.unlink(&mut dev, "/d", &mut w).unwrap();
@@ -782,7 +835,9 @@ mod tests {
     fn large_file_uses_indirect_blocks() {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
-        let ino = fs.create(&mut dev, "/big", InodeKind::File, &mut w).unwrap();
+        let ino = fs
+            .create(&mut dev, "/big", InodeKind::File, &mut w)
+            .unwrap();
         let size = (NDIRECT + 5) * BLOCK_SIZE; // spills into the indirect block
         let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
         fs.write(&mut dev, ino, 0, &data, &mut w).unwrap();
@@ -807,7 +862,8 @@ mod tests {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
         let ino = fs.create(&mut dev, "/s", InodeKind::File, &mut w).unwrap();
-        fs.write(&mut dev, ino, 3 * BLOCK_SIZE as u64, b"end", &mut w).unwrap();
+        fs.write(&mut dev, ino, 3 * BLOCK_SIZE as u64, b"end", &mut w)
+            .unwrap();
         let mut buf = [9u8; 8];
         fs.read(&mut dev, ino, 0, &mut buf, &mut w).unwrap();
         assert_eq!(buf, [0u8; 8]);
@@ -819,7 +875,9 @@ mod tests {
         {
             let mut fs = VgFs::mkfs(&mut dev, 256);
             let mut w = FsWork::default();
-            let ino = fs.create(&mut dev, "/persist", InodeKind::File, &mut w).unwrap();
+            let ino = fs
+                .create(&mut dev, "/persist", InodeKind::File, &mut w)
+                .unwrap();
             fs.write(&mut dev, ino, 0, b"still here", &mut w).unwrap();
             fs.sync(&mut dev);
         }
@@ -851,7 +909,8 @@ mod tests {
         let (mut dev, mut fs) = fresh();
         let mut w = FsWork::default();
         let ino = fs.create(&mut dev, "/f", InodeKind::File, &mut w).unwrap();
-        fs.write(&mut dev, ino, 0, &vec![1u8; 8192], &mut w).unwrap();
+        fs.write(&mut dev, ino, 0, &vec![1u8; 8192], &mut w)
+            .unwrap();
         assert!(w.accesses > 0);
         assert!(w.bytes_copied >= 8192);
         assert!(w.disk_reads > 0, "cold cache went to the device");
@@ -864,7 +923,8 @@ mod tests {
         for i in 0..100 {
             let path = format!("/pm{i}");
             let ino = fs.create(&mut dev, &path, InodeKind::File, &mut w).unwrap();
-            fs.write(&mut dev, ino, 0, &vec![i as u8; 600], &mut w).unwrap();
+            fs.write(&mut dev, ino, 0, &vec![i as u8; 600], &mut w)
+                .unwrap();
         }
         assert_eq!(fs.readdir(&mut dev, "/", &mut w).unwrap().len(), 100);
         for i in (0..100).step_by(2) {

@@ -187,7 +187,10 @@ mod ipc_tests {
         });
         let pid = sys.spawn("piper");
         assert_eq!(sys.run_until_exit(pid), 0);
-        assert!(sys.pipes.is_empty(), "pipes reclaimed after both ends closed");
+        assert!(
+            sys.pipes.is_empty(),
+            "pipes reclaimed after both ends closed"
+        );
     }
 
     #[test]
@@ -333,13 +336,69 @@ mod thread_tests {
 }
 
 #[cfg(test)]
+mod brk_tests {
+    use super::*;
+    use crate::mem::HEAP_BASE;
+    use vg_machine::PAGE_SIZE;
+
+    #[test]
+    fn brk_shrink_unmaps_and_frees_heap_pages() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("shrink", false, || {
+            Box::new(|env| {
+                env.brk(HEAP_BASE + 3 * PAGE_SIZE);
+                env.write_mem(HEAP_BASE, b"one");
+                env.write_mem(HEAP_BASE + PAGE_SIZE, b"two");
+                env.write_mem(HEAP_BASE + 2 * PAGE_SIZE, b"three");
+                let touched = env.sys.machine.phys.free_frames();
+                if env.brk(HEAP_BASE) != HEAP_BASE as i64 {
+                    return 1;
+                }
+                // The three materialized heap frames went back to the pool…
+                if env.sys.machine.phys.free_frames() != touched + 3 {
+                    return 2;
+                }
+                // …and the heap is gone from the address space.
+                let pid = env.pid;
+                if env.sys.peek_user(pid, HEAP_BASE, 1).is_some() {
+                    return 3;
+                }
+                0
+            })
+        });
+        let pid = sys.spawn("shrink");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    #[test]
+    fn brk_regrow_after_shrink_is_zero_filled() {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("regrow", false, || {
+            Box::new(|env| {
+                env.brk(HEAP_BASE + PAGE_SIZE);
+                env.write_mem(HEAP_BASE, b"stale secret");
+                env.brk(HEAP_BASE);
+                env.brk(HEAP_BASE + PAGE_SIZE);
+                // The regrown page demand-faults a fresh zeroed frame, not
+                // the page with the old contents.
+                (env.read_mem(HEAP_BASE, 12) != vec![0u8; 12]) as i32
+            })
+        });
+        let pid = sys.spawn("regrow");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+}
+
+#[cfg(test)]
 mod rusage_tests {
     use super::*;
 
     #[test]
     fn cpu_time_attributed_to_the_right_process() {
         let mut sys = System::boot(Mode::VirtualGhost);
-        sys.install_app("light", false, || Box::new(|env| (env.getpid() <= 0) as i32));
+        sys.install_app("light", false, || {
+            Box::new(|env| (env.getpid() <= 0) as i32)
+        });
         sys.install_app("heavy", false, || {
             Box::new(|env| {
                 let buf = env.mmap_anon(4096);
@@ -361,6 +420,9 @@ mod rusage_tests {
         let lc = sys.proc_cycles(light);
         let hc = sys.proc_cycles(heavy);
         assert!(lc > 0, "light process accrued time");
-        assert!(hc > lc * 10, "heavy fs work dominates: light {lc}, heavy {hc}");
+        assert!(
+            hc > lc * 10,
+            "heavy fs work dominates: light {lc}, heavy {hc}"
+        );
     }
 }

@@ -21,8 +21,8 @@ pub fn kwork(machine: &mut Machine, accesses: u64, branches: u64) {
     machine.counters.kernel_accesses += accesses;
     machine.counters.kernel_branches += branches;
     let c = &machine.costs;
-    let cycles = accesses * (c.kernel_access + c.mask_access)
-        + branches * (c.kernel_branch + c.cfi_branch);
+    let cycles =
+        accesses * (c.kernel_access + c.mask_access) + branches * (c.kernel_branch + c.cfi_branch);
     machine.charge(cycles);
 }
 
@@ -130,18 +130,56 @@ impl AddressSpace {
         self.regions.remove(&va)
     }
 
-    /// Grows (or shrinks) the heap; returns the new break.
-    pub fn set_brk(&mut self, new_brk: u64) -> u64 {
+    /// Grows or shrinks the heap; returns the new break and, on shrink, the
+    /// materialized pages past the new (page-rounded) break. Those pages are
+    /// already removed from the bookkeeping — the caller owns unmapping them
+    /// from the page tables and freeing the frames (see `sys_brk`), so a
+    /// regrown heap demand-faults fresh zero-filled pages instead of
+    /// resurrecting stale contents.
+    pub fn set_brk(&mut self, new_brk: u64) -> (u64, Vec<(u64, Pfn)>) {
         let new_brk = new_brk.max(HEAP_BASE);
         self.brk = new_brk;
-        // The heap is one growing anon region.
+        let old_len = self.regions.get(&HEAP_BASE).map_or(0, |r| r.len);
+        // The heap is one anon region from HEAP_BASE to the rounded break.
         let len = (new_brk - HEAP_BASE).div_ceil(PAGE_SIZE) * PAGE_SIZE;
         if len > 0 {
-            self.regions
-                .insert(HEAP_BASE, Region { start: HEAP_BASE, len, kind: RegionKind::Anon });
+            self.regions.insert(
+                HEAP_BASE,
+                Region {
+                    start: HEAP_BASE,
+                    len,
+                    kind: RegionKind::Anon,
+                },
+            );
+        } else {
+            self.regions.remove(&HEAP_BASE);
         }
-        self.brk
+        let torn: Vec<(u64, Pfn)> = self
+            .pages
+            .range(HEAP_BASE + len..HEAP_BASE + old_len.max(len))
+            .map(|(&va, &pfn)| (va, pfn))
+            .collect();
+        for (va, _) in &torn {
+            self.pages.remove(va);
+        }
+        (self.brk, torn)
     }
+}
+
+/// Whether `[addr, addr + n)` straddles a page boundary.
+///
+/// Word-granular bus fast paths only fire for accesses this returns `false`
+/// for; everything else takes the byte-wise reference path. `n` must be
+/// non-zero.
+#[inline]
+pub fn crosses_page(addr: u64, n: u64) -> bool {
+    (addr % PAGE_SIZE) + n > PAGE_SIZE
+}
+
+/// Whether `[a, a + len)` and `[b, b + len)` overlap (virtually).
+#[inline]
+fn ranges_overlap(a: u64, b: u64, len: u64) -> bool {
+    len != 0 && a < b.wrapping_add(len) && b < a.wrapping_add(len)
 }
 
 /// The memory bus kernel-mode code (including loaded kernel modules) sees.
@@ -155,6 +193,15 @@ impl AddressSpace {
 ///   matching the paper's observed behaviour where a masked ghost pointer
 ///   makes "the kernel simply read unknown data out of its own address
 ///   space" rather than crash.
+///
+/// Accesses that stay within one page translate **once** and move whole
+/// words/chunks through physical memory; page-crossing accesses (and all
+/// accesses when [`Machine::byte_granular_bus`] is set) take the byte-wise
+/// reference path. Both paths produce identical values, faults, charged
+/// cycles and counters — see DESIGN.md §6 and the equivalence property
+/// tests. Which byte an access faults on follows the reference path: loads
+/// probe high-to-low (fault address `addr + n - 1`), stores low-to-high
+/// (fault address `addr`).
 #[derive(Debug)]
 pub struct KernelMem<'a> {
     /// The machine (page tables + physical memory).
@@ -165,30 +212,38 @@ pub struct KernelMem<'a> {
 
 impl KernelMem<'_> {
     fn user_pa(&mut self, addr: u64, write: bool) -> Result<u64, MemFault> {
-        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         self.machine
             .mmu
             .translate(&self.machine.phys, VAddr(addr), kind, false)
             .map(|pa| pa.0)
             .map_err(|_| MemFault { addr, write })
     }
-}
 
-impl MemBus for KernelMem<'_> {
-    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+    /// One byte of the kernel segment: the heap where mapped, deterministic
+    /// garbage elsewhere (a masked ghost pointer makes the kernel "read
+    /// unknown data out of its own address space", never crash).
+    #[inline]
+    fn kernel_byte(&self, addr: u64) -> u8 {
+        let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+        self.kernel_heap
+            .get(off)
+            .copied()
+            .unwrap_or_else(|| (addr.wrapping_mul(0x9e3779b1) >> 16) as u8)
+    }
+
+    /// Byte-wise reference load (the original implementation; also the
+    /// fallback for page-crossing accesses).
+    fn load_bytewise(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
         let n = width.bytes();
         if addr >= KERNEL_BASE {
-            // Kernel segment.
-            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
             let mut v = 0u64;
-            for i in (0..n as usize).rev() {
-                let byte = self
-                    .kernel_heap
-                    .get(off + i)
-                    .copied()
-                    // Unmapped kernel address: deterministic garbage, no fault.
-                    .unwrap_or_else(|| (addr.wrapping_add(i as u64).wrapping_mul(0x9e3779b1) >> 16) as u8);
-                v = (v << 8) | byte as u64;
+            for i in (0..n).rev() {
+                v = (v << 8) | self.kernel_byte(addr.wrapping_add(i)) as u64;
             }
             return Ok(v);
         }
@@ -200,7 +255,8 @@ impl MemBus for KernelMem<'_> {
         Ok(v)
     }
 
-    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+    /// Byte-wise reference store.
+    fn store_bytewise(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
         let n = width.bytes();
         if (SVA_INTERNAL_BASE..vg_machine::layout::SVA_INTERNAL_END).contains(&addr) {
             // Writes into SVA internal memory silently vanish for native
@@ -219,7 +275,140 @@ impl MemBus for KernelMem<'_> {
         }
         for i in 0..n {
             let pa = self.user_pa(addr + i, true)?;
-            self.machine.phys.write_u8_at(vg_machine::PAddr(pa), (value >> (8 * i)) as u8);
+            self.machine
+                .phys
+                .write_u8_at(vg_machine::PAddr(pa), (value >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+
+    /// Reads a page-local chunk starting at `addr` (same segment dispatch as
+    /// the reference path, one translation for user memory).
+    fn read_chunk(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        if addr >= KERNEL_BASE {
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            if let Some(src) = off
+                .checked_add(buf.len())
+                .and_then(|end| self.kernel_heap.get(off..end))
+            {
+                buf.copy_from_slice(src);
+            } else {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = self.kernel_byte(addr.wrapping_add(i as u64));
+                }
+            }
+            return Ok(());
+        }
+        let pa = vg_machine::PAddr(self.user_pa(addr, false)?);
+        self.machine
+            .phys
+            .read_bytes(pa.pfn(), pa.frame_offset(), buf);
+        Ok(())
+    }
+
+    /// Writes a page-local chunk starting at `addr`.
+    fn write_chunk(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        if (SVA_INTERNAL_BASE..vg_machine::layout::SVA_INTERNAL_END).contains(&addr) {
+            return Ok(());
+        }
+        if addr >= KERNEL_BASE {
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            for (i, &b) in buf.iter().enumerate() {
+                if let Some(slot) = self.kernel_heap.get_mut(off + i) {
+                    *slot = b;
+                }
+            }
+            return Ok(());
+        }
+        let pa = vg_machine::PAddr(self.user_pa(addr, true)?);
+        self.machine
+            .phys
+            .write_bytes(pa.pfn(), pa.frame_offset(), buf);
+        Ok(())
+    }
+}
+
+impl MemBus for KernelMem<'_> {
+    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let n = width.bytes();
+        if self.machine.byte_granular_bus || crosses_page(addr, n) {
+            return self.load_bytewise(addr, width);
+        }
+        if addr >= KERNEL_BASE {
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            let Some(bytes) = off
+                .checked_add(n as usize)
+                .and_then(|end| self.kernel_heap.get(off..end))
+            else {
+                // Partially or fully outside the segment: garbage path.
+                return self.load_bytewise(addr, width);
+            };
+            let mut le = [0u8; 8];
+            le[..n as usize].copy_from_slice(bytes);
+            return Ok(u64::from_le_bytes(le));
+        }
+        // The reference path probes high-to-low, so translate the top byte:
+        // same page, same physical frame, and the matching fault address.
+        let pa_top = self.user_pa(addr + n - 1, false)?;
+        let pa = vg_machine::PAddr(pa_top - (n - 1));
+        let mut le = [0u8; 8];
+        self.machine
+            .phys
+            .read_bytes(pa.pfn(), pa.frame_offset(), &mut le[..n as usize]);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+        let n = width.bytes();
+        if self.machine.byte_granular_bus || crosses_page(addr, n) {
+            return self.store_bytewise(addr, width, value);
+        }
+        if (SVA_INTERNAL_BASE..vg_machine::layout::SVA_INTERNAL_END).contains(&addr) {
+            return Ok(());
+        }
+        if addr >= KERNEL_BASE {
+            let off = addr.wrapping_sub(KERNEL_BASE) as usize;
+            let le = value.to_le_bytes();
+            if let Some(dst) = off
+                .checked_add(n as usize)
+                .and_then(|end| self.kernel_heap.get_mut(off..end))
+            {
+                dst.copy_from_slice(&le[..n as usize]);
+            } else {
+                // Partially or fully out of segment: swallow per byte.
+                return self.store_bytewise(addr, width, value);
+            }
+            return Ok(());
+        }
+        let pa = vg_machine::PAddr(self.user_pa(addr, true)?);
+        let le = value.to_le_bytes();
+        self.machine
+            .phys
+            .write_bytes(pa.pfn(), pa.frame_offset(), &le[..n as usize]);
+        Ok(())
+    }
+
+    fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemFault> {
+        // Overlapping ranges keep the reference path's interleaved forward
+        // byte copy (chunking would change the result); so does the
+        // reference mode flag.
+        if self.machine.byte_granular_bus || ranges_overlap(dst, src, len) {
+            for i in 0..len {
+                let b = self.load(src + i, Width::W1)?;
+                self.store(dst + i, Width::W1, b)?;
+            }
+            return Ok(());
+        }
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let mut copied = 0;
+        while copied < len {
+            let (s, d) = (src + copied, dst + copied);
+            let chunk = (len - copied)
+                .min(PAGE_SIZE - s % PAGE_SIZE)
+                .min(PAGE_SIZE - d % PAGE_SIZE) as usize;
+            self.read_chunk(s, &mut buf[..chunk])?;
+            self.write_chunk(d, &buf[..chunk])?;
+            copied += chunk as u64;
         }
         Ok(())
     }
@@ -230,34 +419,103 @@ impl MemBus for KernelMem<'_> {
 /// application (e.g. injected exploit code dispatched as a signal handler on
 /// a native system) can read ghost memory — which is why Virtual Ghost must
 /// stop the dispatch itself.
+///
+/// Same word-granular fast path / byte-wise reference structure as
+/// [`KernelMem`] (see there for the fault-address convention).
 #[derive(Debug)]
 pub struct UserMem<'a> {
     /// The machine (page tables + physical memory).
     pub machine: &'a mut Machine,
 }
 
-impl MemBus for UserMem<'_> {
-    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+impl UserMem<'_> {
+    fn pa(&mut self, addr: u64, write: bool) -> Result<vg_machine::PAddr, MemFault> {
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        self.machine
+            .mmu
+            .translate(&self.machine.phys, VAddr(addr), kind, true)
+            .map_err(|_| MemFault { addr, write })
+    }
+
+    /// Byte-wise reference load (the original implementation).
+    fn load_bytewise(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
         let mut v = 0u64;
         for i in (0..width.bytes()).rev() {
-            let pa = self
-                .machine
-                .mmu
-                .translate(&self.machine.phys, VAddr(addr + i), AccessKind::Read, true)
-                .map_err(|_| MemFault { addr: addr + i, write: false })?;
+            let pa = self.pa(addr + i, false)?;
             v = (v << 8) | self.machine.phys.read_u8_at(pa) as u64;
         }
         Ok(v)
     }
 
-    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+    /// Byte-wise reference store.
+    fn store_bytewise(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
         for i in 0..width.bytes() {
-            let pa = self
-                .machine
-                .mmu
-                .translate(&self.machine.phys, VAddr(addr + i), AccessKind::Write, true)
-                .map_err(|_| MemFault { addr: addr + i, write: true })?;
+            let pa = self.pa(addr + i, true)?;
             self.machine.phys.write_u8_at(pa, (value >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+}
+
+impl MemBus for UserMem<'_> {
+    fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let n = width.bytes();
+        if self.machine.byte_granular_bus || crosses_page(addr, n) {
+            return self.load_bytewise(addr, width);
+        }
+        // Translate the top byte: same page, matching fault address.
+        let pa_top = self.pa(addr + n - 1, false)?;
+        let pa = vg_machine::PAddr(pa_top.0 - (n - 1));
+        let mut le = [0u8; 8];
+        self.machine
+            .phys
+            .read_bytes(pa.pfn(), pa.frame_offset(), &mut le[..n as usize]);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
+        let n = width.bytes();
+        if self.machine.byte_granular_bus || crosses_page(addr, n) {
+            return self.store_bytewise(addr, width, value);
+        }
+        let pa = self.pa(addr, true)?;
+        let le = value.to_le_bytes();
+        self.machine
+            .phys
+            .write_bytes(pa.pfn(), pa.frame_offset(), &le[..n as usize]);
+        Ok(())
+    }
+
+    fn memcpy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), MemFault> {
+        if self.machine.byte_granular_bus || ranges_overlap(dst, src, len) {
+            for i in 0..len {
+                let b = self.load(src + i, Width::W1)?;
+                self.store(dst + i, Width::W1, b)?;
+            }
+            return Ok(());
+        }
+        let mut buf = [0u8; PAGE_SIZE as usize];
+        let mut copied = 0;
+        while copied < len {
+            let (s, d) = (src + copied, dst + copied);
+            let chunk = (len - copied)
+                .min(PAGE_SIZE - s % PAGE_SIZE)
+                .min(PAGE_SIZE - d % PAGE_SIZE) as usize;
+            let pa = self.pa(s, false)?;
+            // Borrow dance: read into the stack buffer, then translate and
+            // write — `phys` cannot be borrowed for both at once.
+            self.machine
+                .phys
+                .read_bytes(pa.pfn(), pa.frame_offset(), &mut buf[..chunk]);
+            let pa = self.pa(d, true)?;
+            self.machine
+                .phys
+                .write_bytes(pa.pfn(), pa.frame_offset(), &buf[..chunk]);
+            copied += chunk as u64;
         }
         Ok(())
     }
@@ -272,7 +530,10 @@ mod tests {
     #[test]
     fn kwork_charges_more_under_vg() {
         let mut native = Machine::new(MachineConfig::default());
-        let mut vg = Machine::new(MachineConfig { costs: CostModel::virtual_ghost(), ..Default::default() });
+        let mut vg = Machine::new(MachineConfig {
+            costs: CostModel::virtual_ghost(),
+            ..Default::default()
+        });
         kwork(&mut native, 1000, 100);
         kwork(&mut vg, 1000, 100);
         assert!(vg.clock.cycles() > native.clock.cycles() * 3);
@@ -312,11 +573,45 @@ mod tests {
     }
 
     #[test]
+    fn brk_shrink_tears_down_region_and_pages() {
+        let mut a = AddressSpace::new();
+        a.set_brk(HEAP_BASE + 3 * PAGE_SIZE);
+        a.pages.insert(HEAP_BASE, Pfn(10));
+        a.pages.insert(HEAP_BASE + PAGE_SIZE, Pfn(11));
+        a.pages.insert(HEAP_BASE + 2 * PAGE_SIZE, Pfn(12));
+
+        // Partial shrink: the region shrinks and only pages past the new
+        // break come back for teardown.
+        let (brk, torn) = a.set_brk(HEAP_BASE + PAGE_SIZE);
+        assert_eq!(brk, HEAP_BASE + PAGE_SIZE);
+        assert_eq!(
+            torn,
+            vec![
+                (HEAP_BASE + PAGE_SIZE, Pfn(11)),
+                (HEAP_BASE + 2 * PAGE_SIZE, Pfn(12))
+            ]
+        );
+        assert!(a.region_at(HEAP_BASE).is_some());
+        assert!(a.region_at(HEAP_BASE + PAGE_SIZE).is_none());
+        assert!(a.pages.contains_key(&HEAP_BASE));
+
+        // Shrink to zero: the region disappears entirely.
+        let (brk, torn) = a.set_brk(0);
+        assert_eq!(brk, HEAP_BASE);
+        assert_eq!(torn, vec![(HEAP_BASE, Pfn(10))]);
+        assert!(a.region_at(HEAP_BASE).is_none());
+        assert!(a.pages.is_empty());
+    }
+
+    #[test]
     fn kernel_mem_garbage_reads_do_not_fault() {
         let mut machine = Machine::new(MachineConfig::default());
         let mut heap = vec![0u8; 4096];
         heap[8] = 0xab;
-        let mut km = KernelMem { machine: &mut machine, kernel_heap: &mut heap };
+        let mut km = KernelMem {
+            machine: &mut machine,
+            kernel_heap: &mut heap,
+        };
         // In-segment read.
         assert_eq!(km.load(KERNEL_BASE + 8, Width::W1).unwrap(), 0xab);
         // Out-of-segment kernel read: deterministic garbage, not a fault —
@@ -336,7 +631,10 @@ mod tests {
         let root = machine.phys.alloc_frame().unwrap();
         machine.mmu.set_root(root);
         let mut heap = Vec::new();
-        let mut km = KernelMem { machine: &mut machine, kernel_heap: &mut heap };
+        let mut km = KernelMem {
+            machine: &mut machine,
+            kernel_heap: &mut heap,
+        };
         assert!(km.load(0x4000, Width::W8).is_err());
     }
 }

@@ -31,7 +31,10 @@ impl System {
     ///
     /// Propagates loader rejections ([`SvaError::UntrustedCode`]) and
     /// compile failures.
-    pub fn install_module(&mut self, module: Module) -> Result<vg_ir::registry::ModuleHandle, SvaError> {
+    pub fn install_module(
+        &mut self,
+        module: Module,
+    ) -> Result<vg_ir::registry::ModuleHandle, SvaError> {
         crate::costs::MODULE_LOAD.charge(&mut self.machine);
         let translation = if self.vm.protections.sandbox {
             self.vm
@@ -39,7 +42,10 @@ impl System {
                 .compile(module)
                 .map_err(|_| SvaError::UntrustedCode)?
         } else {
-            Translation { module, signature: Vec::new() }
+            Translation {
+                module,
+                signature: Vec::new(),
+            }
         };
         let handle = self.vm.load_kernel_module(translation)?;
         if let Some(init) = self.vm.code.addr_of(handle, "init") {
@@ -60,9 +66,10 @@ impl System {
         module: Module,
     ) -> Result<vg_ir::registry::ModuleHandle, SvaError> {
         crate::costs::MODULE_LOAD.charge(&mut self.machine);
-        let handle = self
-            .vm
-            .load_kernel_module(Translation { module, signature: Vec::new() })?;
+        let handle = self.vm.load_kernel_module(Translation {
+            module,
+            signature: Vec::new(),
+        })?;
         if let Some(init) = self.vm.code.addr_of(handle, "init") {
             let _ = self.run_module_hook(0, init, &[]);
         }
@@ -91,13 +98,19 @@ pub struct KernelCtx<'a> {
 
 impl MemBus for KernelCtx<'_> {
     fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
-        KernelMem { machine: &mut self.sys.machine, kernel_heap: &mut self.sys.kernel_heap }
-            .load(addr, width)
+        KernelMem {
+            machine: &mut self.sys.machine,
+            kernel_heap: &mut self.sys.kernel_heap,
+        }
+        .load(addr, width)
     }
 
     fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
-        KernelMem { machine: &mut self.sys.machine, kernel_heap: &mut self.sys.kernel_heap }
-            .store(addr, width, value)
+        KernelMem {
+            machine: &mut self.sys.machine,
+            kernel_heap: &mut self.sys.kernel_heap,
+        }
+        .store(addr, width, value)
     }
 }
 
@@ -230,13 +243,21 @@ impl ExternHost for KernelCtx<'_> {
             }
             // ---- raw hardware pokes --------------------------------------------
             "kern.port_write" => {
-                match self.sys.vm.sva_port_write(&mut self.sys.machine, a(0) as u16, a(1) as u64) {
+                match self
+                    .sys
+                    .vm
+                    .sva_port_write(&mut self.sys.machine, a(0) as u16, a(1) as u64)
+                {
                     Ok(()) => Ok(0),
                     Err(_) => Ok(-1),
                 }
             }
             "kern.iommu_map" => {
-                match self.sys.vm.sva_iommu_map(&mut self.sys.machine, vg_machine::Pfn(a(0) as u64)) {
+                match self
+                    .sys
+                    .vm
+                    .sva_iommu_map(&mut self.sys.machine, vg_machine::Pfn(a(0) as u64))
+                {
                     Ok(()) => Ok(0),
                     Err(_) => Ok(-1),
                 }
@@ -257,11 +278,17 @@ pub struct UserCtx<'a> {
 
 impl MemBus for UserCtx<'_> {
     fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
-        UserMem { machine: &mut self.sys.machine }.load(addr, width)
+        UserMem {
+            machine: &mut self.sys.machine,
+        }
+        .load(addr, width)
     }
 
     fn store(&mut self, addr: u64, width: Width, value: u64) -> Result<(), MemFault> {
-        UserMem { machine: &mut self.sys.machine }.store(addr, width, value)
+        UserMem {
+            machine: &mut self.sys.machine,
+        }
+        .store(addr, width, value)
     }
 }
 

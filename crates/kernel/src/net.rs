@@ -40,7 +40,8 @@ impl Socket {
                 .port
                 .is_some_and(|p| net.pending.get(&p).is_some_and(|q| !q.is_empty()));
         }
-        self.flow.is_some_and(|f| net.flows.get(&f).is_some_and(|b| !b.rx.is_empty()))
+        self.flow
+            .is_some_and(|f| net.flows.get(&f).is_some_and(|b| !b.rx.is_empty()))
     }
 }
 
@@ -84,8 +85,15 @@ impl System {
         self.net.flows.insert(flow, FlowBuf::default());
         let id = self.next_socket_id();
         self.machine.charge_wire(CONN_WIRE_CYCLES);
-        self.sockets
-            .insert(id, Socket { port: None, listening: false, flow: Some(flow), refs: 1 });
+        self.sockets.insert(
+            id,
+            Socket {
+                port: None,
+                listening: false,
+                flow: Some(flow),
+                refs: 1,
+            },
+        );
         self.alloc_fd(pid, Fd::Sock { id })
     }
 
@@ -105,7 +113,13 @@ impl System {
 
     fn alloc_socket(&mut self) -> u64 {
         let id = self.next_socket_id();
-        self.sockets.insert(id, Socket { refs: 1, ..Socket::default() });
+        self.sockets.insert(
+            id,
+            Socket {
+                refs: 1,
+                ..Socket::default()
+            },
+        );
         id
     }
 
@@ -208,7 +222,10 @@ impl System {
             let wire = self.machine.costs.nic_per_packet
                 + self.machine.costs.nic_per_byte * chunk.len() as u64;
             self.machine.charge_wire(wire);
-            self.machine.nic.transmit(Packet { flow, data: chunk.to_vec() });
+            self.machine.nic.transmit(Packet {
+                flow,
+                data: chunk.to_vec(),
+            });
         }
         // If a remote responder is registered (the harness's model of the
         // peer machine), hand it what just left the wire and inject its
@@ -274,7 +291,10 @@ impl System {
     /// Injects bytes from the outside world into `flow`.
     pub fn wire_send(&mut self, flow: u64, data: &[u8]) {
         for chunk in data.chunks(MTU) {
-            self.machine.nic.wire_inject(Packet { flow, data: chunk.to_vec() });
+            self.machine.nic.wire_inject(Packet {
+                flow,
+                data: chunk.to_vec(),
+            });
         }
     }
 

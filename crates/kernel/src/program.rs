@@ -28,7 +28,12 @@ fn vg_kernel_thread_syscall() -> u32 {
 
 fn vg_kernel_charge_thread_create(sys: &mut System) {
     // Thread creation is a light fork: no address-space copy.
-    crate::costs::PathCost { acc: 6_000, br: 300, fixed: 3_000 }.charge(&mut sys.machine);
+    crate::costs::PathCost {
+        acc: 6_000,
+        br: 300,
+        fixed: 3_000,
+    }
+    .charge(&mut sys.machine);
 }
 
 /// A registered signal-handler body.
@@ -182,7 +187,11 @@ impl UserEnv<'_> {
                 .unwrap_or_else(|| panic!("segfault: write to {cur:#x} by pid {}", self.pid));
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(data.len() - done);
-            self.sys.machine.phys.write_bytes(pa.pfn(), pa.frame_offset(), &data[done..done + take]);
+            self.sys.machine.phys.write_bytes(
+                pa.pfn(),
+                pa.frame_offset(),
+                &data[done..done + take],
+            );
             done += take;
         }
     }
@@ -204,7 +213,11 @@ impl UserEnv<'_> {
                 .unwrap_or_else(|| panic!("segfault: read of {cur:#x} by pid {}", self.pid));
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(len - done);
-            self.sys.machine.phys.read_bytes(pa.pfn(), pa.frame_offset(), &mut out[done..done + take]);
+            self.sys.machine.phys.read_bytes(
+                pa.pfn(),
+                pa.frame_offset(),
+                &mut out[done..done + take],
+            );
             done += take;
         }
         out
@@ -242,8 +255,11 @@ impl UserEnv<'_> {
             VAddr(va),
             &frames,
         )?;
-        self.sys.procs.get_mut(&self.pid).expect("proc").ghost_cursor =
-            va + num_pages * PAGE_SIZE;
+        self.sys
+            .procs
+            .get_mut(&self.pid)
+            .expect("proc")
+            .ghost_cursor = va + num_pages * PAGE_SIZE;
         Ok(va)
     }
 

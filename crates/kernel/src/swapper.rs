@@ -60,7 +60,9 @@ impl System {
         let mut evicted = 0;
         for vpn in vpns.into_iter().take(max_pages) {
             costs::FSYNC.charge(&mut self.machine); // swap-device write path
-            match self.vm.sva_swap_out(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE))
+            match self
+                .vm
+                .sva_swap_out(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE))
             {
                 Ok((blob, frame)) => {
                     self.machine.phys.free_frame(frame);
@@ -92,16 +94,27 @@ impl System {
         };
         costs::FSYNC.charge(&mut self.machine); // swap-device read path
         let root = self.procs[&pid].root;
-        let frame = self.machine.phys.alloc_frame().ok_or(SvaError::OutOfFrames)?;
-        match self.vm.sva_swap_in(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE), &blob, frame)
-        {
+        let frame = self
+            .machine
+            .phys
+            .alloc_frame()
+            .ok_or(SvaError::OutOfFrames)?;
+        match self.vm.sva_swap_in(
+            &mut self.machine,
+            ProcId(pid),
+            root,
+            VAddr(vpn * PAGE_SIZE),
+            &blob,
+            frame,
+        ) {
             Ok(()) => {
                 self.swap.blobs.remove(&(pid, vpn));
                 Ok(true)
             }
             Err(e) => {
                 self.machine.phys.free_frame(frame);
-                self.log.push(format!("swap-in of pid {pid} vpn {vpn:#x} refused: {e}"));
+                self.log
+                    .push(format!("swap-in of pid {pid} vpn {vpn:#x} refused: {e}"));
                 Err(e)
             }
         }
@@ -174,7 +187,12 @@ mod tests {
                 env.sys.kernel_swap_out_ghost(pid, 1);
                 // Hostile kernel flips a bit in the swap store.
                 let vpn = va / 4096;
-                env.sys.swap.blob_mut(pid, vpn).expect("swapped").sealed.ciphertext_mut()[7] ^= 1;
+                env.sys
+                    .swap
+                    .blob_mut(pid, vpn)
+                    .expect("swapped")
+                    .sealed
+                    .ciphertext_mut()[7] ^= 1;
                 // Direct swap-in attempt is refused…
                 match env.sys.kernel_swap_in_ghost(pid, va) {
                     Err(vg_core::SvaError::SwapIntegrity) => 0,
@@ -187,6 +205,9 @@ mod tests {
         });
         let pid = sys.spawn("s");
         assert_eq!(sys.run_until_exit(pid), 0);
-        assert!(sys.log.iter().any(|l| l.contains("swap-in") && l.contains("refused")));
+        assert!(sys
+            .log
+            .iter()
+            .any(|l| l.contains("swap-in") && l.contains("refused")));
     }
 }

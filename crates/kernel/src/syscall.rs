@@ -131,7 +131,10 @@ impl System {
                 0
             }
             SYS_FORK => {
-                let child = self.pending_child.take().unwrap_or(crate::system::ChildKind::Exit(0));
+                let child = self
+                    .pending_child
+                    .take()
+                    .unwrap_or(crate::system::ChildKind::Exit(0));
                 self.sys_fork(pid, child)
             }
             SYS_EXEC => self.sys_exec(pid),
@@ -268,7 +271,14 @@ impl System {
         crate::mem::kwork(&mut self.machine, 300, 16);
         let id = self.next_pipe;
         self.next_pipe += 1;
-        self.pipes.insert(id, crate::system::Pipe { readers: 1, writers: 1, ..Default::default() });
+        self.pipes.insert(
+            id,
+            crate::system::Pipe {
+                readers: 1,
+                writers: 1,
+                ..Default::default()
+            },
+        );
         let r = self.alloc_fd(pid, Fd::PipeR { id });
         let w = self.alloc_fd(pid, Fd::PipeW { id });
         // Packed return: read fd in the high half, write fd in the low.
@@ -342,8 +352,12 @@ impl System {
                 if !self.copyout(pid, buf, &data) {
                     return -1;
                 }
-                if let Some(Some(Fd::File { off, .. })) =
-                    self.procs.get_mut(&pid).expect("proc").fds.get_mut(fd as usize)
+                if let Some(Some(Fd::File { off, .. })) = self
+                    .procs
+                    .get_mut(&pid)
+                    .expect("proc")
+                    .fds
+                    .get_mut(fd as usize)
                 {
                     *off += n as u64;
                 }
@@ -380,12 +394,18 @@ impl System {
                 let n = {
                     let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
                     let mut dev = DmaDisk { machine, vm };
-                    fs.write(&mut dev, ino, off, &data, &mut w).map(|n| n as i64).unwrap_or(-1)
+                    fs.write(&mut dev, ino, off, &data, &mut w)
+                        .map(|n| n as i64)
+                        .unwrap_or(-1)
                 };
                 self.charge_fswork(&w);
                 if n > 0 {
-                    if let Some(Some(Fd::File { off, .. })) =
-                        self.procs.get_mut(&pid).expect("proc").fds.get_mut(fd as usize)
+                    if let Some(Some(Fd::File { off, .. })) = self
+                        .procs
+                        .get_mut(&pid)
+                        .expect("proc")
+                        .fds
+                        .get_mut(fd as usize)
                     {
                         *off += n as u64;
                     }
@@ -436,7 +456,8 @@ impl System {
         let r = {
             let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
             let mut dev = DmaDisk { machine, vm };
-            fs.lookup(&mut dev, &path, &mut w).and_then(|ino| fs.stat(&mut dev, ino, &mut w))
+            fs.lookup(&mut dev, &path, &mut w)
+                .and_then(|ino| fs.stat(&mut dev, ino, &mut w))
         };
         self.charge_fswork(&w);
         match r {
@@ -459,9 +480,9 @@ impl System {
         let proc = self.procs.get_mut(&pid).expect("proc");
         if let Some(Some(Fd::File { off, .. })) = proc.fds.get_mut(fd as usize) {
             let new = match whence {
-                0 => offset,                 // SEEK_SET
-                1 => *off as i64 + offset,   // SEEK_CUR
-                _ => size as i64 + offset,   // SEEK_END
+                0 => offset,               // SEEK_SET
+                1 => *off as i64 + offset, // SEEK_CUR
+                _ => size as i64 + offset, // SEEK_END
             };
             if new < 0 {
                 return -1;
@@ -520,15 +541,29 @@ impl System {
 
     fn sys_munmap(&mut self, pid: Pid, va: u64) -> i64 {
         costs::MUNMAP.charge(&mut self.machine);
-        let Some(region) = self.procs.get_mut(&pid).expect("proc").aspace.remove_region(va) else {
+        let Some(region) = self
+            .procs
+            .get_mut(&pid)
+            .expect("proc")
+            .aspace
+            .remove_region(va)
+        else {
             return -1;
         };
         let root = self.procs[&pid].root;
         let mut page = region.start;
         while page < region.start + region.len {
-            let frame = self.procs.get_mut(&pid).expect("proc").aspace.pages.remove(&page);
+            let frame = self
+                .procs
+                .get_mut(&pid)
+                .expect("proc")
+                .aspace
+                .pages
+                .remove(&page);
             if let Some(f) = frame {
-                let _ = self.vm.sva_unmap_page(&mut self.machine, root, vg_machine::VAddr(page));
+                let _ = self
+                    .vm
+                    .sva_unmap_page(&mut self.machine, root, vg_machine::VAddr(page));
                 self.machine.phys.free_frame(f);
             }
             page += vg_machine::layout::PAGE_SIZE;
@@ -538,7 +573,21 @@ impl System {
 
     fn sys_brk(&mut self, pid: Pid, new_brk: u64) -> i64 {
         costs::BRK.charge(&mut self.machine);
-        self.procs.get_mut(&pid).expect("proc").aspace.set_brk(new_brk) as i64
+        let root = self.procs[&pid].root;
+        let (brk, torn) = self
+            .procs
+            .get_mut(&pid)
+            .expect("proc")
+            .aspace
+            .set_brk(new_brk);
+        // Tear down pages the shrink released, exactly like munmap.
+        for (va, frame) in torn {
+            let _ = self
+                .vm
+                .sva_unmap_page(&mut self.machine, root, vg_machine::VAddr(va));
+            self.machine.phys.free_frame(frame);
+        }
+        brk as i64
     }
 
     fn sys_select(&mut self, pid: Pid, nfds: usize) -> i64 {
@@ -555,7 +604,10 @@ impl System {
                     ready += 1;
                 }
                 Some(Fd::PipeR { id })
-                    if self.pipes.get(&id).is_some_and(|p| !p.buf.is_empty() || p.writers == 0) =>
+                    if self
+                        .pipes
+                        .get(&id)
+                        .is_some_and(|p| !p.buf.is_empty() || p.writers == 0) =>
                 {
                     ready += 1;
                 }
@@ -570,13 +622,22 @@ impl System {
 
     // ---- module hook execution -------------------------------------------
 
-    pub(crate) fn run_module_hook(&mut self, pid: Pid, handler: vg_ir::CodeAddr, args: &[u64]) -> i64 {
+    pub(crate) fn run_module_hook(
+        &mut self,
+        pid: Pid,
+        handler: vg_ir::CodeAddr,
+        args: &[u64],
+    ) -> i64 {
         let registry = self.vm.code.clone();
         let cur_module = registry.resolve(handler).map(|e| e.module);
         let mut interp = vg_ir::Interp::new(&registry);
         let argv: Vec<i64> = args.iter().map(|&a| a as i64).collect();
         let result = {
-            let mut ctx = crate::module::KernelCtx { sys: self, cur_pid: pid, cur_module };
+            let mut ctx = crate::module::KernelCtx {
+                sys: self,
+                cur_pid: pid,
+                cur_module,
+            };
             interp.run(handler, &argv, &mut ctx)
         };
         let stats = interp.stats;
@@ -589,7 +650,8 @@ impl System {
                 // fails but the system survives.
                 self.machine.counters.cfi_violations +=
                     matches!(e, vg_ir::InterpFault::CfiViolation { .. }) as u64;
-                self.log.push(format!("kernel module fault in syscall hook: {e}"));
+                self.log
+                    .push(format!("kernel module fault in syscall hook: {e}"));
                 -1
             }
         }
@@ -601,12 +663,20 @@ impl System {
     }
 
     /// Resolves a user VA to inspect memory — used by tests asserting on
-    /// simulated user state.
+    /// simulated user state. Resolves once per page and copies page-local
+    /// chunks rather than translating every byte.
     pub fn peek_user(&mut self, pid: Pid, va: u64, len: usize) -> Option<Vec<u8>> {
+        use vg_machine::PAGE_SIZE;
         let mut out = vec![0u8; len];
-        for (i, b) in out.iter_mut().enumerate() {
-            let pa = self.user_resolve(pid, va + i as u64, AccessKind::Read)?;
-            *b = self.machine.phys.read_u8_at(pa);
+        let mut done = 0usize;
+        while done < len {
+            let addr = va + done as u64;
+            let chunk = ((len - done) as u64).min(PAGE_SIZE - addr % PAGE_SIZE) as usize;
+            let pa = self.user_resolve(pid, addr, AccessKind::Read)?;
+            self.machine
+                .phys
+                .read_bytes(pa.pfn(), pa.frame_offset(), &mut out[done..done + chunk]);
+            done += chunk;
         }
         Some(out)
     }

@@ -212,7 +212,12 @@ impl BlockDev for DmaDisk<'_> {
             .expect("staging frames are regular memory");
         self.machine
             .disk
-            .dma_read(&self.machine.iommu, &mut self.machine.phys, bno as u64, frame)
+            .dma_read(
+                &self.machine.iommu,
+                &mut self.machine.phys,
+                bno as u64,
+                frame,
+            )
             .expect("frame just mapped");
         let data = self.machine.phys.read_frame(frame);
         self.vm.sva_iommu_unmap(self.machine, frame);
@@ -304,21 +309,27 @@ impl System {
     pub fn boot(mode: Mode) -> Self {
         let (protections, cost_model) = mode.split();
         let mode_name = cost_model.name;
-        let mut machine = Machine::new(MachineConfig { costs: cost_model, ..Default::default() });
+        let mut machine = Machine::new(MachineConfig {
+            costs: cost_model,
+            ..Default::default()
+        });
         let tpm = Tpm::new(0x7a31);
         // Short RSA keys keep boots fast; the protocol is size-independent
         // (see vg-crypto docs).
         let mut vm = SvaVm::boot_with_key_bits(protections, &tpm, 0x1337, 256);
         let boot_root = vm.sva_create_root(&mut machine).expect("boot root");
-        vm.sva_load_root(&mut machine, boot_root).expect("boot root loads");
+        vm.sva_load_root(&mut machine, boot_root)
+            .expect("boot root loads");
         // The IOMMU's memory-mapped configuration pages are SVA-protected
         // from the first instruction (§4.3.3).
-        let iommu_mmio: Vec<vg_machine::Pfn> = (0..2)
-            .filter_map(|_| machine.phys.alloc_frame())
-            .collect();
+        let iommu_mmio: Vec<vg_machine::Pfn> =
+            (0..2).filter_map(|_| machine.phys.alloc_frame()).collect();
         vm.sva_declare_iommu_mmio(&iommu_mmio);
         let fs = {
-            let mut dev = DmaDisk { machine: &mut machine, vm: &mut vm };
+            let mut dev = DmaDisk {
+                machine: &mut machine,
+                vm: &mut vm,
+            };
             VgFs::mkfs(&mut dev, 4096)
         };
         System {
@@ -383,7 +394,12 @@ impl System {
         let binary = self.vm.sva_install_app(name, digest, app_key);
         self.binaries.insert(
             name.to_string(),
-            AppSpec { factory: std::rc::Rc::new(factory), ghosting, binary, digest },
+            AppSpec {
+                factory: std::rc::Rc::new(factory),
+                ghosting,
+                binary,
+                digest,
+            },
         );
     }
 
@@ -451,13 +467,20 @@ impl System {
     pub(crate) fn create_proc(&mut self, name: &str, parent: Option<Pid>) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
-        let root = self.vm.sva_create_root(&mut self.machine).expect("proc root");
+        let root = self
+            .vm
+            .sva_create_root(&mut self.machine)
+            .expect("proc root");
         let mut aspace = AddressSpace::new();
         // 64 KiB initial stack, demand-faulted.
         let stack_len = 16 * PAGE_SIZE;
         aspace.regions.insert(
             STACK_TOP - stack_len,
-            crate::mem::Region { start: STACK_TOP - stack_len, len: stack_len, kind: RegionKind::Anon },
+            crate::mem::Region {
+                start: STACK_TOP - stack_len,
+                len: stack_len,
+                kind: RegionKind::Anon,
+            },
         );
         self.procs.insert(
             pid,
@@ -494,10 +517,14 @@ impl System {
         let ghosting = spec.ghosting;
         // Old image's ghost memory is unmapped at reinit (§4.6.2).
         let root = self.procs[&pid].root;
-        for f in self.vm.sva_release_ghost(&mut self.machine, ProcId(pid), root) {
+        for f in self
+            .vm
+            .sva_release_ghost(&mut self.machine, ProcId(pid), root)
+        {
             self.machine.phys.free_frame(f);
         }
-        self.vm.sva_load_app_key(&mut self.machine, ProcId(pid), &binary, digest)?;
+        self.vm
+            .sva_load_app_key(&mut self.machine, ProcId(pid), &binary, digest)?;
         let thread = ThreadId(pid);
         if self.vm.ic.depth(thread) > 0 {
             self.vm.sva_reinit_icontext(
@@ -527,7 +554,9 @@ impl System {
         let cs = self.machine.costs.context_switch + self.machine.costs.context_switch_vg;
         self.machine.charge(cs);
         let root = self.procs[&pid].root;
-        self.vm.sva_load_root(&mut self.machine, root).expect("proc root is declared");
+        self.vm
+            .sva_load_root(&mut self.machine, root)
+            .expect("proc root is declared");
         self.cur = Some(pid);
     }
 
@@ -555,9 +584,13 @@ impl System {
         let thread = ThreadId(pid);
         if self.vm.ic.depth(thread) > 0 {
             // Forked child: resume from its cloned interrupt context.
-            self.vm.trap_return(&mut self.machine, thread).expect("child IC present");
+            self.vm
+                .trap_return(&mut self.machine, thread)
+                .expect("child IC present");
         } else {
-            self.machine.cpu.enter_user(VAddr(USER_TEXT_BASE), VAddr(STACK_TOP));
+            self.machine
+                .cpu
+                .enter_user(VAddr(USER_TEXT_BASE), VAddr(STACK_TOP));
         }
         let mut program = self
             .procs
@@ -575,7 +608,10 @@ impl System {
         let root = self.procs[&pid].root;
         // Ghost teardown first (frames zeroed by the VM), then user pages,
         // then the page tables.
-        for f in self.vm.sva_release_ghost(&mut self.machine, ProcId(pid), root) {
+        for f in self
+            .vm
+            .sva_release_ghost(&mut self.machine, ProcId(pid), root)
+        {
             self.machine.phys.free_frame(f);
         }
         let pages: Vec<Pfn> = self.procs[&pid].aspace.pages.values().copied().collect();
@@ -602,7 +638,9 @@ impl System {
         self.exited.insert(pid, code);
         if self.cur == Some(pid) {
             self.cur = None;
-            self.vm.sva_load_root(&mut self.machine, self.boot_root).expect("boot root");
+            self.vm
+                .sva_load_root(&mut self.machine, self.boot_root)
+                .expect("boot root");
         }
     }
 
@@ -623,13 +661,16 @@ impl System {
         cpu.set_reg(vg_machine::cpu::Reg::R10, args[3]);
         cpu.set_reg(vg_machine::cpu::Reg::R8, args[4]);
         cpu.set_reg(vg_machine::cpu::Reg::R9, args[5]);
-        self.vm.trap_enter(&mut self.machine, thread, TrapKind::Syscall(num));
+        self.vm
+            .trap_enter(&mut self.machine, thread, TrapKind::Syscall(num));
         self.machine.counters.syscalls += 1;
         self.machine.charge(self.machine.costs.syscall_dispatch);
         let ret = self.dispatch_syscall(pid, num, args);
         let _ = self.vm.ic_set_return_value(thread, ret as u64);
         self.deliver_pending_signals(pid);
-        self.vm.trap_return(&mut self.machine, thread).expect("balanced trap");
+        self.vm
+            .trap_return(&mut self.machine, thread)
+            .expect("balanced trap");
         // Hardware resumes wherever the (possibly tampered) interrupt
         // context says. On the baseline system a hostile module may have
         // rewritten the saved PC (§2.2.4) — if it now points at registered
@@ -657,13 +698,18 @@ impl System {
     ) -> Option<vg_machine::PAddr> {
         self.switch_to(pid);
         loop {
-            match self.machine.mmu.translate(&self.machine.phys, VAddr(va), access, true) {
+            match self
+                .machine
+                .mmu
+                .translate(&self.machine.phys, VAddr(va), access, true)
+            {
                 Ok(pa) => return Some(pa),
                 Err(TranslateError::NotMapped { .. }) => {
                     // A fault in the ghost partition may be a swapped-out
                     // page: the kernel restores it through the VM's checked
                     // swap-in (integrity verified before mapping).
-                    if vg_machine::layout::Region::of(VAddr(va)) == vg_machine::layout::Region::Ghost
+                    if vg_machine::layout::Region::of(VAddr(va))
+                        == vg_machine::layout::Region::Ghost
                     {
                         match self.kernel_swap_in_ghost(pid, va) {
                             Ok(true) => continue,
@@ -681,11 +727,17 @@ impl System {
 
     fn handle_page_fault(&mut self, pid: Pid, va: u64, access: AccessKind) -> bool {
         let thread = ThreadId(pid);
-        self.vm.trap_enter(&mut self.machine, thread, TrapKind::PageFault(VAddr(va), access));
+        self.vm.trap_enter(
+            &mut self.machine,
+            thread,
+            TrapKind::PageFault(VAddr(va), access),
+        );
         self.machine.counters.page_faults += 1;
         costs::PAGE_FAULT.charge(&mut self.machine);
         let served = self.populate_page(pid, va);
-        self.vm.trap_return(&mut self.machine, thread).expect("balanced fault");
+        self.vm
+            .trap_return(&mut self.machine, thread)
+            .expect("balanced fault");
         served
     }
 
@@ -714,10 +766,20 @@ impl System {
             self.machine.phys.write_frame(frame, &buf);
         }
         let root = self.procs[&pid].root;
-        match self.vm.sva_map_page(&mut self.machine, root, VAddr(page_va), frame, PteFlags::user_rw())
-        {
+        match self.vm.sva_map_page(
+            &mut self.machine,
+            root,
+            VAddr(page_va),
+            frame,
+            PteFlags::user_rw(),
+        ) {
             Ok(()) => {
-                self.procs.get_mut(&pid).expect("proc").aspace.pages.insert(page_va, frame);
+                self.procs
+                    .get_mut(&pid)
+                    .expect("proc")
+                    .aspace
+                    .pages
+                    .insert(page_va, frame);
                 true
             }
             Err(_) => {
@@ -754,7 +816,9 @@ impl System {
             };
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(data.len() - done);
-            self.machine.phys.write_bytes(pa.pfn(), pa.frame_offset(), &data[done..done + take]);
+            self.machine
+                .phys
+                .write_bytes(pa.pfn(), pa.frame_offset(), &data[done..done + take]);
             done += take;
         }
         true
@@ -771,7 +835,9 @@ impl System {
             let pa = self.user_resolve(pid, cur, AccessKind::Read)?;
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(len - done);
-            self.machine.phys.read_bytes(pa.pfn(), pa.frame_offset(), &mut out[done..done + take]);
+            self.machine
+                .phys
+                .read_bytes(pa.pfn(), pa.frame_offset(), &mut out[done..done + take]);
             done += take;
         }
         Some(out)
@@ -784,7 +850,11 @@ impl System {
     /// this is why the paper's file-op overheads barely shrink as file size
     /// grows (Tables 3–4).
     pub(crate) fn charge_fswork(&mut self, w: &FsWork) {
-        kwork(&mut self.machine, w.accesses + w.bytes_copied * 2 / 5, w.branches);
+        kwork(
+            &mut self.machine,
+            w.accesses + w.bytes_copied * 2 / 5,
+            w.branches,
+        );
         self.machine.counters.bytes_copied += w.bytes_copied;
         let flat = self.machine.costs.copy_per_byte * w.bytes_copied / 5;
         self.machine.charge(flat);
@@ -801,8 +871,12 @@ impl System {
         let regions = self.procs[&parent].aspace.regions.clone();
         let brk = self.procs[&parent].aspace.brk;
         let mmap_cursor = self.procs[&parent].aspace.mmap_cursor;
-        let parent_pages: Vec<(u64, Pfn)> =
-            self.procs[&parent].aspace.pages.iter().map(|(k, v)| (*k, *v)).collect();
+        let parent_pages: Vec<(u64, Pfn)> = self.procs[&parent]
+            .aspace
+            .pages
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
         let child_root = self.procs[&child_pid].root;
         for (va, ppfn) in &parent_pages {
             costs::FORK_PER_PAGE.charge(&mut self.machine);
@@ -814,10 +888,21 @@ impl System {
             self.machine.phys.write_frame(frame, &data);
             if self
                 .vm
-                .sva_map_page(&mut self.machine, child_root, VAddr(*va), frame, PteFlags::user_rw())
+                .sva_map_page(
+                    &mut self.machine,
+                    child_root,
+                    VAddr(*va),
+                    frame,
+                    PteFlags::user_rw(),
+                )
                 .is_ok()
             {
-                self.procs.get_mut(&child_pid).expect("child").aspace.pages.insert(*va, frame);
+                self.procs
+                    .get_mut(&child_pid)
+                    .expect("child")
+                    .aspace
+                    .pages
+                    .insert(*va, frame);
             } else {
                 self.machine.phys.free_frame(frame);
             }
@@ -854,7 +939,9 @@ impl System {
         self.vm
             .sva_newstate(&mut self.machine, ThreadId(child_pid), ThreadId(parent))
             .expect("parent is in a syscall");
-        self.vm.ic_set_return_value(ThreadId(child_pid), 0).expect("child IC exists");
+        self.vm
+            .ic_set_return_value(ThreadId(child_pid), 0)
+            .expect("child IC exists");
         // Install the child's program body.
         let program: AppMain = match child {
             ChildKind::Exit(code) => Box::new(move |_env| code),
@@ -912,7 +999,11 @@ impl System {
             };
             costs::SIG_DELIVER.charge(&mut self.machine);
             let thread = ThreadId(pid);
-            if self.vm.sva_icontext_save(&mut self.machine, thread).is_err() {
+            if self
+                .vm
+                .sva_icontext_save(&mut self.machine, thread)
+                .is_err()
+            {
                 continue;
             }
             match self.vm.sva_ipush_function(
@@ -936,10 +1027,16 @@ impl System {
             // "Resume" into the handler.
             self.dispatch_to_user(pid, handler, sig);
             // Handler returns via sigreturn: a real syscall (trap pair).
-            self.vm.trap_enter(&mut self.machine, thread, TrapKind::Syscall(crate::syscall::SYS_SIGRETURN));
+            self.vm.trap_enter(
+                &mut self.machine,
+                thread,
+                TrapKind::Syscall(crate::syscall::SYS_SIGRETURN),
+            );
             self.machine.counters.syscalls += 1;
             let _ = self.vm.sva_icontext_load(&mut self.machine, thread);
-            self.vm.trap_return(&mut self.machine, thread).expect("balanced sigreturn");
+            self.vm
+                .trap_return(&mut self.machine, thread)
+                .expect("balanced sigreturn");
         }
     }
 
@@ -961,10 +1058,14 @@ impl System {
             crate::mem::charge_interp(&mut self.machine, &stats);
             match result {
                 Ok(_) => {}
-                Err(e) => self.log.push(format!("user code at {addr:#x} faulted: {e}")),
+                Err(e) => self
+                    .log
+                    .push(format!("user code at {addr:#x} faulted: {e}")),
             }
             return;
         }
-        self.log.push(format!("pid {pid}: resume at unmapped pc {addr:#x} (would crash)"));
+        self.log.push(format!(
+            "pid {pid}: resume at unmapped pc {addr:#x} (would crash)"
+        ));
     }
 }

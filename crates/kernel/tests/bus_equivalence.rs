@@ -1,0 +1,167 @@
+//! Property test: the word-granular memory-bus fast path is observationally
+//! identical to the byte-granular reference path.
+//!
+//! Two machines get identical page tables, frame contents and kernel heaps;
+//! one runs with `byte_granular_bus` set (forcing the original per-byte
+//! loops), the other takes the fast paths. Every generated load/store/memcpy
+//! must produce the same `Result` — including the exact `MemFault` address
+//! and write flag — and leave bit-identical physical memory and kernel-heap
+//! state. Addresses are biased toward page boundaries so page-crossing
+//! accesses and faults at each byte offset are exercised.
+
+use proptest::prelude::*;
+use vg_ir::interp::{MemBus, MemFault};
+use vg_ir::Width;
+use vg_kernel::mem::{KernelMem, UserMem};
+use vg_machine::layout::{KERNEL_BASE, PAGE_SIZE, SVA_INTERNAL_BASE};
+use vg_machine::mmu::map_page_raw;
+use vg_machine::pte::{Pte, PteFlags};
+use vg_machine::{Machine, MachineConfig, VAddr};
+
+/// Base of the mapped user window. Pages 0,1,4 are RW, page 2 is read-only,
+/// page 3 is unmapped, page 5 is supervisor-only.
+const USER_BASE: u64 = 0x10_0000;
+const USER_PAGES: u64 = 6;
+/// Kernel data segment length — deliberately not page-aligned so kernel
+/// accesses straddle the in-segment/garbage boundary.
+const KHEAP_LEN: u64 = PAGE_SIZE + 100;
+
+fn build(byte_granular: bool) -> (Machine, Vec<u8>) {
+    let mut m = Machine::new(MachineConfig {
+        byte_granular_bus: byte_granular,
+        ..Default::default()
+    });
+    let root = m.phys.alloc_frame().unwrap();
+    m.mmu.set_root(root);
+    let flags = [
+        Some(PteFlags::user_rw()),
+        Some(PteFlags::user_rw()),
+        Some(PteFlags(PteFlags::user_rw().0 & !PteFlags::WRITE)),
+        None,
+        Some(PteFlags::user_rw()),
+        Some(PteFlags::kernel_rw()),
+    ];
+    for (i, f) in flags.iter().enumerate() {
+        let Some(fl) = f else { continue };
+        let frame = m.phys.alloc_frame().unwrap();
+        let seed: Vec<u8> = (0..PAGE_SIZE)
+            .map(|j| (i as u64 * 37 + j).wrapping_mul(0x9e) as u8)
+            .collect();
+        m.phys.write_bytes(frame, 0, &seed);
+        let va = VAddr(USER_BASE + i as u64 * PAGE_SIZE);
+        map_page_raw(&mut m.phys, root, va, Pte::new(frame, *fl)).unwrap();
+    }
+    let heap: Vec<u8> = (0..KHEAP_LEN)
+        .map(|j| j.wrapping_mul(31).wrapping_add(7) as u8)
+        .collect();
+    (m, heap)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Load { addr: u64, w: Width },
+    Store { addr: u64, w: Width, v: u64 },
+    Memcpy { dst: u64, src: u64, len: u64 },
+}
+
+fn width_strategy() -> impl Strategy<Value = Width> {
+    (0u8..4).prop_map(|i| [Width::W1, Width::W2, Width::W4, Width::W8][i as usize])
+}
+
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Anywhere in the user window (mapped, RO, unmapped, supervisor).
+        (0u64..USER_PAGES * PAGE_SIZE).prop_map(|o| USER_BASE + o),
+        // Just below each page boundary, so wide accesses cross pages and
+        // fault at every byte offset of the following page.
+        (1u64..USER_PAGES, 0u64..8).prop_map(|(p, b)| USER_BASE + p * PAGE_SIZE - 8 + b),
+        // Kernel segment, straddling its (unaligned) end into garbage.
+        (0u64..KHEAP_LEN + 64).prop_map(|o| KERNEL_BASE + o),
+        // SVA-internal memory: reads are garbage, writes swallowed.
+        (0u64..256).prop_map(|o| SVA_INTERNAL_BASE + o),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (addr_strategy(), width_strategy()).prop_map(|(addr, w)| Op::Load { addr, w }),
+        (addr_strategy(), width_strategy(), any::<u64>()).prop_map(|(addr, w, v)| Op::Store {
+            addr,
+            w,
+            v
+        }),
+        // Lengths past two pages force multi-chunk copies; same-window
+        // src/dst produce overlapping ranges.
+        (addr_strategy(), addr_strategy(), 0u64..2 * PAGE_SIZE + 32)
+            .prop_map(|(dst, src, len)| Op::Memcpy { dst, src, len }),
+    ]
+}
+
+fn apply<B: MemBus>(bus: &mut B, op: &Op) -> Result<u64, MemFault> {
+    match *op {
+        Op::Load { addr, w } => bus.load(addr, w),
+        Op::Store { addr, w, v } => bus.store(addr, w, v).map(|()| 0),
+        Op::Memcpy { dst, src, len } => bus.memcpy(dst, src, len).map(|()| 0),
+    }
+}
+
+fn assert_same_state(fast: &Machine, slow: &Machine, heap_fast: &[u8], heap_slow: &[u8]) {
+    assert_eq!(heap_fast, heap_slow, "kernel heaps diverged");
+    assert_eq!(fast.phys.total_frames(), slow.phys.total_frames());
+    for pfn in 0..fast.phys.total_frames() as u64 {
+        let pfn = vg_machine::Pfn(pfn);
+        assert_eq!(fast.phys.is_allocated(pfn), slow.phys.is_allocated(pfn));
+        if fast.phys.is_allocated(pfn) {
+            assert_eq!(
+                fast.phys.read_frame(pfn),
+                slow.phys.read_frame(pfn),
+                "frame {pfn:?} diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel-mode bus: fast path and reference path agree on every result
+    /// (values and fault addresses) and on final memory state.
+    #[test]
+    fn kernel_bus_word_fast_path_matches_bytewise(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+    ) {
+        let (mut fast, mut heap_fast) = build(false);
+        let (mut slow, mut heap_slow) = build(true);
+        for op in &ops {
+            let rf = apply(
+                &mut KernelMem { machine: &mut fast, kernel_heap: &mut heap_fast },
+                op,
+            );
+            let rs = apply(
+                &mut KernelMem { machine: &mut slow, kernel_heap: &mut heap_slow },
+                op,
+            );
+            prop_assert_eq!(rf, rs, "diverged on {:?}", op);
+        }
+        assert_same_state(&fast, &slow, &heap_fast, &heap_slow);
+        // Neither path charges cycles on its own.
+        prop_assert_eq!(fast.clock.cycles(), slow.clock.cycles());
+    }
+
+    /// User-mode bus: same agreement, with user-privilege translation (the
+    /// supervisor-only page and all kernel addresses fault here).
+    #[test]
+    fn user_bus_word_fast_path_matches_bytewise(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+    ) {
+        let (mut fast, heap_fast) = build(false);
+        let (mut slow, heap_slow) = build(true);
+        for op in &ops {
+            let rf = apply(&mut UserMem { machine: &mut fast }, op);
+            let rs = apply(&mut UserMem { machine: &mut slow }, op);
+            prop_assert_eq!(rf, rs, "diverged on {:?}", op);
+        }
+        assert_same_state(&fast, &slow, &heap_fast, &heap_slow);
+        prop_assert_eq!(fast.clock.cycles(), slow.clock.cycles());
+    }
+}

@@ -19,10 +19,17 @@ fn op_strategy() -> impl Strategy<Value = FsOp> {
     prop_oneof![
         any::<u8>().prop_map(FsOp::Create),
         any::<u8>().prop_map(FsOp::Unlink),
-        (any::<u8>(), 0u16..20_000, proptest::collection::vec(any::<u8>(), 0..300))
+        (
+            any::<u8>(),
+            0u16..20_000,
+            proptest::collection::vec(any::<u8>(), 0..300)
+        )
             .prop_map(|(file, off, data)| FsOp::Write { file, off, data }),
-        (any::<u8>(), 0u16..20_000, 0u16..400)
-            .prop_map(|(file, off, len)| FsOp::Read { file, off, len }),
+        (any::<u8>(), 0u16..20_000, 0u16..400).prop_map(|(file, off, len)| FsOp::Read {
+            file,
+            off,
+            len
+        }),
         any::<u8>().prop_map(FsOp::Truncate),
         Just(FsOp::Sync),
     ]

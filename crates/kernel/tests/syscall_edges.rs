@@ -194,7 +194,10 @@ fn hooked_syscall_falls_back_after_module_fault() {
     let hook_idx = m.find("hook_read").unwrap();
     let mut init = vg_ir::FunctionBuilder::new("init", 0);
     let addr = init.ext("kern.own_fn_addr", &[(hook_idx as i64).into()]);
-    init.ext("kern.hook_syscall", &[(SYS_READ as i64).into(), addr.into()]);
+    init.ext(
+        "kern.hook_syscall",
+        &[(SYS_READ as i64).into(), addr.into()],
+    );
     m.push_function(init.ret(None));
 
     let mut sys = System::boot(Mode::VirtualGhost);

@@ -190,7 +190,11 @@ impl CostModel {
 
     /// Ablation: only CFI instrumentation.
     pub fn cfi_only() -> Self {
-        CostModel { name: "cfi-only", cfi_branch: 20, ..CostModel::native() }
+        CostModel {
+            name: "cfi-only",
+            cfi_branch: 20,
+            ..CostModel::native()
+        }
     }
 
     /// Ablation: only interrupt-context protection (IC save/restore in SVA
@@ -244,6 +248,14 @@ pub struct Counters {
     pub mmu_rejections: u64,
     /// CFI violations detected.
     pub cfi_violations: u64,
+    /// TLB hits, per access kind (Read, Write, Execute) — mirrored from the
+    /// MMU by [`crate::Machine::sync_tlb_counters`]. Performance-model
+    /// statistics only: they never feed back into charged cycles.
+    pub tlb_hits: [u64; 3],
+    /// TLB misses (full walks), per access kind; mirrored like `tlb_hits`.
+    pub tlb_misses: [u64; 3],
+    /// TLB entries discarded by capacity eviction; mirrored like `tlb_hits`.
+    pub tlb_evictions: u64,
 }
 
 #[cfg(test)]

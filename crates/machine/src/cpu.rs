@@ -100,7 +100,12 @@ impl Default for Cpu {
 impl Cpu {
     /// A CPU in its reset state (kernel mode, registers zero).
     pub fn new() -> Self {
-        Cpu { gprs: [0; NUM_GPRS], rip: 0, rflags: 0, privilege: Privilege::Kernel }
+        Cpu {
+            gprs: [0; NUM_GPRS],
+            rip: 0,
+            rflags: 0,
+            privilege: Privilege::Kernel,
+        }
     }
 
     /// Current privilege level.
@@ -207,6 +212,9 @@ mod tests {
     fn trap_kinds_preserved() {
         let mut cpu = Cpu::new();
         let f = cpu.take_trap(TrapKind::PageFault(VAddr(0xdead), AccessKind::Write));
-        assert_eq!(f.kind, TrapKind::PageFault(VAddr(0xdead), AccessKind::Write));
+        assert_eq!(
+            f.kind,
+            TrapKind::PageFault(VAddr(0xdead), AccessKind::Write)
+        );
     }
 }

@@ -23,7 +23,11 @@ pub struct Disk {
 impl Disk {
     /// Creates a disk of `num_blocks` zeroed blocks.
     pub fn new(num_blocks: usize) -> Self {
-        Disk { blocks: vec![None; num_blocks], reads: 0, writes: 0 }
+        Disk {
+            blocks: vec![None; num_blocks],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Capacity in blocks.
@@ -254,14 +258,20 @@ mod tests {
     #[test]
     fn nic_queues() {
         let mut nic = Nic::new();
-        nic.wire_inject(Packet { flow: 1, data: vec![1, 2, 3] });
+        nic.wire_inject(Packet {
+            flow: 1,
+            data: vec![1, 2, 3],
+        });
         assert_eq!(nic.rx_pending(), 1);
         let p = nic.receive().unwrap();
         assert_eq!(p.data, vec![1, 2, 3]);
         assert_eq!(nic.rx_bytes, 3);
         assert!(nic.receive().is_none());
 
-        nic.transmit(Packet { flow: 1, data: vec![9; 100] });
+        nic.transmit(Packet {
+            flow: 1,
+            data: vec![9; 100],
+        });
         let out = nic.wire_drain();
         assert_eq!(out.len(), 1);
         assert_eq!(nic.tx_bytes, 100);
@@ -271,7 +281,10 @@ mod tests {
     #[should_panic(expected = "MTU")]
     fn oversized_packet_panics() {
         let mut nic = Nic::new();
-        nic.transmit(Packet { flow: 0, data: vec![0; MTU + 1] });
+        nic.transmit(Packet {
+            flow: 0,
+            data: vec![0; MTU + 1],
+        });
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct DmaFault {
 
 impl std::fmt::Display for DmaFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "IOMMU fault: {:?} DMA to unmapped {}", self.direction, self.pfn)
+        write!(
+            f,
+            "IOMMU fault: {:?} DMA to unmapped {}",
+            self.direction, self.pfn
+        )
     }
 }
 
@@ -46,7 +50,9 @@ pub struct Iommu {
 impl Iommu {
     /// An IOMMU with an empty table (all DMA faults).
     pub fn new() -> Self {
-        Iommu { allowed: HashSet::new() }
+        Iommu {
+            allowed: HashSet::new(),
+        }
     }
 
     /// Adds `pfn` to the DMA-visible set. This is the raw hardware
@@ -93,7 +99,10 @@ mod tests {
         let iommu = Iommu::new();
         assert_eq!(
             iommu.check(Pfn(3), DmaDirection::ToMemory),
-            Err(DmaFault { pfn: Pfn(3), direction: DmaDirection::ToMemory })
+            Err(DmaFault {
+                pfn: Pfn(3),
+                direction: DmaDirection::ToMemory
+            })
         );
     }
 

@@ -226,7 +226,14 @@ mod tests {
 
     #[test]
     fn mask_identity_on_kernel_and_user() {
-        for a in [0u64, 0x1000, USER_END - 1, KERNEL_BASE, KERNEL_BASE + 0x1234, u64::MAX] {
+        for a in [
+            0u64,
+            0x1000,
+            USER_END - 1,
+            KERNEL_BASE,
+            KERNEL_BASE + 0x1234,
+            u64::MAX,
+        ] {
             assert_eq!(mask_kernel_pointer(VAddr(a)), VAddr(a));
         }
     }

@@ -32,15 +32,15 @@ pub mod iommu;
 pub mod layout;
 pub mod mmu;
 pub mod phys;
-pub mod pte;
 #[cfg(test)]
 mod proptests;
+pub mod pte;
 
 pub use cost::{Clock, CostModel, Counters};
 pub use cpu::{Cpu, TrapFrame, TrapKind};
 pub use iommu::Iommu;
 pub use layout::{mask_kernel_pointer, PAddr, Pfn, Region, VAddr, Vpn, PAGE_SIZE};
-pub use mmu::{AccessKind, Mmu, TranslateError};
+pub use mmu::{AccessKind, Mmu, TlbPolicy, TlbStats, TranslateError};
 pub use phys::PhysMem;
 pub use pte::{PageTableLevel, Pte, PteFlags};
 
@@ -84,6 +84,12 @@ pub struct Machine {
     pub costs: CostModel,
     /// Event counters for reporting.
     pub counters: Counters,
+    /// When set, the memory buses built on this machine take their byte-wise
+    /// reference paths instead of the word-granular fast paths. The two are
+    /// observationally identical (same values, faults, cycles and counters
+    /// apart from TLB statistics); the flag exists so equivalence tests can
+    /// run both. See DESIGN.md §6.
+    pub byte_granular_bus: bool,
 }
 
 /// Configuration for machine construction.
@@ -95,6 +101,8 @@ pub struct MachineConfig {
     pub disk_blocks: usize,
     /// Cost model (defaults to the calibrated native model).
     pub costs: CostModel,
+    /// Force byte-granular memory buses (reference mode; default off).
+    pub byte_granular_bus: bool,
 }
 
 impl Default for MachineConfig {
@@ -103,6 +111,7 @@ impl Default for MachineConfig {
             phys_frames: 16 * 1024, // 64 MiB
             disk_blocks: 64 * 1024, // 256 MiB
             costs: CostModel::native(),
+            byte_granular_bus: false,
         }
     }
 }
@@ -122,6 +131,7 @@ impl Machine {
             nic_time: Clock::new(),
             costs: config.costs,
             counters: Counters::default(),
+            byte_granular_bus: config.byte_granular_bus,
         }
     }
 
@@ -129,6 +139,18 @@ impl Machine {
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.clock.advance(cycles);
+        self.sync_tlb_counters();
+    }
+
+    /// Mirrors the MMU's TLB statistics into [`Counters`] so reports see a
+    /// consistent snapshot. Called on every `charge`; also callable directly
+    /// after uncharged translations (e.g. straight `mmu.translate` probes).
+    #[inline]
+    pub fn sync_tlb_counters(&mut self) {
+        let s = self.mmu.stats();
+        self.counters.tlb_hits = s.hits;
+        self.counters.tlb_misses = s.misses;
+        self.counters.tlb_evictions = s.evictions;
     }
 
     /// Charges `cycles` of wire occupancy to the NIC timeline.

@@ -8,7 +8,7 @@
 use crate::layout::{PAddr, Pfn, VAddr, Vpn};
 use crate::phys::PhysMem;
 use crate::pte::{PageTableLevel, Pte, PteFlags};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Kind of memory access, for permission checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,6 +19,18 @@ pub enum AccessKind {
     Write,
     /// Instruction fetch.
     Execute,
+}
+
+impl AccessKind {
+    /// Stable index for per-kind statistics arrays (Read=0, Write=1,
+    /// Execute=2).
+    pub fn index(self) -> usize {
+        match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::Execute => 2,
+        }
+    }
 }
 
 /// Why a translation failed.
@@ -43,7 +55,9 @@ impl std::fmt::Display for TranslateError {
         match self {
             TranslateError::NoRoot => write!(f, "no page table root loaded"),
             TranslateError::NotMapped { level } => write!(f, "not mapped at {level:?}"),
-            TranslateError::Protection { access } => write!(f, "protection violation on {access:?}"),
+            TranslateError::Protection { access } => {
+                write!(f, "protection violation on {access:?}")
+            }
         }
     }
 }
@@ -57,16 +71,58 @@ struct TlbEntry {
     user_path: bool,
 }
 
-/// MMU state: the active root table and a TLB.
+/// Capacity-eviction policy for the TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TlbPolicy {
+    /// Drop every entry when the TLB fills (the original model — kept for
+    /// A/B hit-rate comparisons).
+    ClearAll,
+    /// Evict only the least-recently-used entry.
+    #[default]
+    Lru,
+}
+
+/// TLB hit/miss/eviction statistics, split by [`AccessKind`]
+/// (indexed via [`AccessKind::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Hits per access kind.
+    pub hits: [u64; 3],
+    /// Misses (full walks) per access kind.
+    pub misses: [u64; 3],
+    /// Entries discarded by capacity eviction (not by explicit flushes).
+    pub evictions: u64,
+}
+
+impl TlbStats {
+    /// Hits summed over all access kinds.
+    pub fn hits_total(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// Misses summed over all access kinds.
+    pub fn misses_total(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+}
+
+/// MMU state: the active root table and a bounded TLB.
+///
+/// The TLB keeps an LRU recency order as a tick-stamped side index; a
+/// translation hit refreshes the entry's stamp, and capacity eviction under
+/// [`TlbPolicy::Lru`] drops only the stalest entry. Statistics are counted
+/// per [`AccessKind`] and never affect charged cycles — the cost model
+/// charges translations identically whether they hit or miss.
 #[derive(Debug)]
 pub struct Mmu {
     root: Option<Pfn>,
-    tlb: HashMap<Vpn, TlbEntry>,
-    tlb_capacity: usize,
-    /// TLB hits observed (reset with [`Mmu::reset_stats`]).
-    pub tlb_hits: u64,
-    /// TLB misses (full walks) observed.
-    pub tlb_misses: u64,
+    tlb: HashMap<Vpn, (TlbEntry, u64)>,
+    /// Recency index: tick → vpn, oldest first. Ticks are unique.
+    order: BTreeMap<u64, Vpn>,
+    tick: u64,
+    capacity: usize,
+    policy: TlbPolicy,
+    stats: TlbStats,
 }
 
 impl Default for Mmu {
@@ -75,16 +131,37 @@ impl Default for Mmu {
     }
 }
 
+/// Default TLB capacity, matching the original model.
+pub const DEFAULT_TLB_CAPACITY: usize = 1024;
+
 impl Mmu {
-    /// Creates an MMU with no root loaded.
+    /// Creates an MMU with no root loaded and the default LRU TLB.
     pub fn new() -> Self {
-        Mmu { root: None, tlb: HashMap::new(), tlb_capacity: 1024, tlb_hits: 0, tlb_misses: 0 }
+        Self::with_tlb(DEFAULT_TLB_CAPACITY, TlbPolicy::default())
+    }
+
+    /// Creates an MMU with an explicit TLB capacity and eviction policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_tlb(capacity: usize, policy: TlbPolicy) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Mmu {
+            root: None,
+            tlb: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            policy,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Loads a new root table (like writing CR3) and flushes the TLB.
     pub fn set_root(&mut self, root: Pfn) {
         self.root = Some(root);
-        self.tlb.clear();
+        self.flush_all();
     }
 
     /// The active root, if any.
@@ -94,18 +171,35 @@ impl Mmu {
 
     /// Invalidates one page translation (like `invlpg`).
     pub fn flush_page(&mut self, vpn: Vpn) {
-        self.tlb.remove(&vpn);
+        if let Some((_, tick)) = self.tlb.remove(&vpn) {
+            self.order.remove(&tick);
+        }
     }
 
     /// Invalidates the whole TLB.
     pub fn flush_all(&mut self) {
         self.tlb.clear();
+        self.order.clear();
     }
 
-    /// Clears hit/miss statistics.
+    /// Current TLB statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// The eviction policy in effect.
+    pub fn policy(&self) -> TlbPolicy {
+        self.policy
+    }
+
+    /// Clears hit/miss/eviction statistics.
     pub fn reset_stats(&mut self) {
-        self.tlb_hits = 0;
-        self.tlb_misses = 0;
+        self.stats = TlbStats::default();
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
     }
 
     /// Translates `va` for `access` at the given privilege.
@@ -124,16 +218,34 @@ impl Mmu {
         user: bool,
     ) -> Result<PAddr, TranslateError> {
         let vpn = va.vpn();
-        let entry = if let Some(e) = self.tlb.get(&vpn) {
-            self.tlb_hits += 1;
-            *e
+        let entry = if let Some(&(e, old_tick)) = self.tlb.get(&vpn) {
+            self.stats.hits[access.index()] += 1;
+            // Refresh recency.
+            self.order.remove(&old_tick);
+            let tick = self.next_tick();
+            self.order.insert(tick, vpn);
+            self.tlb.insert(vpn, (e, tick));
+            e
         } else {
-            self.tlb_misses += 1;
+            self.stats.misses[access.index()] += 1;
             let e = self.walk(phys, va)?;
-            if self.tlb.len() >= self.tlb_capacity {
-                self.tlb.clear(); // crude capacity eviction
+            if self.tlb.len() >= self.capacity {
+                match self.policy {
+                    TlbPolicy::ClearAll => {
+                        self.stats.evictions += self.tlb.len() as u64;
+                        self.flush_all();
+                    }
+                    TlbPolicy::Lru => {
+                        if let Some((_, oldest)) = self.order.pop_first() {
+                            self.tlb.remove(&oldest);
+                            self.stats.evictions += 1;
+                        }
+                    }
+                }
             }
-            self.tlb.insert(vpn, e);
+            let tick = self.next_tick();
+            self.order.insert(tick, vpn);
+            self.tlb.insert(vpn, (e, tick));
             e
         };
         if user && !entry.user_path {
@@ -152,7 +264,9 @@ impl Mmu {
                 }
             }
         }
-        Ok(PAddr(entry.pfn.0 * crate::layout::PAGE_SIZE + va.page_offset()))
+        Ok(PAddr(
+            entry.pfn.0 * crate::layout::PAGE_SIZE + va.page_offset(),
+        ))
     }
 
     /// Performs a full walk without consulting or filling the TLB. Returns
@@ -173,7 +287,11 @@ impl Mmu {
             }
             user_path &= pte.user();
             if level == PageTableLevel::L1 {
-                return Ok(TlbEntry { pfn: pte.pfn(), leaf: pte, user_path });
+                return Ok(TlbEntry {
+                    pfn: pte.pfn(),
+                    leaf: pte,
+                    user_path,
+                });
             }
             table = pte.pfn();
         }
@@ -235,16 +353,31 @@ mod tests {
     fn translate_simple_mapping() {
         let (mut phys, mut mmu, root) = setup();
         let frame = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x4000), Pte::new(frame, PteFlags::user_rw())).unwrap();
-        let pa = mmu.translate(&phys, VAddr(0x4123), AccessKind::Read, true).unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x4000),
+            Pte::new(frame, PteFlags::user_rw()),
+        )
+        .unwrap();
+        let pa = mmu
+            .translate(&phys, VAddr(0x4123), AccessKind::Read, true)
+            .unwrap();
         assert_eq!(pa, PAddr(frame.0 * PAGE_SIZE + 0x123));
     }
 
     #[test]
     fn unmapped_fails_with_level() {
         let (phys, mut mmu, _) = setup();
-        let err = mmu.translate(&phys, VAddr(0x4000), AccessKind::Read, true).unwrap_err();
-        assert_eq!(err, TranslateError::NotMapped { level: PageTableLevel::L4 });
+        let err = mmu
+            .translate(&phys, VAddr(0x4000), AccessKind::Read, true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TranslateError::NotMapped {
+                level: PageTableLevel::L4
+            }
+        );
     }
 
     #[test]
@@ -263,10 +396,14 @@ mod tests {
         let frame = phys.alloc_frame().unwrap();
         let ro = Pte::new(frame, PteFlags::user_rw()).read_only();
         map_page_raw(&mut phys, root, VAddr(0x5000), ro).unwrap();
-        assert!(mmu.translate(&phys, VAddr(0x5000), AccessKind::Read, true).is_ok());
+        assert!(mmu
+            .translate(&phys, VAddr(0x5000), AccessKind::Read, true)
+            .is_ok());
         assert_eq!(
             mmu.translate(&phys, VAddr(0x5000), AccessKind::Write, true),
-            Err(TranslateError::Protection { access: AccessKind::Write })
+            Err(TranslateError::Protection {
+                access: AccessKind::Write
+            })
         );
     }
 
@@ -274,12 +411,21 @@ mod tests {
     fn user_cannot_touch_kernel_mapping() {
         let (mut phys, mut mmu, root) = setup();
         let frame = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x6000), Pte::new(frame, PteFlags::kernel_rw()))
-            .unwrap();
-        assert!(mmu.translate(&phys, VAddr(0x6000), AccessKind::Read, false).is_ok());
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x6000),
+            Pte::new(frame, PteFlags::kernel_rw()),
+        )
+        .unwrap();
+        assert!(mmu
+            .translate(&phys, VAddr(0x6000), AccessKind::Read, false)
+            .is_ok());
         assert_eq!(
             mmu.translate(&phys, VAddr(0x6000), AccessKind::Read, true),
-            Err(TranslateError::Protection { access: AccessKind::Read })
+            Err(TranslateError::Protection {
+                access: AccessKind::Read
+            })
         );
     }
 
@@ -287,10 +433,18 @@ mod tests {
     fn nx_blocks_execute() {
         let (mut phys, mut mmu, root) = setup();
         let frame = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x7000), Pte::new(frame, PteFlags::user_rw())).unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x7000),
+            Pte::new(frame, PteFlags::user_rw()),
+        )
+        .unwrap();
         assert_eq!(
             mmu.translate(&phys, VAddr(0x7000), AccessKind::Execute, true),
-            Err(TranslateError::Protection { access: AccessKind::Execute })
+            Err(TranslateError::Protection {
+                access: AccessKind::Execute
+            })
         );
     }
 
@@ -298,20 +452,44 @@ mod tests {
     fn tlb_hit_counted_and_stale_until_flush() {
         let (mut phys, mut mmu, root) = setup();
         let f1 = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x8000), Pte::new(f1, PteFlags::user_rw())).unwrap();
-        mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
-        assert_eq!((mmu.tlb_hits, mmu.tlb_misses), (0, 1));
-        mmu.translate(&phys, VAddr(0x8010), AccessKind::Read, true).unwrap();
-        assert_eq!((mmu.tlb_hits, mmu.tlb_misses), (1, 1));
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x8000),
+            Pte::new(f1, PteFlags::user_rw()),
+        )
+        .unwrap();
+        mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(
+            (mmu.stats().hits_total(), mmu.stats().misses_total()),
+            (0, 1)
+        );
+        mmu.translate(&phys, VAddr(0x8010), AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(
+            (mmu.stats().hits_total(), mmu.stats().misses_total()),
+            (1, 1)
+        );
 
         // Change the mapping behind the TLB's back: translation is stale...
         let f2 = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x8000), Pte::new(f2, PteFlags::user_rw())).unwrap();
-        let stale = mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x8000),
+            Pte::new(f2, PteFlags::user_rw()),
+        )
+        .unwrap();
+        let stale = mmu
+            .translate(&phys, VAddr(0x8000), AccessKind::Read, true)
+            .unwrap();
         assert_eq!(stale.pfn(), f1);
         // ...until the page is flushed, as on real hardware.
         mmu.flush_page(VAddr(0x8000).vpn());
-        let fresh = mmu.translate(&phys, VAddr(0x8000), AccessKind::Read, true).unwrap();
+        let fresh = mmu
+            .translate(&phys, VAddr(0x8000), AccessKind::Read, true)
+            .unwrap();
         assert_eq!(fresh.pfn(), f2);
     }
 
@@ -319,22 +497,165 @@ mod tests {
     fn set_root_flushes() {
         let (mut phys, mut mmu, root) = setup();
         let frame = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0x9000), Pte::new(frame, PteFlags::user_rw())).unwrap();
-        mmu.translate(&phys, VAddr(0x9000), AccessKind::Read, true).unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0x9000),
+            Pte::new(frame, PteFlags::user_rw()),
+        )
+        .unwrap();
+        mmu.translate(&phys, VAddr(0x9000), AccessKind::Read, true)
+            .unwrap();
         let root2 = phys.alloc_frame().unwrap();
         mmu.set_root(root2);
         assert_eq!(
             mmu.translate(&phys, VAddr(0x9000), AccessKind::Read, true),
-            Err(TranslateError::NotMapped { level: PageTableLevel::L4 })
+            Err(TranslateError::NotMapped {
+                level: PageTableLevel::L4
+            })
         );
+    }
+
+    /// Maps `n` consecutive user pages starting at `base` and returns their
+    /// virtual addresses.
+    fn map_n(phys: &mut PhysMem, root: Pfn, base: u64, n: usize) -> Vec<VAddr> {
+        (0..n)
+            .map(|i| {
+                let va = VAddr(base + i as u64 * PAGE_SIZE);
+                let frame = phys.alloc_frame().unwrap();
+                map_page_raw(phys, root, va, Pte::new(frame, PteFlags::user_rw())).unwrap();
+                va
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_evicts_only_the_stalest_entry() {
+        let mut phys = PhysMem::new(256);
+        let root = phys.alloc_frame().unwrap();
+        let mut mmu = Mmu::with_tlb(2, TlbPolicy::Lru);
+        mmu.set_root(root);
+        let vas = map_n(&mut phys, root, 0x10000, 3);
+
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, vas[1], AccessKind::Read, true)
+            .unwrap();
+        // Touch vas[0] so vas[1] becomes stalest, then bring in vas[2].
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, vas[2], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().evictions, 1);
+
+        // vas[0] and vas[2] must still hit; vas[1] was evicted and misses.
+        let before = mmu.stats();
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, vas[2], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().hits_total(), before.hits_total() + 2);
+        mmu.translate(&phys, vas[1], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().misses_total(), before.misses_total() + 1);
+    }
+
+    #[test]
+    fn lru_beats_clear_all_on_oversized_working_set() {
+        // A hot page re-touched between every cold page keeps hitting under
+        // LRU but is periodically wiped under ClearAll, so the LRU hit count
+        // must be at least as high — strictly higher for this access string.
+        let hit_count = |policy: TlbPolicy| {
+            let mut phys = PhysMem::new(2048);
+            let root = phys.alloc_frame().unwrap();
+            let mut mmu = Mmu::with_tlb(8, policy);
+            mmu.set_root(root);
+            let hot = map_n(&mut phys, root, 0x10000, 1)[0];
+            let cold = map_n(&mut phys, root, 0x100000, 24);
+            mmu.translate(&phys, hot, AccessKind::Read, true).unwrap();
+            for &c in &cold {
+                mmu.translate(&phys, c, AccessKind::Read, true).unwrap();
+                mmu.translate(&phys, hot, AccessKind::Read, true).unwrap();
+            }
+            mmu.stats().hits_total()
+        };
+        let lru = hit_count(TlbPolicy::Lru);
+        let clear_all = hit_count(TlbPolicy::ClearAll);
+        assert!(
+            lru > clear_all,
+            "LRU ({lru} hits) should beat ClearAll ({clear_all} hits)"
+        );
+    }
+
+    #[test]
+    fn stats_split_by_access_kind() {
+        let (mut phys, mut mmu, root) = setup();
+        let frame = phys.alloc_frame().unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0xb000),
+            Pte::new(frame, PteFlags::user_rw()),
+        )
+        .unwrap();
+        mmu.translate(&phys, VAddr(0xb000), AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, VAddr(0xb008), AccessKind::Write, true)
+            .unwrap();
+        mmu.translate(&phys, VAddr(0xb010), AccessKind::Write, true)
+            .unwrap();
+        let s = mmu.stats();
+        assert_eq!(s.misses, [1, 0, 0]);
+        assert_eq!(s.hits, [0, 2, 0]);
+        mmu.reset_stats();
+        assert_eq!(mmu.stats(), TlbStats::default());
+    }
+
+    #[test]
+    fn flush_page_and_set_root_invalidate_under_lru() {
+        let mut phys = PhysMem::new(256);
+        let root = phys.alloc_frame().unwrap();
+        let mut mmu = Mmu::with_tlb(4, TlbPolicy::Lru);
+        mmu.set_root(root);
+        let vas = map_n(&mut phys, root, 0xc000, 2);
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, vas[1], AccessKind::Read, true)
+            .unwrap();
+
+        // flush_page drops exactly that entry: next touch misses.
+        mmu.flush_page(vas[0].vpn());
+        let before = mmu.stats();
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().misses_total(), before.misses_total() + 1);
+        mmu.translate(&phys, vas[1], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().hits_total(), before.hits_total() + 1);
+
+        // set_root drops everything; flushes are not capacity evictions.
+        let evictions = mmu.stats().evictions;
+        mmu.set_root(root);
+        let before = mmu.stats();
+        mmu.translate(&phys, vas[0], AccessKind::Read, true)
+            .unwrap();
+        mmu.translate(&phys, vas[1], AccessKind::Read, true)
+            .unwrap();
+        assert_eq!(mmu.stats().misses_total(), before.misses_total() + 2);
+        assert_eq!(mmu.stats().evictions, evictions);
     }
 
     #[test]
     fn walk_leaf_reports_flags() {
         let (mut phys, mmu, root) = setup();
         let frame = phys.alloc_frame().unwrap();
-        map_page_raw(&mut phys, root, VAddr(0xa000), Pte::new(frame, PteFlags::user_code()))
-            .unwrap();
+        map_page_raw(
+            &mut phys,
+            root,
+            VAddr(0xa000),
+            Pte::new(frame, PteFlags::user_code()),
+        )
+        .unwrap();
         let leaf = mmu.walk_leaf(&phys, VAddr(0xa000)).unwrap();
         assert!(!leaf.no_execute());
         assert!(!leaf.writable());

@@ -22,7 +22,11 @@ impl PhysMem {
         // Hand out ascending frame numbers; keep the free list as a stack of
         // descending numbers so allocation order is deterministic.
         let free = (0..total_frames as u64).rev().collect();
-        PhysMem { frames: HashMap::new(), free, total_frames }
+        PhysMem {
+            frames: HashMap::new(),
+            free,
+            total_frames,
+        }
     }
 
     /// Total frame count.
@@ -38,7 +42,8 @@ impl PhysMem {
     /// Allocates a zeroed frame, or `None` if memory is exhausted.
     pub fn alloc_frame(&mut self) -> Option<Pfn> {
         let pfn = self.free.pop()?;
-        self.frames.insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        self.frames
+            .insert(pfn, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
         Some(Pfn(pfn))
     }
 
@@ -97,7 +102,10 @@ impl PhysMem {
     /// unallocated.
     pub fn write_bytes(&mut self, pfn: Pfn, off: u64, buf: &[u8]) {
         let off = off as usize;
-        assert!(off + buf.len() <= PAGE_SIZE as usize, "frame-crossing write");
+        assert!(
+            off + buf.len() <= PAGE_SIZE as usize,
+            "frame-crossing write"
+        );
         self.frame_mut(pfn)[off..off + buf.len()].copy_from_slice(buf);
     }
 
@@ -136,7 +144,11 @@ impl PhysMem {
     ///
     /// Panics if `data` is not exactly one page.
     pub fn write_frame(&mut self, pfn: Pfn, data: &[u8]) {
-        assert_eq!(data.len(), PAGE_SIZE as usize, "frame write must be page-sized");
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE as usize,
+            "frame write must be page-sized"
+        );
         self.frame_mut(pfn).copy_from_slice(data);
     }
 }

@@ -106,8 +106,12 @@ pub enum PageTableLevel {
 
 impl PageTableLevel {
     /// All levels, walking order.
-    pub const WALK: [PageTableLevel; 4] =
-        [PageTableLevel::L4, PageTableLevel::L3, PageTableLevel::L2, PageTableLevel::L1];
+    pub const WALK: [PageTableLevel; 4] = [
+        PageTableLevel::L4,
+        PageTableLevel::L3,
+        PageTableLevel::L2,
+        PageTableLevel::L1,
+    ];
 
     /// Index of the entry for `va` at this level.
     pub fn index(self, va: u64) -> u64 {

@@ -30,7 +30,13 @@ impl Heap {
     /// ghost-memory backing.
     pub fn new(env: &mut UserEnv, ghost: bool) -> Self {
         let brk_cursor = if ghost { 0 } else { env.brk(0) as u64 };
-        Heap { ghost, free: BTreeMap::new(), live: BTreeMap::new(), grown: 0, brk_cursor }
+        Heap {
+            ghost,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+            grown: 0,
+            brk_cursor,
+        }
     }
 
     /// Whether this heap is backed by ghost memory.
@@ -81,7 +87,10 @@ impl Heap {
     /// Panics on a pointer that is not a live allocation (double free /
     /// wild free).
     pub fn free(&mut self, ptr: u64) {
-        let len = self.live.remove(&ptr).expect("free of non-allocated pointer");
+        let len = self
+            .live
+            .remove(&ptr)
+            .expect("free of non-allocated pointer");
         // Coalesce with right neighbour.
         let mut start = ptr;
         let mut size = len;
@@ -121,7 +130,11 @@ mod tests {
 
     fn with_env(ghosting: bool, f: impl Fn(&mut UserEnv) -> i32 + 'static) -> i32 {
         let f = std::rc::Rc::new(f);
-        let mut sys = System::boot(if ghosting { Mode::VirtualGhost } else { Mode::Native });
+        let mut sys = System::boot(if ghosting {
+            Mode::VirtualGhost
+        } else {
+            Mode::Native
+        });
         sys.install_app("t", ghosting, move || {
             let f = f.clone();
             Box::new(move |env| f(env))

@@ -66,7 +66,11 @@ impl SecureFiles {
         mk.copy_from_slice(&Sha256::digest(&[&app_key[..], b"mac"].concat()));
         // Nonce freshness comes from the trusted RNG (not the OS — Iago).
         let nonce_counter = env.sva_random();
-        Ok(SecureFiles { enc_key: ek, mac_key: mk, nonce_counter })
+        Ok(SecureFiles {
+            enc_key: ek,
+            mac_key: mk,
+            nonce_counter,
+        })
     }
 
     fn charge_crypto(env: &mut UserEnv, bytes: usize) {
@@ -181,7 +185,8 @@ mod tests {
         ghost_app(&mut sys, "sec", |env| {
             let w = Wrappers::new(env);
             let mut sf = SecureFiles::new(env).unwrap();
-            sf.write(env, &w, "/vault", b"private key material").unwrap();
+            sf.write(env, &w, "/vault", b"private key material")
+                .unwrap();
             let back = sf.read(env, &w, "/vault").unwrap();
             assert_eq!(back, b"private key material");
             0

@@ -37,7 +37,10 @@ impl std::fmt::Display for VersionError {
         match self {
             VersionError::Secure(e) => write!(f, "secure layer: {e}"),
             VersionError::Stale { found, expected } => {
-                write!(f, "replayed file: version {found}, trusted counter {expected}")
+                write!(
+                    f,
+                    "replayed file: version {found}, trusted counter {expected}"
+                )
             }
             VersionError::NoCounter => write!(f, "trusted version counter unavailable"),
         }
@@ -65,12 +68,18 @@ impl VersionedFiles {
     ///
     /// [`SecureFileError::NoKey`] if no application key is loaded.
     pub fn new(env: &mut UserEnv) -> Result<Self, VersionError> {
-        Ok(VersionedFiles { inner: SecureFiles::new(env)? })
+        Ok(VersionedFiles {
+            inner: SecureFiles::new(env)?,
+        })
     }
 
     /// Stable counter slot for a path.
     fn slot(path: &str) -> u64 {
-        u64::from_be_bytes(Sha256::digest(path.as_bytes())[..8].try_into().expect("32-byte digest"))
+        u64::from_be_bytes(
+            Sha256::digest(path.as_bytes())[..8]
+                .try_into()
+                .expect("32-byte digest"),
+        )
     }
 
     /// Writes `plaintext` to `path`, bumping the trusted version counter and
@@ -181,7 +190,10 @@ mod tests {
             let w = Wrappers::new(env);
             let vf = VersionedFiles::new(env).unwrap();
             match vf.read(env, &w, "/v.db") {
-                Err(VersionError::Stale { found: 1, expected: 2 }) => 0,
+                Err(VersionError::Stale {
+                    found: 1,
+                    expected: 2,
+                }) => 0,
                 other => {
                     println!("unexpected: {other:?}");
                     1
@@ -189,7 +201,11 @@ mod tests {
             }
         });
         let pid = sys.spawn("reader");
-        assert_eq!(sys.run_until_exit(pid), 0, "replay must be detected as stale");
+        assert_eq!(
+            sys.run_until_exit(pid),
+            0,
+            "replay must be detected as stale"
+        );
     }
 
     #[test]

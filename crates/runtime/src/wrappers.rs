@@ -167,7 +167,11 @@ mod tests {
             })
         });
         let pid = sys.spawn("t");
-        assert_eq!(sys.run_until_exit(pid), 1, "raw ghost write must fail under VG");
+        assert_eq!(
+            sys.run_until_exit(pid),
+            1,
+            "raw ghost write must fail under VG"
+        );
         let f = sys.read_file("/direct").unwrap_or_default();
         assert!(!f.windows(8).any(|w| w == b"secret!!"), "no leak to disk");
     }

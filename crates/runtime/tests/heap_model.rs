@@ -23,7 +23,11 @@ fn run_model(ghost: bool, ops: Vec<HeapOp>) -> Result<(), TestCaseError> {
     let ops2 = ops.clone();
     let failed = std::rc::Rc::new(std::cell::RefCell::new(None::<String>));
     let f2 = failed.clone();
-    let mut sys = System::boot(if ghost { Mode::VirtualGhost } else { Mode::Native });
+    let mut sys = System::boot(if ghost {
+        Mode::VirtualGhost
+    } else {
+        Mode::Native
+    });
     sys.install_app("heap-model", ghost, move || {
         let ops = ops2.clone();
         let failed = f2.clone();

@@ -47,7 +47,11 @@ fn main() {
     // The hostile OS inspects the platter: ciphertext only.
     let on_disk = sys.read_file("/vault.db").expect("file exists");
     let visible = !on_disk.windows(8).any(|w| w == b"pin=4242");
-    println!("\nOS view of /vault.db: {} bytes, plaintext visible: {}", on_disk.len(), !visible);
+    println!(
+        "\nOS view of /vault.db: {} bytes, plaintext visible: {}",
+        on_disk.len(),
+        !visible
+    );
     assert!(visible);
 
     // The hostile OS flips one bit on disk; the next run must detect it.

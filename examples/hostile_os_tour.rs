@@ -22,9 +22,17 @@ fn main() {
     let donated = sys.machine.phys.alloc_frame().expect("frame");
     let ghost_va = vg_machine::layout::GHOST_BASE + 0x4000;
     sys.vm
-        .sva_allocgm(&mut sys.machine, ProcId(77), root, VAddr(ghost_va), &[donated])
+        .sva_allocgm(
+            &mut sys.machine,
+            ProcId(77),
+            root,
+            VAddr(ghost_va),
+            &[donated],
+        )
         .expect("ghost page");
-    sys.machine.phys.write_bytes(donated, 0, b"the five attack vectors");
+    sys.machine
+        .phys
+        .write_bytes(donated, 0, b"the five attack vectors");
     let ghost_pfn = donated;
 
     // -- §2.2.1 data access in memory ------------------------------------
@@ -37,22 +45,41 @@ fn main() {
     let root = sys.boot_root_pub();
     let err = sys
         .vm
-        .sva_map_page(&mut sys.machine, root, VAddr(0x7000), ghost_pfn, PteFlags::kernel_rw())
+        .sva_map_page(
+            &mut sys.machine,
+            root,
+            VAddr(0x7000),
+            ghost_pfn,
+            PteFlags::kernel_rw(),
+        )
         .unwrap_err();
     println!("   map(ghost frame → kernel VA)  ⇒ {err}");
     let err = sys
         .vm
-        .sva_map_page(&mut sys.machine, root, VAddr(ghost_va), frame, PteFlags::kernel_rw())
+        .sva_map_page(
+            &mut sys.machine,
+            root,
+            VAddr(ghost_va),
+            frame,
+            PteFlags::kernel_rw(),
+        )
         .unwrap_err();
     println!("   map(any frame → ghost VA)     ⇒ {err}");
     assert!(matches!(err, SvaError::Mmu(MmuCheckError::GhostVa)));
 
     println!("\n§2.2.1 DMA:");
-    let err = sys.vm.sva_iommu_map(&mut sys.machine, ghost_pfn).unwrap_err();
+    let err = sys
+        .vm
+        .sva_iommu_map(&mut sys.machine, ghost_pfn)
+        .unwrap_err();
     println!("   iommu_map(ghost frame)        ⇒ {err}");
     let err = sys
         .vm
-        .sva_port_write(&mut sys.machine, virtual_ghost::core::io::IOMMU_CONFIG_PORT, ghost_pfn.0)
+        .sva_port_write(
+            &mut sys.machine,
+            virtual_ghost::core::io::IOMMU_CONFIG_PORT,
+            ghost_pfn.0,
+        )
         .unwrap_err();
     println!("   out(IOMMU config port)        ⇒ {err}");
 
@@ -66,12 +93,19 @@ fn main() {
     let raw = sys.install_raw_module(virtual_ghost::attacks::direct_read_module());
     println!(
         "   load uninstrumented module    ⇒ {}",
-        raw.err().map(|e| e.to_string()).unwrap_or_else(|| "ACCEPTED?!".into())
+        raw.err()
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "ACCEPTED?!".into())
     );
     let mut m = virtual_ghost::ir::Module::new("fake-app");
     m.push_function(virtual_ghost::ir::FunctionBuilder::new("main", 0).ret(None));
     let digest = virtual_ghost::crypto::Sha256::digest(b"evil replacement code");
-    let binary = sys.binaries.get("victim").expect("installed").binary.clone();
+    let binary = sys
+        .binaries
+        .get("victim")
+        .expect("installed")
+        .binary
+        .clone();
     let err = sys
         .vm
         .sva_load_app_key(&mut sys.machine, ProcId(99), &binary, digest)
@@ -82,7 +116,11 @@ fn main() {
     println!("\n§2.2.4 interrupted program state:");
     println!(
         "   read/write saved registers    ⇒ {}",
-        if sys.vm.native_ic_mut(virtual_ghost::core::ThreadId(1)).is_none() {
+        if sys
+            .vm
+            .native_ic_mut(virtual_ghost::core::ThreadId(1))
+            .is_none()
+        {
             "no access (IC lives in SVA memory)"
         } else {
             "ACCESSIBLE?!"

@@ -14,7 +14,10 @@ fn main() {
     // Boot the full stack: simulated machine, SVA/Virtual Ghost VM, kernel.
     let mut sys = System::boot(Mode::VirtualGhost);
     println!("booted: mode = {}", sys.mode_name());
-    println!("key chain verifies against the boot TPM: {}\n", sys.vm.verify_key_chain(&sys.tpm));
+    println!(
+        "key chain verifies against the boot TPM: {}\n",
+        sys.vm.verify_key_chain(&sys.tpm)
+    );
 
     // Install a program. Programs are closures over the UserEnv syscall
     // surface; `ghosting = true` gives it a ghost-memory heap.

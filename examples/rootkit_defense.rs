@@ -28,16 +28,25 @@ fn run(label: &str, mode: Mode, module: virtual_ghost::ir::Module) {
         // instrumenting compiler + signed translation.
         sys.install_module(module).expect("compiled rootkit loads");
     } else {
-        sys.install_raw_module(module).expect("native kernel loads raw modules");
+        sys.install_raw_module(module)
+            .expect("native kernel loads raw modules");
     }
     let pid = sys.spawn("ssh-agent");
     let code = sys.run_until_exit(pid);
     let stolen = leaked(&mut sys);
     println!(
         "  {label:<42} {}  (agent exit code {code})",
-        if stolen { "SECRET STOLEN ✗" } else { "defeated ✓" }
+        if stolen {
+            "SECRET STOLEN ✗"
+        } else {
+            "defeated ✓"
+        }
     );
-    for line in sys.log.iter().filter(|l| l.contains("blocked") || l.contains("module")) {
+    for line in sys
+        .log
+        .iter()
+        .filter(|l| l.contains("blocked") || l.contains("module"))
+    {
         println!("      log: {line}");
     }
 }
@@ -45,16 +54,40 @@ fn run(label: &str, mode: Mode, module: virtual_ghost::ir::Module) {
 fn main() {
     println!("== Rootkit vs ssh-agent (paper §7) ==");
     println!("\nattack 1: hooked read() loads the secret straight out of memory");
-    run("on native FreeBSD-like kernel:", Mode::Native, attacks::direct_read_module());
-    run("under Virtual Ghost:", Mode::VirtualGhost, attacks::direct_read_module());
+    run(
+        "on native FreeBSD-like kernel:",
+        Mode::Native,
+        attacks::direct_read_module(),
+    );
+    run(
+        "under Virtual Ghost:",
+        Mode::VirtualGhost,
+        attacks::direct_read_module(),
+    );
 
     println!("\nattack 2: inject exploit code, dispatch it as a signal handler");
-    run("on native FreeBSD-like kernel:", Mode::Native, attacks::signal_inject_module());
-    run("under Virtual Ghost:", Mode::VirtualGhost, attacks::signal_inject_module());
+    run(
+        "on native FreeBSD-like kernel:",
+        Mode::Native,
+        attacks::signal_inject_module(),
+    );
+    run(
+        "under Virtual Ghost:",
+        Mode::VirtualGhost,
+        attacks::signal_inject_module(),
+    );
 
     println!("\nbonus: rewrite the saved PC in the interrupt context (§2.2.4)");
-    run("on native FreeBSD-like kernel:", Mode::Native, attacks::ic_hijack_module());
-    run("under Virtual Ghost:", Mode::VirtualGhost, attacks::ic_hijack_module());
+    run(
+        "on native FreeBSD-like kernel:",
+        Mode::Native,
+        attacks::ic_hijack_module(),
+    );
+    run(
+        "under Virtual Ghost:",
+        Mode::VirtualGhost,
+        attacks::ic_hijack_module(),
+    );
 
     println!("\nbonus: load the rootkit as a raw (uninstrumented) binary module");
     let mut sys = System::boot(Mode::VirtualGhost);

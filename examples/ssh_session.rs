@@ -20,8 +20,16 @@ fn main() {
     assert_eq!(sys.run_until_exit(pid), 0);
     let private = sys.read_file(ssh::PRIVATE_KEY_PATH).expect("written");
     let public = sys.read_file(ssh::PUBLIC_KEY_PATH).expect("written");
-    println!("ssh-keygen: wrote {} ({} B, encrypted)", ssh::PRIVATE_KEY_PATH, private.len());
-    println!("ssh-keygen: wrote {} ({} B, plaintext)", ssh::PUBLIC_KEY_PATH, public.len());
+    println!(
+        "ssh-keygen: wrote {} ({} B, encrypted)",
+        ssh::PRIVATE_KEY_PATH,
+        private.len()
+    );
+    println!(
+        "ssh-keygen: wrote {} ({} B, plaintext)",
+        ssh::PUBLIC_KEY_PATH,
+        public.len()
+    );
     assert!(
         !private.windows(public.len()).any(|w| w == &public[..]),
         "key material never hits the disk in the clear"
@@ -35,7 +43,10 @@ fn main() {
 
     // 3. Bulk transfer: the ghosting client vs the stock client (Figure 4).
     println!("\nclient download bandwidth on the Virtual Ghost kernel (Figure 4):");
-    println!("{:<10} {:>14} {:>14} {:>10}", "file size", "original KB/s", "ghosting KB/s", "ratio");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "file size", "original KB/s", "ghosting KB/s", "ratio"
+    );
     for kb in [4usize, 64, 512] {
         let orig =
             ssh::ssh_client_bandwidth(&mut System::boot(Mode::VirtualGhost), kb * 1024, 3, false);
@@ -54,7 +65,10 @@ fn main() {
     // 4. Server side (Figure 3): per-session fork/exec+kex dominates small
     //    transfers; the wire dominates large ones.
     println!("\nsshd transfer rate, native vs Virtual Ghost (Figure 3):");
-    println!("{:<10} {:>12} {:>12} {:>10}", "file size", "native KB/s", "vg KB/s", "vg/native");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "file size", "native KB/s", "vg KB/s", "vg/native"
+    );
     for kb in [1usize, 64, 1024] {
         let n = ssh::sshd_bandwidth(&mut System::boot(Mode::Native), kb * 1024, 3);
         let v = ssh::sshd_bandwidth(&mut System::boot(Mode::VirtualGhost), kb * 1024, 3);

@@ -10,7 +10,10 @@ use virtual_ghost::kernel::{Mode, System};
 
 fn main() {
     println!("== thttpd bandwidth, native vs Virtual Ghost (Figure 2) ==\n");
-    println!("{:<10} {:>12} {:>12} {:>10}", "file size", "native KB/s", "vg KB/s", "vg/native");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "file size", "native KB/s", "vg KB/s", "vg/native"
+    );
     for kb in [1usize, 4, 16, 64, 256, 1024] {
         let requests = if kb >= 256 { 4 } else { 12 };
         let native = thttpd::bandwidth(&mut System::boot(Mode::Native), kb * 1024, requests);
@@ -23,7 +26,9 @@ fn main() {
             100.0 * vg.kb_per_sec / native.kb_per_sec
         );
     }
-    println!("\npaper: \"the impact of Virtual Ghost on the Web transfer bandwidth is negligible\"");
+    println!(
+        "\npaper: \"the impact of Virtual Ghost on the Web transfer bandwidth is negligible\""
+    );
 
     // Peek at what one served exchange looks like on the wire.
     let mut sys = System::boot(Mode::VirtualGhost);

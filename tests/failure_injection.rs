@@ -6,12 +6,15 @@ use vg_core::{Protections, SvaError, SvaVm};
 use vg_crypto::Tpm;
 use vg_kernel::syscall::O_CREAT;
 use vg_kernel::{Mode, System};
-use vg_machine::cost::CostModel;
 use vg_machine::layout::GHOST_BASE;
 use vg_machine::{Machine, MachineConfig, VAddr};
 
 fn tiny_machine(frames: usize) -> Machine {
-    Machine::new(MachineConfig { phys_frames: frames, disk_blocks: 64, costs: CostModel::native() })
+    Machine::new(MachineConfig {
+        phys_frames: frames,
+        disk_blocks: 64,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -29,7 +32,13 @@ fn allocgm_fails_cleanly_when_memory_exhausted() {
     // page-table allocation fails → clean error, no partial state left that
     // violates invariants.
     let donated = hold.pop().unwrap();
-    let r = vm.sva_allocgm(&mut machine, vg_core::ProcId(1), root, VAddr(GHOST_BASE), &[donated]);
+    let r = vm.sva_allocgm(
+        &mut machine,
+        vg_core::ProcId(1),
+        root,
+        VAddr(GHOST_BASE),
+        &[donated],
+    );
     assert_eq!(r, Err(SvaError::OutOfFrames));
 }
 

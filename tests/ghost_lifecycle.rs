@@ -127,23 +127,29 @@ fn swap_roundtrip_through_hostile_storage() {
     // before teardown by replicating the flow at the VM level instead.
     let _ = pid_holder;
     let tpm = vg_crypto::Tpm::new(7);
-    let mut vm = vg_core::SvaVm::boot_with_key_bits(vg_core::Protections::virtual_ghost(), &tpm, 3, 128);
+    let mut vm =
+        vg_core::SvaVm::boot_with_key_bits(vg_core::Protections::virtual_ghost(), &tpm, 3, 128);
     let mut machine = vg_machine::Machine::new(Default::default());
     let root = vm.sva_create_root(&mut machine).unwrap();
     let frame = machine.phys.alloc_frame().unwrap();
     let va = VAddr(GHOST_BASE + 0x7000);
-    vm.sva_allocgm(&mut machine, ProcId(9), root, va, &[frame]).unwrap();
-    machine.phys.write_bytes(frame, 0, b"swapped ghost contents");
+    vm.sva_allocgm(&mut machine, ProcId(9), root, va, &[frame])
+        .unwrap();
+    machine
+        .phys
+        .write_bytes(frame, 0, b"swapped ghost contents");
 
     let (blob, freed) = vm.sva_swap_out(&mut machine, ProcId(9), root, va).unwrap();
     // The "disk" sees only ciphertext.
-    assert!(blob
-        .sealed
-        .open(&[0; 16], &[0; 32], 0).is_err(), "not decryptable with wrong keys");
+    assert!(
+        blob.sealed.open(&[0; 16], &[0; 32], 0).is_err(),
+        "not decryptable with wrong keys"
+    );
     machine.phys.free_frame(freed);
 
     let fresh = machine.phys.alloc_frame().unwrap();
-    vm.sva_swap_in(&mut machine, ProcId(9), root, va, &blob, fresh).unwrap();
+    vm.sva_swap_in(&mut machine, ProcId(9), root, va, &blob, fresh)
+        .unwrap();
     let back = vm.ghost.frame_at(ProcId(9), va.vpn().0).unwrap();
     let mut buf = [0u8; 22];
     machine.phys.read_bytes(back, 0, &mut buf);

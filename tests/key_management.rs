@@ -19,7 +19,10 @@ fn app_key_flows_only_to_the_real_binary() {
     let pid = sys.spawn("holder");
     assert_eq!(sys.run_until_exit(pid), 0);
     // After exit, the VM no longer serves the key for that process id.
-    assert_eq!(sys.vm.sva_get_key(ProcId(pid)), Err(SvaError::Key(KeyError::NoKey)));
+    assert_eq!(
+        sys.vm.sva_get_key(ProcId(pid)),
+        Err(SvaError::Key(KeyError::NoKey))
+    );
 }
 
 #[test]
@@ -48,7 +51,9 @@ fn cross_binary_key_sections_are_not_interchangeable() {
     let a_digest = sys.binaries["a"].digest;
     let mut franken = sys.binaries["a"].binary.clone();
     franken.key_section = b_section;
-    let r = sys.vm.sva_load_app_key(&mut sys.machine, ProcId(42), &franken, a_digest);
+    let r = sys
+        .vm
+        .sva_load_app_key(&mut sys.machine, ProcId(42), &franken, a_digest);
     assert_eq!(r, Err(SvaError::Key(KeyError::BadSignature)));
 }
 
@@ -59,10 +64,20 @@ fn two_installs_of_one_app_share_key_but_not_ciphertext() {
     let digest = Sha256::digest(b"app");
     let b1 = sys.vm.sva_install_app("copy", digest, [7; 16]);
     let b2 = sys.vm.sva_install_app("copy", digest, [7; 16]);
-    assert_ne!(b1.key_section, b2.key_section, "ciphertexts differ per copy");
-    sys.vm.sva_load_app_key(&mut sys.machine, ProcId(1), &b1, digest).unwrap();
-    sys.vm.sva_load_app_key(&mut sys.machine, ProcId(2), &b2, digest).unwrap();
-    assert_eq!(sys.vm.sva_get_key(ProcId(1)).unwrap(), sys.vm.sva_get_key(ProcId(2)).unwrap());
+    assert_ne!(
+        b1.key_section, b2.key_section,
+        "ciphertexts differ per copy"
+    );
+    sys.vm
+        .sva_load_app_key(&mut sys.machine, ProcId(1), &b1, digest)
+        .unwrap();
+    sys.vm
+        .sva_load_app_key(&mut sys.machine, ProcId(2), &b2, digest)
+        .unwrap();
+    assert_eq!(
+        sys.vm.sva_get_key(ProcId(1)).unwrap(),
+        sys.vm.sva_get_key(ProcId(2)).unwrap()
+    );
 }
 
 #[test]
@@ -77,7 +92,11 @@ fn version_counters_survive_process_restarts_not_key_changes() {
     let p1 = sys.spawn("counting");
     assert_eq!(sys.run_until_exit(p1), 1);
     let p2 = sys.spawn("counting");
-    assert_eq!(sys.run_until_exit(p2), 2, "counter persists across instances");
+    assert_eq!(
+        sys.run_until_exit(p2),
+        2,
+        "counter persists across instances"
+    );
 
     // A different app (different key) has independent counters.
     sys.install_app_with_key("other", true, [0x44; 16], || {
@@ -109,6 +128,9 @@ fn kernel_never_observes_the_application_key() {
     assert!(!sys.kernel_heap.windows(16).any(|w| w == key));
     for block in 0..64 {
         let data = sys.machine.disk.peek(block);
-        assert!(!data.windows(16).any(|w| w == key), "key leaked to disk block {block}");
+        assert!(
+            !data.windows(16).any(|w| w == key),
+            "key leaked to disk block {block}"
+        );
     }
 }

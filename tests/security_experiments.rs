@@ -36,9 +36,11 @@ fn run_attack(mode: Mode, module: vg_ir::Module) -> (i32, bool) {
     install_ssh_agent(&mut sys, ghosting, 3);
     // Load the rootkit through the only pipeline the platform offers.
     if ghosting {
-        sys.install_module(module).expect("VG compiler accepts the module source");
+        sys.install_module(module)
+            .expect("VG compiler accepts the module source");
     } else {
-        sys.install_raw_module(module).expect("native kernels load raw modules");
+        sys.install_raw_module(module)
+            .expect("native kernels load raw modules");
     }
     let pid = sys.spawn("ssh-agent");
     let code = sys.run_until_exit(pid);
@@ -49,28 +51,40 @@ fn run_attack(mode: Mode, module: vg_ir::Module) -> (i32, bool) {
 #[test]
 fn attack1_direct_read_succeeds_natively() {
     let (code, leaked) = run_attack(Mode::Native, vg_attacks::direct_read_module());
-    assert!(leaked, "paper: attack 1 steals the secret on the baseline system");
+    assert!(
+        leaked,
+        "paper: attack 1 steals the secret on the baseline system"
+    );
     assert_eq!(code, 0, "the theft is silent — the victim never notices");
 }
 
 #[test]
 fn attack1_direct_read_defeated_under_vg() {
     let (code, leaked) = run_attack(Mode::VirtualGhost, vg_attacks::direct_read_module());
-    assert!(!leaked, "paper: the masked load reads kernel garbage instead");
+    assert!(
+        !leaked,
+        "paper: the masked load reads kernel garbage instead"
+    );
     assert_eq!(code, 0, "ssh-agent continues execution unaffected");
 }
 
 #[test]
 fn attack2_signal_injection_succeeds_natively() {
     let (code, leaked) = run_attack(Mode::Native, vg_attacks::signal_inject_module());
-    assert!(leaked, "paper: injected handler exfiltrates the secret natively");
+    assert!(
+        leaked,
+        "paper: injected handler exfiltrates the secret natively"
+    );
     assert_eq!(code, 0);
 }
 
 #[test]
 fn attack2_signal_injection_defeated_under_vg() {
     let (code, leaked) = run_attack(Mode::VirtualGhost, vg_attacks::signal_inject_module());
-    assert!(!leaked, "paper: sva.ipush.function refuses the unregistered target");
+    assert!(
+        !leaked,
+        "paper: sva.ipush.function refuses the unregistered target"
+    );
     assert_eq!(code, 0, "ssh-agent continues execution unaffected");
 }
 
@@ -78,11 +92,14 @@ fn attack2_signal_injection_defeated_under_vg() {
 fn attack2_leaves_audit_trail_under_vg() {
     let mut sys = System::boot(Mode::VirtualGhost);
     install_ssh_agent(&mut sys, true, 2);
-    sys.install_module(vg_attacks::signal_inject_module()).expect("loads");
+    sys.install_module(vg_attacks::signal_inject_module())
+        .expect("loads");
     let pid = sys.spawn("ssh-agent");
     sys.run_until_exit(pid);
     assert!(
-        sys.log.iter().any(|l| l.contains("blocked signal dispatch")),
+        sys.log
+            .iter()
+            .any(|l| l.contains("blocked signal dispatch")),
         "the refused dispatch is observable: {:?}",
         sys.log
     );
@@ -91,37 +108,56 @@ fn attack2_leaves_audit_trail_under_vg() {
 #[test]
 fn ic_hijack_succeeds_natively() {
     let (_code, leaked) = run_attack(Mode::Native, vg_attacks::ic_hijack_module());
-    assert!(leaked, "rewriting the saved PC redirects the victim into exploit code");
+    assert!(
+        leaked,
+        "rewriting the saved PC redirects the victim into exploit code"
+    );
 }
 
 #[test]
 fn ic_hijack_defeated_under_vg() {
     let (code, leaked) = run_attack(Mode::VirtualGhost, vg_attacks::ic_hijack_module());
-    assert!(!leaked, "the Interrupt Context lives in SVA memory: kern.write_ic_rip fails");
+    assert!(
+        !leaked,
+        "the Interrupt Context lives in SVA memory: kern.write_ic_rip fails"
+    );
     assert_eq!(code, 0);
 }
 
 #[test]
 fn fptr_hijack_succeeds_natively() {
     let (_code, leaked) = run_attack(Mode::Native, vg_attacks::fptr_hijack_module());
-    assert!(leaked, "corrupted function pointer reaches injected kernel-context code");
+    assert!(
+        leaked,
+        "corrupted function pointer reaches injected kernel-context code"
+    );
 }
 
 #[test]
 fn fptr_hijack_defeated_by_cfi_under_vg() {
     let (code, leaked) = run_attack(Mode::VirtualGhost, vg_attacks::fptr_hijack_module());
-    assert!(!leaked, "CFI check rejects the unlabeled, out-of-kernel target");
-    assert_eq!(code, 0, "the victim survives; only the kernel thread was terminated");
+    assert!(
+        !leaked,
+        "CFI check rejects the unlabeled, out-of-kernel target"
+    );
+    assert_eq!(
+        code, 0,
+        "the victim survives; only the kernel thread was terminated"
+    );
 }
 
 #[test]
 fn fptr_hijack_terminates_kernel_thread_under_vg() {
     let mut sys = System::boot(Mode::VirtualGhost);
     install_ssh_agent(&mut sys, true, 2);
-    sys.install_module(vg_attacks::fptr_hijack_module()).expect("loads");
+    sys.install_module(vg_attacks::fptr_hijack_module())
+        .expect("loads");
     let pid = sys.spawn("ssh-agent");
     sys.run_until_exit(pid);
-    assert!(sys.machine.counters.cfi_violations > 0, "CFI violation recorded");
+    assert!(
+        sys.machine.counters.cfi_violations > 0,
+        "CFI violation recorded"
+    );
     assert!(
         sys.log.iter().any(|l| l.contains("kernel module fault")),
         "thread termination logged: {:?}",
@@ -140,8 +176,8 @@ fn iago_mmap_defeated_by_return_masking() {
             let ghost = env.allocgm(1).expect("ghost page");
             env.write_mem(ghost, b"iago-target-secret");
             env.sys.set_module_config(5, ghost as i64); // attacker recon
-            // Victim now mmaps a buffer — the hostile kernel returns the
-            // ghost address; the wrapper's mask displaces it.
+                                                        // Victim now mmaps a buffer — the hostile kernel returns the
+                                                        // ghost address; the wrapper's mask displaces it.
             let buf = env.mmap_anon(4096);
             assert_ne!(buf, ghost, "mask must displace the evil pointer");
             // Writing through the returned pointer must not touch the ghost
@@ -150,9 +186,14 @@ fn iago_mmap_defeated_by_return_masking() {
             (env.read_mem(ghost, 18) != b"iago-target-secret") as i32
         })
     });
-    sys.install_module(vg_attacks::iago_mmap_module()).expect("loads");
+    sys.install_module(vg_attacks::iago_mmap_module())
+        .expect("loads");
     let pid = sys.spawn("victim");
-    assert_eq!(sys.run_until_exit(pid), 0, "secret survives the Iago attempt");
+    assert_eq!(
+        sys.run_until_exit(pid),
+        0,
+        "secret survives the Iago attempt"
+    );
 }
 
 #[test]
@@ -162,7 +203,10 @@ fn uninstrumented_rootkit_cannot_load_under_vg() {
     // even expressible" (§1).
     let mut sys = System::boot(Mode::VirtualGhost);
     let err = sys.install_raw_module(vg_attacks::direct_read_module());
-    assert!(err.is_err(), "unsigned/uninstrumented module must be refused");
+    assert!(
+        err.is_err(),
+        "unsigned/uninstrumented module must be refused"
+    );
 }
 
 #[test]
@@ -171,7 +215,8 @@ fn legitimate_signals_still_work_under_vg_with_rootkit_present() {
     // handler (registered through sva.permitFunction) keeps working even
     // while the hostile module is loaded.
     let mut sys = System::boot(Mode::VirtualGhost);
-    sys.install_module(vg_attacks::signal_inject_module()).expect("loads");
+    sys.install_module(vg_attacks::signal_inject_module())
+        .expect("loads");
     let fired = std::rc::Rc::new(std::cell::Cell::new(false));
     let f2 = fired.clone();
     sys.install_app("victim", true, move || {
@@ -211,7 +256,8 @@ fn dma_exposure_defeated_under_vg() {
     // §2.2.1 third vector: "direct an I/O device to use DMA to copy data to
     // or from memory that the system software cannot read directly."
     let mut sys = System::boot(Mode::VirtualGhost);
-    sys.install_module(vg_attacks::dma_expose_module()).expect("loads");
+    sys.install_module(vg_attacks::dma_expose_module())
+        .expect("loads");
     sys.install_app("victim", true, || {
         Box::new(|env| {
             let ghost = env.allocgm(1).expect("ghost page");
@@ -219,7 +265,12 @@ fn dma_exposure_defeated_under_vg() {
             // Tell the "attacker" which frame backs the page (the OS knows:
             // it donated the frame).
             let vpn = ghost / 4096;
-            let pfn = env.sys.vm.ghost.frame_at(vg_core::ProcId(env.pid), vpn).expect("frame");
+            let pfn = env
+                .sys
+                .vm
+                .ghost
+                .frame_at(vg_core::ProcId(env.pid), vpn)
+                .expect("frame");
             env.sys.set_module_config(7, pfn.0 as i64);
             // Trigger the hooked read.
             let fd = env.open("/f", vg_kernel::syscall::O_CREAT);
@@ -231,22 +282,24 @@ fn dma_exposure_defeated_under_vg() {
         })
     });
     let pid = sys.spawn("victim");
-    assert_eq!(sys.run_until_exit(pid), 0, "ghost frame never became DMA-visible");
+    assert_eq!(
+        sys.run_until_exit(pid),
+        0,
+        "ghost frame never became DMA-visible"
+    );
 }
 
 #[test]
 fn dma_exposure_succeeds_natively() {
     let mut sys = System::boot(Mode::Native);
-    sys.install_raw_module(vg_attacks::dma_expose_module()).expect("loads");
+    sys.install_raw_module(vg_attacks::dma_expose_module())
+        .expect("loads");
     sys.install_app("victim", false, || {
         Box::new(|env| {
             // Natively the secret lives in a regular user frame; pick it.
             let buf = env.mmap_anon(4096);
             env.write_mem(buf, b"dma-target");
-            let pa = env
-                .sys
-                .user_resolve_pub(env.pid, buf)
-                .expect("mapped");
+            let pa = env.sys.user_resolve_pub(env.pid, buf).expect("mapped");
             env.sys.set_module_config(7, pa.pfn().0 as i64);
             let fd = env.open("/f", vg_kernel::syscall::O_CREAT);
             env.read(fd, buf + 2048, 4);
@@ -256,5 +309,9 @@ fn dma_exposure_succeeds_natively() {
         })
     });
     let pid = sys.spawn("victim");
-    assert_eq!(sys.run_until_exit(pid), 0, "native kernel exposes the frame to DMA");
+    assert_eq!(
+        sys.run_until_exit(pid),
+        0,
+        "native kernel exposes the frame to DMA"
+    );
 }

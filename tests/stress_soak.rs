@@ -10,7 +10,8 @@ use vg_kernel::{ChildKind, Mode, System};
 fn long_mixed_scenario_holds_all_invariants() {
     let mut sys = System::boot(Mode::VirtualGhost);
     // A hostile module is present the whole time.
-    sys.install_module(vg_attacks::direct_read_module()).expect("loads");
+    sys.install_module(vg_attacks::direct_read_module())
+        .expect("loads");
 
     let rounds = 12u64;
     sys.install_app("soak", true, move || {
@@ -72,7 +73,10 @@ fn long_mixed_scenario_holds_all_invariants() {
                 env.close(w);
                 // All live ghost data still intact (incl. swapped-in pages).
                 for (i, (va, _)) in ghost_allocs.iter().enumerate() {
-                    let want = format!("soak-secret-{}", round - (ghost_allocs.len() - 1 - i) as u64);
+                    let want = format!(
+                        "soak-secret-{}",
+                        round - (ghost_allocs.len() - 1 - i) as u64
+                    );
                     let got = env.read_mem(*va, want.len());
                     if got != want.as_bytes() {
                         return 12;
@@ -116,7 +120,8 @@ fn long_mixed_scenario_holds_all_invariants() {
     // 5. Determinism: the exact same scenario replays to the same cycle.
     let first_run_cycles = sys.machine.clock.cycles();
     let mut sys2 = System::boot(Mode::VirtualGhost);
-    sys2.install_module(vg_attacks::direct_read_module()).expect("loads");
+    sys2.install_module(vg_attacks::direct_read_module())
+        .expect("loads");
     // (Reinstall the identical app.)
     let rounds2 = rounds;
     sys2.install_app("soak", true, move || {

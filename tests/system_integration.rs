@@ -250,7 +250,10 @@ fn counters_track_workload_identically_across_modes() {
         });
         let pid = sys.spawn("w");
         sys.run_until_exit(pid);
-        (sys.machine.counters.syscalls, sys.machine.counters.page_faults)
+        (
+            sys.machine.counters.syscalls,
+            sys.machine.counters.page_faults,
+        )
     };
     assert_eq!(run(Mode::Native), run(Mode::VirtualGhost));
 }

@@ -1,0 +1,205 @@
+//! Offline benchmarking shim.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real `criterion` crate cannot be fetched. This crate exposes the subset
+//! of its API that `crates/bench/benches/microbench.rs` uses and measures
+//! plain wall-clock means with `std::time::Instant`. No statistics engine,
+//! no plots, no external dependencies.
+//!
+//! Modes, matching cargo's conventions for `harness = false` targets:
+//!
+//! * `cargo bench` passes `--bench`: full measurement (warm-up plus a
+//!   time-budgeted sampling loop), one `name/id: <mean>/iter` line each.
+//! * any other invocation (notably `cargo test`, which runs bench targets
+//!   to check they work): each routine runs exactly once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// call individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    MediumInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    full: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            full: std::env::args().any(|a| a == "--bench"),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            full: self.full,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (full, samples) = (self.full, self.sample_size);
+        run_one(id.into(), full, samples, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    full: bool,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, id.into()),
+            self.full,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(label: String, full: bool, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        full,
+        sample_size,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label}: no iterations");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let human = if per_iter >= 1_000_000.0 {
+        format!("{:.3} ms", per_iter / 1_000_000.0)
+    } else if per_iter >= 1_000.0 {
+        format!("{:.3} µs", per_iter / 1_000.0)
+    } else {
+        format!("{per_iter:.1} ns")
+    };
+    println!("{label}: {human}/iter ({} iters)", b.iters);
+}
+
+pub struct Bencher {
+    full: bool,
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Per-routine wall-clock budget in full (`--bench`) mode.
+const BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if !self.full {
+            std::hint::black_box(routine());
+            self.record(Duration::from_nanos(1), 1);
+            return;
+        }
+        // Warm-up, and a batch size targeting ~1000 timer reads per run.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (BUDGET.as_nanos() / once.as_nanos() / 1000).clamp(1, 10_000) as u64;
+        let floor = self.sample_size as u64;
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < floor || start.elapsed() < BUDGET {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+            if iters >= floor && start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if !self.full {
+            std::hint::black_box(routine(setup()));
+            self.record(Duration::from_nanos(1), 1);
+            return;
+        }
+        let floor = self.sample_size as u64;
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        let start = Instant::now();
+        while iters < floor || start.elapsed() < BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+            if iters >= floor && start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.record(timed, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.elapsed += elapsed;
+        self.iters += iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
