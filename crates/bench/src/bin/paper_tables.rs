@@ -3,6 +3,11 @@
 //! Usage: `paper-tables [table2|table3|table4|table5|figure2|figure3|figure4|security|ablation] [--fast]`
 //! With no argument, everything runs. `--fast` shrinks iteration counts for
 //! smoke runs (shapes hold; absolute noise rises).
+//!
+//! Observability: `--trace <path>` runs a traced capture (LMBench
+//! open/close, a ghost-swap roundtrip, and a small Postmark) and writes a
+//! Chrome/Perfetto trace.json plus a top-N span summary; `--metrics` prints
+//! the per-subsystem metrics report for the same capture workload.
 
 use vg_apps::{lmbench, postmark, ssh, thttpd};
 use vg_bench::{ratio, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5};
@@ -36,20 +41,34 @@ const FAST: Scale = Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let metrics = args.iter().any(|a| a == "--metrics");
     let scale = if fast { FAST } else { FULL };
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: paper-tables [ARTEFACT..] [--fast]");
+        println!("usage: paper-tables [ARTEFACT..] [--fast] [--trace PATH] [--metrics]");
         println!("artefacts: table2 table3 table4 table5 figure2 figure3 figure4");
         println!("           security ablation counters   (default: all)");
         println!("--fast: reduced iteration counts for smoke runs");
+        println!("--trace PATH: run a traced capture, write Chrome trace.json to PATH");
+        println!("--metrics: print the per-subsystem metrics report for the capture");
         return;
     }
-    let which: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let all = which.is_empty();
+    // `--trace` consumes the following token as its path, so it must not
+    // leak into the artefact list.
+    let mut trace_path: Option<String> = None;
+    let mut which: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            trace_path = it.next().cloned();
+            if trace_path.is_none() {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }
+        } else if !a.starts_with("--") {
+            which.push(a.as_str());
+        }
+    }
+    let all = which.is_empty() && trace_path.is_none() && !metrics;
     let want = |name: &str| all || which.contains(&name);
 
     if want("table2") {
@@ -78,6 +97,63 @@ fn main() {
     }
     if want("counters") {
         counters();
+    }
+    if trace_path.is_some() || metrics {
+        observability(&scale, trace_path.as_deref(), metrics);
+    }
+}
+
+/// The traced capture workload: one LMBench microbenchmark, a ghost-memory
+/// swap roundtrip (so the trace contains SVA ghost/swap events), and a small
+/// Postmark run — all on one Virtual Ghost system.
+fn observability_workload(sys: &mut System, scale: &Scale) {
+    lmbench::open_close(sys, scale.lm_iters.min(50));
+    sys.install_app("trace-ghost", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(2).expect("ghost pages");
+            env.write_mem(va, b"traced ghost page");
+            let pid = env.pid;
+            env.sys.kernel_swap_out_ghost(pid, 2);
+            // Touching the page swaps it back in through the fault path.
+            assert_eq!(env.read_mem(va, 17), b"traced ghost page");
+            0
+        })
+    });
+    let pid = sys.spawn("trace-ghost");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    postmark::run(
+        sys,
+        postmark::PostmarkConfig {
+            base_files: 20,
+            transactions: 50,
+            ..Default::default()
+        },
+    );
+}
+
+fn observability(scale: &Scale, trace_path: Option<&str>, metrics: bool) {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    if trace_path.is_some() {
+        sys.machine.trace.enable(vg_trace::DEFAULT_TRACE_CAPACITY);
+    }
+    observability_workload(&mut sys, scale);
+    if let Some(path) = trace_path {
+        let json = vg_trace::chrome_trace_json(&sys.machine.trace);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!(
+                "\n== trace: {} events written to {path} ==",
+                sys.machine.trace.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!("{}", vg_trace::summary_top_n(&sys.machine.trace, 15));
+    }
+    if metrics {
+        println!("\n== metrics report (virtual-ghost capture workload) ==");
+        print!("{}", sys.machine.metrics.report());
     }
 }
 

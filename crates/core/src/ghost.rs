@@ -13,7 +13,7 @@ use crate::{ProcId, SvaError, SvaVm};
 use std::collections::{BTreeMap, HashMap};
 use vg_machine::layout::{Region, PAGE_SIZE};
 use vg_machine::pte::{Pte, PteFlags};
-use vg_machine::{Machine, Pfn, VAddr};
+use vg_machine::{Machine, Pfn, TraceEvent, VAddr};
 
 /// Tracks which ghost pages each process owns.
 #[derive(Debug, Default)]
@@ -88,6 +88,7 @@ impl SvaVm {
                 return Err(SvaError::FrameInUse);
             }
         }
+        let t0 = machine.clock.cycles();
         for (i, &f) in frames.iter().enumerate() {
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
             machine.counters.ghost_pages_allocated += 1;
@@ -107,7 +108,12 @@ impl SvaVm {
                 .entry(proc)
                 .or_default()
                 .insert(page_va.vpn().0, f);
+            machine.trace_emit(TraceEvent::GhostAlloc {
+                va: page_va.0,
+                pfn: f.0,
+            });
         }
+        machine.trace_complete("sva", "sva.allocgm", t0);
         Ok(())
     }
 
@@ -141,6 +147,7 @@ impl SvaVm {
                 return Err(SvaError::NotGhostMapped);
             }
         }
+        let t0 = machine.clock.cycles();
         let mut freed = Vec::with_capacity(num as usize);
         for i in 0..num {
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
@@ -157,8 +164,13 @@ impl SvaVm {
             machine.mmu.flush_page(vg_machine::Vpn(vpn));
             machine.phys.zero_frame(pfn);
             self.frames.set_kind(pfn, FrameKind::Regular);
+            machine.trace_emit(TraceEvent::GhostFree {
+                va: vpn * PAGE_SIZE,
+                pfn: pfn.0,
+            });
             freed.push(pfn);
         }
+        machine.trace_complete("sva", "sva.freegm", t0);
         Ok(freed)
     }
 
@@ -175,6 +187,7 @@ impl SvaVm {
         let Some(pages) = self.ghost.pages.remove(&proc) else {
             return Vec::new();
         };
+        let t0 = machine.clock.cycles();
         let mut freed = Vec::with_capacity(pages.len());
         for (vpn, pfn) in pages {
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
@@ -183,8 +196,13 @@ impl SvaVm {
             machine.mmu.flush_page(vg_machine::Vpn(vpn));
             machine.phys.zero_frame(pfn);
             self.frames.set_kind(pfn, FrameKind::Regular);
+            machine.trace_emit(TraceEvent::GhostFree {
+                va: vpn * PAGE_SIZE,
+                pfn: pfn.0,
+            });
             freed.push(pfn);
         }
+        machine.trace_complete("sva", "sva.release_ghost", t0);
         freed
     }
 }

@@ -20,7 +20,18 @@
 use crate::{ProcId, SvaError, SvaVm, ThreadId};
 use std::collections::{HashMap, HashSet};
 use vg_machine::cpu::{Privilege, Reg, TrapFrame, TrapKind};
-use vg_machine::{Machine, VAddr};
+use vg_machine::{DenialKind, Machine, TraceEvent, VAddr};
+
+/// Trace span name and payload for a trap kind.
+fn trap_trace_parts(kind: TrapKind) -> (&'static str, u64) {
+    match kind {
+        TrapKind::Syscall(n) => ("syscall", n as u64),
+        TrapKind::PageFault(va, _) => ("pagefault", va.0),
+        TrapKind::Timer => ("timer", 0),
+        TrapKind::Device(d) => ("device", d as u64),
+        TrapKind::Software(v) => ("software", v as u64),
+    }
+}
 
 /// A saved Interrupt Context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +128,12 @@ impl SvaVm {
     /// SVA VM, which stores it and — under Virtual Ghost — scrubs the
     /// registers the OS does not need.
     pub fn trap_enter(&mut self, machine: &mut Machine, thread: ThreadId, kind: TrapKind) {
+        let (trap_name, detail) = trap_trace_parts(kind);
+        machine.trace_begin("trap", trap_name, detail);
+        machine.trace_emit(TraceEvent::TrapEnter {
+            kind: trap_name,
+            detail,
+        });
         machine.counters.traps += 1;
         machine.charge(machine.costs.trap_entry + machine.costs.ic_save);
         let frame = machine.cpu.take_trap(kind);
@@ -147,6 +164,9 @@ impl SvaVm {
             .and_then(|s| s.pop())
             .ok_or(SvaError::Ic(IcError::NoContext))?;
         machine.cpu.resume(&ic.frame);
+        let (trap_name, _) = trap_trace_parts(ic.frame.kind);
+        machine.trace_emit(TraceEvent::TrapExit);
+        machine.trace_end("trap", trap_name);
         Ok(())
     }
 
@@ -209,6 +229,7 @@ impl SvaVm {
         machine: &mut Machine,
         thread: ThreadId,
     ) -> Result<(), SvaError> {
+        let t0 = machine.clock.cycles();
         machine.charge(machine.costs.ic_save / 8 + 20);
         let top = self
             .ic
@@ -218,6 +239,7 @@ impl SvaVm {
             .cloned()
             .ok_or(SvaError::Ic(IcError::NoContext))?;
         self.ic.saved.entry(thread).or_default().push(top);
+        machine.trace_complete("sva", "sva.icontext.save", t0);
         Ok(())
     }
 
@@ -233,6 +255,7 @@ impl SvaVm {
         machine: &mut Machine,
         thread: ThreadId,
     ) -> Result<(), SvaError> {
+        let t0 = machine.clock.cycles();
         machine.charge(machine.costs.ic_restore / 8 + 20);
         let saved = self
             .ic
@@ -241,6 +264,7 @@ impl SvaVm {
             .and_then(|s| s.pop())
             .ok_or(SvaError::Ic(IcError::NothingSaved))?;
         *self.ic_top_mut(thread)? = saved;
+        machine.trace_complete("sva", "sva.icontext.load", t0);
         Ok(())
     }
 
@@ -262,6 +286,7 @@ impl SvaVm {
         handler: u64,
         arg: u64,
     ) -> Result<(), SvaError> {
+        let t0 = machine.clock.cycles();
         machine.charge(machine.costs.ic_save / 2 + 60);
         if self.ic.protected {
             let permitted = self
@@ -270,6 +295,12 @@ impl SvaVm {
                 .get(&proc)
                 .is_some_and(|set| set.contains(&handler));
             if !permitted {
+                machine.record_denial(
+                    DenialKind::IcPermitDenied,
+                    handler,
+                    "sva.ipush.function: handler not registered via sva.permitFunction",
+                );
+                machine.trace_emit(TraceEvent::IcDenied { addr: handler });
                 return Err(SvaError::Ic(IcError::PermitDenied { addr: handler }));
             }
         }
@@ -277,6 +308,7 @@ impl SvaVm {
         ic.frame.rip = handler;
         ic.frame.gprs[Reg::Rdi as usize] = arg;
         ic.frame.privilege = Privilege::User;
+        machine.trace_complete("sva", "sva.ipush.function", t0);
         Ok(())
     }
 
@@ -294,6 +326,7 @@ impl SvaVm {
         new_thread: ThreadId,
         from_thread: ThreadId,
     ) -> Result<(), SvaError> {
+        let t0 = machine.clock.cycles();
         machine.charge(machine.costs.ic_save + 100);
         let top = self
             .ic
@@ -303,6 +336,7 @@ impl SvaVm {
             .cloned()
             .ok_or(SvaError::Ic(IcError::NoContext))?;
         self.ic.stacks.insert(new_thread, vec![top]);
+        machine.trace_complete("sva", "sva.newstate", t0);
         Ok(())
     }
 
@@ -332,6 +366,12 @@ impl SvaVm {
                     .resolve(vg_ir::CodeAddr(kernel_entry))
                     .is_some_and(|e| e.label.is_some());
             if !valid {
+                machine.record_denial(
+                    DenialKind::IcPermitDenied,
+                    kernel_entry,
+                    "sva.newstate: kernel-thread entry is not a labeled kernel function",
+                );
+                machine.trace_emit(TraceEvent::IcDenied { addr: kernel_entry });
                 return Err(SvaError::Ic(IcError::PermitDenied { addr: kernel_entry }));
             }
         }
@@ -364,6 +404,7 @@ impl SvaVm {
         entry: VAddr,
         stack: VAddr,
     ) -> Result<(), SvaError> {
+        let t0 = machine.clock.cycles();
         machine.charge(machine.costs.ic_save + 100);
         self.ic.clear_permits(proc);
         let ic = self.ic_top_mut(thread)?;
@@ -375,6 +416,7 @@ impl SvaVm {
             kind: ic.frame.kind,
         };
         ic.frame.gprs[Reg::Rsp as usize] = stack.0;
+        machine.trace_complete("sva", "sva.reinit.icontext", t0);
         Ok(())
     }
 

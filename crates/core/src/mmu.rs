@@ -19,7 +19,7 @@ use crate::{SvaError, SvaVm};
 use vg_machine::layout::Region;
 use vg_machine::mmu::{read_pte, write_pte};
 use vg_machine::pte::{PageTableLevel, Pte, PteFlags};
-use vg_machine::{Machine, Pfn, VAddr};
+use vg_machine::{DenialKind, Machine, Pfn, TraceEvent, VAddr};
 
 /// Why an MMU update was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,9 +42,11 @@ pub enum MmuCheckError {
     BadRoot,
 }
 
-impl std::fmt::Display for MmuCheckError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl MmuCheckError {
+    /// Static description of the rejection reason (also the `Display`
+    /// output); used verbatim as the trace / flight-recorder reason.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             MmuCheckError::GhostVa => "mapping targets the ghost partition",
             MmuCheckError::SvaVa => "mapping targets SVA-internal memory",
             MmuCheckError::GhostFrame => "frame backs ghost memory",
@@ -53,8 +55,13 @@ impl std::fmt::Display for MmuCheckError {
             MmuCheckError::CodeWritable => "code frame cannot be writable",
             MmuCheckError::CodeRemap => "virtual address maps native code",
             MmuCheckError::BadRoot => "root is not a declared page table",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for MmuCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -128,8 +135,11 @@ impl SvaVm {
         machine.charge(machine.costs.mmu_update + machine.costs.mmu_check);
         machine.counters.pte_updates += 1;
         if self.protections.mmu_checks {
-            self.check_update(machine, root, va, Some((pfn, flags)))
-                .inspect_err(|_| machine.counters.mmu_rejections += 1)?;
+            if let Err(e) = self.check_update(machine, root, va, Some((pfn, flags))) {
+                machine.counters.mmu_rejections += 1;
+                self.trace_mmu_rejection(machine, va, e);
+                return Err(e.into());
+            }
         }
         self.map_page_unchecked(
             machine,
@@ -140,6 +150,10 @@ impl SvaVm {
         )?;
         self.frames.inc_map(pfn);
         machine.mmu.flush_page(va.vpn());
+        machine.trace_emit(TraceEvent::PteUpdate {
+            va: va.0,
+            accepted: true,
+        });
         Ok(())
     }
 
@@ -158,15 +172,36 @@ impl SvaVm {
         machine.charge(machine.costs.mmu_update + machine.costs.mmu_check);
         machine.counters.pte_updates += 1;
         if self.protections.mmu_checks {
-            self.check_update(machine, root, va, None)
-                .inspect_err(|_| machine.counters.mmu_rejections += 1)?;
+            if let Err(e) = self.check_update(machine, root, va, None) {
+                machine.counters.mmu_rejections += 1;
+                self.trace_mmu_rejection(machine, va, e);
+                return Err(e.into());
+            }
         }
         let old = self.unmap_page_unchecked(machine, root, va);
         if let Some(pfn) = old {
             self.frames.dec_map(pfn);
         }
         machine.mmu.flush_page(va.vpn());
+        machine.trace_emit(TraceEvent::PteUpdate {
+            va: va.0,
+            accepted: true,
+        });
         Ok(old)
+    }
+
+    /// Records a denied MMU update in the trace and the security flight
+    /// recorder with the full denied-operation context.
+    fn trace_mmu_rejection(&self, machine: &mut Machine, va: VAddr, e: MmuCheckError) {
+        machine.record_denial(DenialKind::MmuRejection, va.0, e.as_str());
+        machine.trace_emit(TraceEvent::MmuRejection {
+            va: va.0,
+            reason: e.as_str(),
+        });
+        machine.trace_emit(TraceEvent::PteUpdate {
+            va: va.0,
+            accepted: false,
+        });
     }
 
     /// Maps an application code page: user-readable, executable,

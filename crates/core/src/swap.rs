@@ -17,7 +17,7 @@ use crate::{ProcId, SvaError, SvaVm};
 use vg_crypto::aes::SealedBox;
 use vg_machine::layout::{Region, PAGE_SIZE};
 use vg_machine::pte::{Pte, PteFlags};
-use vg_machine::{Machine, Pfn, VAddr};
+use vg_machine::{DenialKind, Machine, Pfn, TraceEvent, VAddr};
 
 /// The VM's swap keys.
 #[derive(Debug)]
@@ -85,11 +85,13 @@ impl SvaVm {
             .ghost
             .frame_at(proc, vpn)
             .ok_or(SvaError::NotGhostMapped)?;
+        let t0 = machine.clock.cycles();
         machine.charge(
             machine.costs.aes_per_block * (PAGE_SIZE / 16)
                 + machine.costs.sha_per_block * (PAGE_SIZE / 64)
                 + machine.costs.ghost_page_op,
         );
+        machine.metrics.add("swap.crypto_bytes", PAGE_SIZE);
         let contents = machine.phys.read_frame(pfn);
         let sealed = SealedBox::seal(
             &self.swap.enc_key,
@@ -105,6 +107,8 @@ impl SvaVm {
         if let Some(pages) = self.ghost.pages.get_mut(&proc) {
             pages.remove(&vpn);
         }
+        machine.trace_emit(TraceEvent::SwapOut { vpn });
+        machine.trace_complete("sva", "sva.swap_out", t0);
         Ok((SwappedGhostPage { proc, vpn, sealed }, pfn))
     }
 
@@ -134,20 +138,30 @@ impl SvaVm {
         {
             return Err(SvaError::FrameInUse);
         }
+        let t0 = machine.clock.cycles();
         machine.charge(
             machine.costs.aes_per_block * (PAGE_SIZE / 16)
                 + machine.costs.sha_per_block * (PAGE_SIZE / 64)
                 + machine.costs.ghost_page_op,
         );
+        machine.metrics.add("swap.crypto_bytes", PAGE_SIZE);
         let vpn = va.vpn().0;
-        let contents = blob
-            .sealed
-            .open(
-                &self.swap.enc_key,
-                &self.swap.mac_key,
-                self.swap.context(proc, vpn),
-            )
-            .map_err(|_| SvaError::SwapIntegrity)?;
+        let contents = match blob.sealed.open(
+            &self.swap.enc_key,
+            &self.swap.mac_key,
+            self.swap.context(proc, vpn),
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                machine.record_denial(
+                    DenialKind::SwapIntegrity,
+                    va.0,
+                    "sva.swap_in: blob failed integrity or location-binding check",
+                );
+                machine.trace_emit(TraceEvent::SwapIn { vpn, ok: false });
+                return Err(SvaError::SwapIntegrity);
+            }
+        };
         machine.phys.write_frame(frame, &contents);
         self.frames.set_kind(frame, FrameKind::Ghost);
         if let Err(e) = self.map_page_unchecked(
@@ -167,6 +181,8 @@ impl SvaVm {
         }
         machine.mmu.flush_page(va.vpn());
         self.ghost.pages.entry(proc).or_default().insert(vpn, frame);
+        machine.trace_emit(TraceEvent::SwapIn { vpn, ok: true });
+        machine.trace_complete("sva", "sva.swap_in", t0);
         Ok(())
     }
 }

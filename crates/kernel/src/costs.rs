@@ -19,6 +19,8 @@ use vg_machine::Machine;
 /// Work profile of one kernel path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PathCost {
+    /// Span name under the `kpath` trace category.
+    pub name: &'static str,
     /// Instrumentable memory accesses.
     pub acc: u64,
     /// Returns / indirect calls.
@@ -28,70 +30,83 @@ pub struct PathCost {
 }
 
 impl PathCost {
-    /// Charges this path on `machine` under its cost model.
+    /// Charges this path on `machine` under its cost model and emits a
+    /// `kpath` span covering the charged cycles.
     #[inline]
     pub fn charge(&self, machine: &mut Machine) {
+        let t0 = machine.clock.cycles();
         kwork(machine, self.acc, self.br);
         machine.charge(self.fixed);
+        machine.trace_complete("kpath", self.name, t0);
     }
 }
 
 /// `getpid` and other trivial syscalls (beyond trap + dispatch).
 pub const NULL_SYSCALL: PathCost = PathCost {
+    name: "null_syscall",
     acc: 4,
     br: 2,
     fixed: 0,
 };
 /// `open`: path lookup, fd allocation, vnode setup (excl. fs work).
 pub const OPEN: PathCost = PathCost {
+    name: "open",
     acc: 1650,
     br: 100,
     fixed: 800,
 };
 /// `close`: fd teardown.
 pub const CLOSE: PathCost = PathCost {
+    name: "close",
     acc: 420,
     br: 20,
     fixed: 60,
 };
 /// `read`/`write` fixed part (copy and fs work charged separately).
 pub const RW_BASE: PathCost = PathCost {
+    name: "rw_base",
     acc: 170,
     br: 9,
     fixed: 150,
 };
 /// File create path beyond OPEN (inode + dirent allocation).
 pub const CREATE_EXTRA: PathCost = PathCost {
+    name: "create_extra",
     acc: 4000,
     br: 120,
     fixed: 4160,
 };
 /// `unlink`.
 pub const UNLINK: PathCost = PathCost {
+    name: "unlink",
     acc: 5500,
     br: 260,
     fixed: 5600,
 };
 /// `mmap` region setup.
 pub const MMAP: PathCost = PathCost {
+    name: "mmap",
     acc: 7200,
     br: 420,
     fixed: 4700,
 };
 /// `munmap`.
 pub const MUNMAP: PathCost = PathCost {
+    name: "munmap",
     acc: 700,
     br: 36,
     fixed: 600,
 };
 /// `brk`.
 pub const BRK: PathCost = PathCost {
+    name: "brk",
     acc: 160,
     br: 8,
     fixed: 120,
 };
 /// Page-fault service for a zero-fill anonymous page.
 pub const PAGE_FAULT: PathCost = PathCost {
+    name: "page_fault",
     acc: 600,
     br: 40,
     fixed: 2_500,
@@ -99,90 +114,105 @@ pub const PAGE_FAULT: PathCost = PathCost {
 /// Additional work for a file-backed fault (vnode getpages path) — what
 /// LMBench's `lat_pagefault` on a mapped file measures on top.
 pub const PAGE_FAULT_FILE_EXTRA: PathCost = PathCost {
+    name: "page_fault_file_extra",
     acc: 0,
     br: 0,
     fixed: 97_500,
 };
 /// Signal handler installation (`sigaction`).
 pub const SIG_INSTALL: PathCost = PathCost {
+    name: "sig_install",
     acc: 40,
     br: 3,
     fixed: 150,
 };
 /// Signal delivery path (kernel side, excl. SVA IC operations).
 pub const SIG_DELIVER: PathCost = PathCost {
+    name: "sig_deliver",
     acc: 45,
     br: 4,
     fixed: 3250,
 };
 /// `kill`.
 pub const KILL: PathCost = PathCost {
+    name: "kill",
     acc: 60,
     br: 5,
     fixed: 180,
 };
 /// `fork`: proc/vmspace/cred duplication (excl. per-page copies).
 pub const FORK: PathCost = PathCost {
+    name: "fork",
     acc: 59_600,
     br: 3500,
     fixed: 52_000,
 };
 /// Per copied page during fork (excl. the byte copy itself).
 pub const FORK_PER_PAGE: PathCost = PathCost {
+    name: "fork_per_page",
     acc: 120,
     br: 6,
     fixed: 200,
 };
 /// `exec`: image setup, argument shuffling (excl. signature checks).
 pub const EXEC: PathCost = PathCost {
+    name: "exec",
     acc: 35_000,
     br: 1200,
     fixed: 45_000,
 };
 /// `exit` + reaping.
 pub const EXIT: PathCost = PathCost {
+    name: "exit",
     acc: 9000,
     br: 460,
     fixed: 2000,
 };
 /// `wait4`.
 pub const WAIT: PathCost = PathCost {
+    name: "wait",
     acc: 330,
     br: 18,
     fixed: 250,
 };
 /// `select` per file descriptor polled.
 pub const SELECT_PER_FD: PathCost = PathCost {
+    name: "select_per_fd",
     acc: 17,
     br: 3,
     fixed: 49,
 };
 /// `select` fixed part.
 pub const SELECT_BASE: PathCost = PathCost {
+    name: "select_base",
     acc: 130,
     br: 8,
     fixed: 80,
 };
 /// Socket creation / bind / listen.
 pub const SOCK_SETUP: PathCost = PathCost {
+    name: "sock_setup",
     acc: 600,
     br: 30,
     fixed: 700,
 };
 /// `accept`.
 pub const ACCEPT: PathCost = PathCost {
+    name: "accept",
     acc: 900,
     br: 46,
     fixed: 900,
 };
 /// Network send/receive per packet (protocol processing).
 pub const NET_PER_PACKET: PathCost = PathCost {
+    name: "net_per_packet",
     acc: 380,
     br: 20,
     fixed: 250,
 };
 /// `fsync`.
 pub const FSYNC: PathCost = PathCost {
+    name: "fsync",
     acc: 420,
     br: 22,
     fixed: 600,
@@ -191,12 +221,14 @@ pub const FSYNC: PathCost = PathCost {
 /// lookups, credential churn (calibrated against Figure 3's small-file
 /// bandwidth reduction).
 pub const SSHD_SESSION: PathCost = PathCost {
+    name: "sshd_session",
     acc: 100_000,
     br: 4000,
     fixed: 30_000,
 };
 /// Kernel module load/link.
 pub const MODULE_LOAD: PathCost = PathCost {
+    name: "module_load",
     acc: 8000,
     br: 400,
     fixed: 6000,

@@ -29,6 +29,7 @@ fn vg_kernel_thread_syscall() -> u32 {
 fn vg_kernel_charge_thread_create(sys: &mut System) {
     // Thread creation is a light fork: no address-space copy.
     crate::costs::PathCost {
+        name: "thread_create",
         acc: 6_000,
         br: 300,
         fixed: 3_000,
@@ -290,6 +291,7 @@ impl UserEnv<'_> {
     /// [`SvaError::Key`] if no key was loaded at exec.
     pub fn get_app_key(&mut self) -> Result<[u8; 16], SvaError> {
         self.sys.machine.charge(200);
+        self.sys.machine.trace_emit(vg_machine::TraceEvent::GetKey);
         self.sys.vm.sva_get_key(ProcId(self.pid))
     }
 

@@ -58,6 +58,7 @@ impl System {
         let mut vpns = self.vm.ghost.resident_vpns(ProcId(pid));
         vpns.sort_unstable();
         let mut evicted = 0;
+        let t0 = self.machine.clock.cycles();
         for vpn in vpns.into_iter().take(max_pages) {
             costs::FSYNC.charge(&mut self.machine); // swap-device write path
             match self
@@ -72,6 +73,7 @@ impl System {
                 Err(_) => break,
             }
         }
+        self.machine.trace_complete("kernel", "swap_out_ghost", t0);
         evicted
     }
 
@@ -92,6 +94,7 @@ impl System {
         let Some(blob) = self.swap.blobs.get(&(pid, vpn)).cloned() else {
             return Ok(false);
         };
+        let t0 = self.machine.clock.cycles();
         costs::FSYNC.charge(&mut self.machine); // swap-device read path
         let root = self.procs[&pid].root;
         let frame = self
@@ -109,6 +112,7 @@ impl System {
         ) {
             Ok(()) => {
                 self.swap.blobs.remove(&(pid, vpn));
+                self.machine.trace_complete("kernel", "swap_in_ghost", t0);
                 Ok(true)
             }
             Err(e) => {
@@ -197,7 +201,9 @@ mod tests {
                 match env.sys.kernel_swap_in_ghost(pid, va) {
                     Err(vg_core::SvaError::SwapIntegrity) => 0,
                     other => {
-                        println!("unexpected {other:?}");
+                        env.sys
+                            .log
+                            .push(format!("unexpected swap-in outcome: {other:?}"));
                         1
                     }
                 }

@@ -76,6 +76,45 @@ pub const SYS_GETDENTS: u32 = 272;
 /// `mmap`.
 pub const SYS_MMAP: u32 = 477;
 
+/// Stable human-readable name for a syscall number, used as the trace span
+/// name and the metrics-histogram key for per-syscall latency.
+pub fn syscall_name(num: u32) -> &'static str {
+    match num {
+        SYS_EXIT => "sys.exit",
+        SYS_FORK => "sys.fork",
+        SYS_READ => "sys.read",
+        SYS_WRITE => "sys.write",
+        SYS_OPEN => "sys.open",
+        SYS_CLOSE => "sys.close",
+        SYS_WAIT4 => "sys.wait4",
+        SYS_UNLINK => "sys.unlink",
+        SYS_DUP => "sys.dup",
+        SYS_PIPE => "sys.pipe",
+        SYS_GETPID => "sys.getpid",
+        SYS_ACCEPT => "sys.accept",
+        SYS_KILL => "sys.kill",
+        SYS_SIGACTION => "sys.sigaction",
+        SYS_EXEC => "sys.exec",
+        SYS_MUNMAP => "sys.munmap",
+        SYS_SELECT => "sys.select",
+        SYS_FSYNC => "sys.fsync",
+        SYS_SOCKET => "sys.socket",
+        SYS_CONNECT => "sys.connect",
+        SYS_SIGRETURN => "sys.sigreturn",
+        SYS_BIND => "sys.bind",
+        SYS_LISTEN => "sys.listen",
+        SYS_SEND => "sys.send",
+        SYS_RECV => "sys.recv",
+        SYS_MKDIR => "sys.mkdir",
+        SYS_STAT => "sys.stat",
+        SYS_LSEEK => "sys.lseek",
+        SYS_BRK => "sys.brk",
+        SYS_GETDENTS => "sys.getdents",
+        SYS_MMAP => "sys.mmap",
+        _ => "sys.unknown",
+    }
+}
+
 /// Open flag: create the file if absent.
 pub const O_CREAT: u64 = 0x1;
 /// Open flag: truncate to zero length.
@@ -648,8 +687,16 @@ impl System {
                 // A faulting kernel thread is terminated (paper: CFI
                 // violations terminate the kernel thread); the syscall
                 // fails but the system survives.
-                self.machine.counters.cfi_violations +=
-                    matches!(e, vg_ir::InterpFault::CfiViolation { .. }) as u64;
+                if let vg_ir::InterpFault::CfiViolation { target } = e {
+                    self.machine.counters.cfi_violations += 1;
+                    self.machine.record_denial(
+                        vg_machine::DenialKind::CfiViolation,
+                        target,
+                        "indirect transfer to unlabeled target in kernel module",
+                    );
+                    self.machine
+                        .trace_emit(vg_machine::TraceEvent::CfiViolation { addr: target });
+                }
                 self.log
                     .push(format!("kernel module fault in syscall hook: {e}"));
                 -1

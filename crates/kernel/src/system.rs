@@ -557,6 +557,12 @@ impl System {
         self.vm
             .sva_load_root(&mut self.machine, root)
             .expect("proc root is declared");
+        self.machine
+            .trace_emit(vg_machine::TraceEvent::ContextSwitch {
+                from: self.cur.unwrap_or(0),
+                to: pid,
+            });
+        self.machine.trace.cur_proc = pid;
         self.cur = Some(pid);
     }
 
@@ -661,16 +667,26 @@ impl System {
         cpu.set_reg(vg_machine::cpu::Reg::R10, args[3]);
         cpu.set_reg(vg_machine::cpu::Reg::R8, args[4]);
         cpu.set_reg(vg_machine::cpu::Reg::R9, args[5]);
+        let sname = crate::syscall::syscall_name(num);
+        let t0 = self.machine.clock.cycles();
         self.vm
             .trap_enter(&mut self.machine, thread, TrapKind::Syscall(num));
         self.machine.counters.syscalls += 1;
         self.machine.charge(self.machine.costs.syscall_dispatch);
+        self.machine
+            .trace_emit(vg_machine::TraceEvent::SyscallDispatch { num });
+        self.machine.trace_begin("syscall", sname, num as u64);
         let ret = self.dispatch_syscall(pid, num, args);
+        self.machine.trace_end("syscall", sname);
+        self.machine
+            .trace_emit(vg_machine::TraceEvent::SyscallReturn { num, ret });
         let _ = self.vm.ic_set_return_value(thread, ret as u64);
         self.deliver_pending_signals(pid);
         self.vm
             .trap_return(&mut self.machine, thread)
             .expect("balanced trap");
+        let lat = self.machine.clock.cycles() - t0;
+        self.machine.metrics.observe(sname, lat);
         // Hardware resumes wherever the (possibly tampered) interrupt
         // context says. On the baseline system a hostile module may have
         // rewritten the saved PC (§2.2.4) — if it now points at registered
@@ -733,6 +749,8 @@ impl System {
             TrapKind::PageFault(VAddr(va), access),
         );
         self.machine.counters.page_faults += 1;
+        self.machine
+            .trace_emit(vg_machine::TraceEvent::PageFault { va });
         costs::PAGE_FAULT.charge(&mut self.machine);
         let served = self.populate_page(pid, va);
         self.vm

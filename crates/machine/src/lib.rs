@@ -43,6 +43,7 @@ pub use layout::{mask_kernel_pointer, PAddr, Pfn, Region, VAddr, Vpn, PAGE_SIZE}
 pub use mmu::{AccessKind, Mmu, TlbPolicy, TlbStats, TranslateError};
 pub use phys::PhysMem;
 pub use pte::{PageTableLevel, Pte, PteFlags};
+pub use vg_trace::{DenialKind, DeniedOp, MetricsRegistry, TraceEvent, Tracer};
 
 use devices::{Console, Disk, Nic};
 
@@ -84,6 +85,13 @@ pub struct Machine {
     pub costs: CostModel,
     /// Event counters for reporting.
     pub counters: Counters,
+    /// Structured event tracer (off by default) with the always-on
+    /// security flight recorder. Emitting events never advances the clock
+    /// or touches [`Counters`] — see `vg-trace`'s no-perturbation
+    /// invariant.
+    pub trace: Tracer,
+    /// Per-subsystem metrics registry (always on; deterministic).
+    pub metrics: MetricsRegistry,
     /// When set, the memory buses built on this machine take their byte-wise
     /// reference paths instead of the word-granular fast paths. The two are
     /// observationally identical (same values, faults, cycles and counters
@@ -131,6 +139,8 @@ impl Machine {
             nic_time: Clock::new(),
             costs: config.costs,
             counters: Counters::default(),
+            trace: Tracer::new(),
+            metrics: MetricsRegistry::new(),
             byte_granular_bus: config.byte_granular_bus,
         }
     }
@@ -142,20 +152,71 @@ impl Machine {
         self.sync_tlb_counters();
     }
 
-    /// Mirrors the MMU's TLB statistics into [`Counters`] so reports see a
-    /// consistent snapshot. Called on every `charge`; also callable directly
-    /// after uncharged translations (e.g. straight `mmu.translate` probes).
+    /// Publishes the MMU's TLB statistics into the metrics registry (the
+    /// single source of truth for reports) and mirrors them into
+    /// [`Counters`] as a read-through view for existing consumers. Called
+    /// on every `charge`; also callable directly after uncharged
+    /// translations (e.g. straight `mmu.translate` probes).
     #[inline]
     pub fn sync_tlb_counters(&mut self) {
         let s = self.mmu.stats();
-        self.counters.tlb_hits = s.hits;
-        self.counters.tlb_misses = s.misses;
-        self.counters.tlb_evictions = s.evictions;
+        self.metrics.set_tlb(s.hits, s.misses, s.evictions);
+        let t = self.metrics.tlb();
+        self.counters.tlb_hits = t.hits;
+        self.counters.tlb_misses = t.misses;
+        self.counters.tlb_evictions = t.evictions;
     }
 
     /// Charges `cycles` of wire occupancy to the NIC timeline.
     #[inline]
     pub fn charge_wire(&mut self, cycles: u64) {
         self.nic_time.advance(cycles);
+    }
+
+    // ---- tracing ----------------------------------------------------------
+    //
+    // The emit helpers read the clock but never advance it, and never touch
+    // `counters`: tracing on vs. off leaves the simulation bit-identical.
+
+    /// Emits an instant trace event stamped with the current cycle count.
+    #[inline]
+    pub fn trace_emit(&mut self, ev: TraceEvent) {
+        if self.trace.is_enabled() {
+            let at = self.clock.cycles();
+            self.trace.emit(at, ev);
+        }
+    }
+
+    /// Opens a hierarchical span (closed by [`trace_end`](Self::trace_end)).
+    #[inline]
+    pub fn trace_begin(&mut self, cat: &'static str, name: &'static str, arg: u64) {
+        self.trace_emit(TraceEvent::Begin { cat, name, arg });
+    }
+
+    /// Closes the innermost open span with this category and name.
+    #[inline]
+    pub fn trace_end(&mut self, cat: &'static str, name: &'static str) {
+        self.trace_emit(TraceEvent::End { cat, name });
+    }
+
+    /// Emits a self-contained span from `start` (a cycle count previously
+    /// read from the clock) to now.
+    #[inline]
+    pub fn trace_complete(&mut self, cat: &'static str, name: &'static str, start: u64) {
+        self.trace_emit(TraceEvent::Complete { cat, name, start });
+    }
+
+    /// Records a denied operation in the always-on security flight
+    /// recorder, tagged with the current cycle count and process.
+    #[inline]
+    pub fn record_denial(&mut self, kind: DenialKind, addr: u64, detail: &'static str) {
+        let op = DeniedOp {
+            at: self.clock.cycles(),
+            proc_id: self.trace.cur_proc,
+            kind,
+            addr,
+            detail,
+        };
+        self.trace.flight.record(op);
     }
 }

@@ -195,7 +195,9 @@ mod tests {
                     expected: 2,
                 }) => 0,
                 other => {
-                    println!("unexpected: {other:?}");
+                    env.sys
+                        .log
+                        .push(format!("unexpected versioned read outcome: {other:?}"));
                     1
                 }
             }

@@ -1,0 +1,258 @@
+//! Per-subsystem metrics: histograms and named counters.
+//!
+//! The registry is *always on* and updated identically whether or not
+//! event tracing is enabled — it never touches the clock or the machine's
+//! event counters, so it cannot perturb the simulation. Names are static
+//! strings, storage is `BTreeMap`, so iteration order (and therefore every
+//! report) is deterministic.
+
+use std::collections::BTreeMap;
+
+/// A log2-bucketed histogram of `u64` samples (cycle latencies, byte
+/// counts). Bucket `i` holds samples whose value has `i` significant bits,
+/// i.e. `[2^(i-1), 2^i)` for `i > 0` and `{0}` for bucket 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in
+    /// `0.0..=1.0`), estimated from the log2 buckets. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// TLB statistics gauge, per access kind (read, write, execute).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbGauge {
+    /// Hits per access kind.
+    pub hits: [u64; 3],
+    /// Misses (full walks) per access kind.
+    pub misses: [u64; 3],
+    /// Entries discarded by capacity eviction.
+    pub evictions: u64,
+}
+
+/// The per-subsystem metrics registry: named histograms, named counters,
+/// and the TLB gauge (the single source of truth for TLB statistics).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<&'static str, u64>,
+    tlb: TlbGauge,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records a sample into the named histogram (created on first use).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Adds `delta` to the named counter (created on first use).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The named counter's value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Replaces the TLB gauge with a fresh snapshot (the MMU owns the
+    /// running totals; this registry is where reports read them from).
+    pub fn set_tlb(&mut self, hits: [u64; 3], misses: [u64; 3], evictions: u64) {
+        self.tlb = TlbGauge {
+            hits,
+            misses,
+            evictions,
+        };
+    }
+
+    /// The current TLB snapshot.
+    pub fn tlb(&self) -> TlbGauge {
+        self.tlb
+    }
+
+    /// All histograms in deterministic (name) order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// All counters in deterministic (name) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Renders a plain-text report: histograms (count/mean/p50/p99/max),
+    /// counters, and the TLB gauge.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== metrics: histograms (simulated cycles) ==");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>9} {:>12} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>9} {:>12.1} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            );
+        }
+        let _ = writeln!(out, "== metrics: counters ==");
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{name:<32} {v:>12}");
+        }
+        let t = self.tlb;
+        let _ = writeln!(out, "== metrics: tlb ==");
+        let _ = writeln!(
+            out,
+            "hits r/w/x {}/{}/{}  misses r/w/x {}/{}/{}  evictions {}",
+            t.hits[0], t.hits[1], t.hits[2], t.misses[0], t.misses[1], t.misses[2], t.evictions
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!(h.mean() > 184.0 && h.mean() < 185.0);
+        // p50 of [0,1,2,3,100,1000]: third sample (value 2) → bucket 2^2.
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_counters_and_report_are_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.inc("z.last");
+        m.add("a.first", 41);
+        m.inc("a.first");
+        m.observe("lat", 300);
+        m.set_tlb([1, 2, 3], [4, 5, 6], 7);
+        assert_eq!(m.counter("a.first"), 42);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
+        let names: Vec<_> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+        let r1 = m.report();
+        let r2 = m.report();
+        assert_eq!(r1, r2);
+        assert!(r1.contains("a.first"));
+        assert!(r1.contains("evictions 7"));
+    }
+}

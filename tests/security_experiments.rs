@@ -106,6 +106,49 @@ fn attack2_leaves_audit_trail_under_vg() {
 }
 
 #[test]
+fn attack2_flight_recorder_captures_denied_dispatch_sequence() {
+    // The always-on security flight recorder must hold the exact sequence
+    // of denied operations: every blocked dispatch is an IcPermitDenied for
+    // the victim process at the injected handler's address, in the same
+    // order as the audit log.
+    let mut sys = System::boot(Mode::VirtualGhost);
+    install_ssh_agent(&mut sys, true, 2);
+    sys.install_module(vg_attacks::signal_inject_module())
+        .expect("loads");
+    let pid = sys.spawn("ssh-agent");
+    sys.run_until_exit(pid);
+
+    // Ground truth from the kernel log: "vg: blocked signal dispatch to
+    // 0x... for pid N: ...".
+    let logged_addrs: Vec<u64> = sys
+        .log
+        .iter()
+        .filter(|l| l.contains("blocked signal dispatch"))
+        .map(|l| {
+            let hex = l
+                .split("to 0x")
+                .nth(1)
+                .and_then(|r| r.split(' ').next())
+                .expect("log line carries the handler address");
+            u64::from_str_radix(hex, 16).expect("hex address")
+        })
+        .collect();
+    assert!(!logged_addrs.is_empty(), "the attack fired at least once");
+
+    let denials: Vec<_> = sys.machine.trace.flight.denials().collect();
+    assert_eq!(
+        denials.len(),
+        logged_addrs.len(),
+        "one flight-recorder entry per blocked dispatch"
+    );
+    for (op, addr) in denials.iter().zip(&logged_addrs) {
+        assert_eq!(op.kind, vg_machine::DenialKind::IcPermitDenied);
+        assert_eq!(op.proc_id, pid, "denial attributed to the victim");
+        assert_eq!(op.addr, *addr, "denial records the injected handler");
+    }
+}
+
+#[test]
 fn ic_hijack_succeeds_natively() {
     let (_code, leaked) = run_attack(Mode::Native, vg_attacks::ic_hijack_module());
     assert!(
@@ -163,6 +206,32 @@ fn fptr_hijack_terminates_kernel_thread_under_vg() {
         "thread termination logged: {:?}",
         sys.log
     );
+}
+
+#[test]
+fn fptr_hijack_flight_recorder_captures_cfi_violations() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    install_ssh_agent(&mut sys, true, 2);
+    sys.install_module(vg_attacks::fptr_hijack_module())
+        .expect("loads");
+    let pid = sys.spawn("ssh-agent");
+    sys.run_until_exit(pid);
+
+    let denials: Vec<_> = sys.machine.trace.flight.denials().collect();
+    assert_eq!(
+        denials.len() as u64,
+        sys.machine.counters.cfi_violations,
+        "one flight-recorder entry per counted CFI violation"
+    );
+    assert!(!denials.is_empty(), "the hijack fired at least once");
+    for op in &denials {
+        assert_eq!(op.kind, vg_machine::DenialKind::CfiViolation);
+        assert_eq!(
+            op.proc_id, pid,
+            "violation attributed to the victim's syscall"
+        );
+        assert_ne!(op.addr, 0, "the corrupted target address is recorded");
+    }
 }
 
 #[test]
