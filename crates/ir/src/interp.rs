@@ -5,6 +5,19 @@
 //! machine with kernel privileges); host calls go through an
 //! [`ExternHost`] (kernel APIs and SVA-OS operations).
 //!
+//! Two engines implement one observable semantics (selected by [`Engine`]):
+//!
+//! * **Lowered** (the default) executes the pre-decoded linear form built by
+//!   [`lower`](crate::lower) at registration time: no `Operand` matching, no
+//!   per-call register/argv allocations (an explicit frame arena and scratch
+//!   argv buffer are reused across calls and runs), interned extern-id
+//!   dispatch, and per-site inline caches for `CallIndirect`/`CfiCheck`
+//!   validated against the registry generation.
+//! * **Reference** is the original tree-walker, kept as the executable
+//!   specification (the `Machine::byte_granular_bus` precedent). The two
+//!   are property-tested to produce bit-identical results, faults,
+//!   [`InterpStats`], and fuel consumption on arbitrary programs.
+//!
 //! Security-relevant semantics:
 //!
 //! * `Inst::MaskGhost` performs the paper's
@@ -16,8 +29,13 @@
 //!   in kernel space. An uninstrumented interpreter run (native kernel)
 //!   executes indirect calls straight through the registry — including to
 //!   injected, unlabeled code.
+//! * The lowered engine's inline caches are tagged with the registry
+//!   generation, which every registration (including the rootkit-style
+//!   `register_at` injection) bumps — a warm cache can never satisfy an
+//!   indirect call or CFI check from stale code.
 
 use crate::inst::{BinOp, Function, Inst, Operand, Terminator, Width};
+use crate::lower::{LInst, LoweredFunction, LoweredModule, SiteCache, NO_SLOT};
 use crate::registry::{CodeAddr, CodeRegistry, ModuleHandle};
 use vg_machine::layout::{mask_kernel_pointer, SVA_INTERNAL_BASE, SVA_INTERNAL_END};
 use vg_machine::VAddr;
@@ -72,6 +90,20 @@ pub trait ExternHost {
     /// (host operations that fail *benignly* should return an error code as
     /// their `i64` result instead, like a real kernel API).
     fn call_extern(&mut self, name: &str, args: &[i64]) -> Result<i64, HostError>;
+
+    /// Invokes host function `id` (the dense extern id the lowering pass
+    /// interned for `name`) with `args`. Hosts that build an id-indexed
+    /// dispatch table override this to skip string matching on the hot
+    /// path; the default falls back to the string path, so the two entry
+    /// points always agree.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`call_extern`](Self::call_extern).
+    fn call_extern_id(&mut self, id: u32, name: &str, args: &[i64]) -> Result<i64, HostError> {
+        let _ = id;
+        self.call_extern(name, args)
+    }
 }
 
 /// Failure of a host call.
@@ -94,15 +126,17 @@ pub trait EnvBus: MemBus + ExternHost {}
 impl<T: MemBus + ExternHost + ?Sized> EnvBus for T {}
 
 /// Adapter combining separate [`MemBus`] and [`ExternHost`] objects into one
-/// [`EnvBus`].
-pub struct Pair<'m, 'h> {
+/// [`EnvBus`]. Generic over both sides (defaulting to trait objects) so the
+/// monomorphised engine can inline straight through it when the concrete
+/// types are known.
+pub struct Pair<'m, 'h, M: ?Sized = dyn MemBus, H: ?Sized = dyn ExternHost> {
     /// Memory side.
-    pub mem: &'m mut dyn MemBus,
+    pub mem: &'m mut M,
     /// Host side.
-    pub host: &'h mut dyn ExternHost,
+    pub host: &'h mut H,
 }
 
-impl MemBus for Pair<'_, '_> {
+impl<M: MemBus + ?Sized, H: ?Sized> MemBus for Pair<'_, '_, M, H> {
     fn load(&mut self, addr: u64, width: Width) -> Result<u64, MemFault> {
         self.mem.load(addr, width)
     }
@@ -116,9 +150,13 @@ impl MemBus for Pair<'_, '_> {
     }
 }
 
-impl ExternHost for Pair<'_, '_> {
+impl<M: ?Sized, H: ExternHost + ?Sized> ExternHost for Pair<'_, '_, M, H> {
     fn call_extern(&mut self, name: &str, args: &[i64]) -> Result<i64, HostError> {
         self.host.call_extern(name, args)
+    }
+
+    fn call_extern_id(&mut self, id: u32, name: &str, args: &[i64]) -> Result<i64, HostError> {
+        self.host.call_extern_id(id, name, args)
     }
 }
 
@@ -200,6 +238,34 @@ pub struct InterpStats {
     pub memcpy_bytes: u64,
 }
 
+/// Which execution engine [`Interp`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The pre-decoded linear engine (default): explicit call stack over a
+    /// reusable frame arena, interned extern dispatch, inline caches.
+    #[default]
+    Lowered,
+    /// The original tree-walking interpreter, kept as the executable
+    /// reference the lowered engine is checked against.
+    Reference,
+}
+
+/// A suspended activation of the lowered engine: everything needed to resume
+/// the caller after a `Ret`.
+#[derive(Debug, Clone, Copy)]
+struct Frame<'a> {
+    /// The executing function's lowered form.
+    lf: &'a LoweredFunction,
+    /// Its module's lowered form (direct `Call` resolves callees here).
+    lm: &'a LoweredModule,
+    /// First slot of this frame in the arena.
+    base: usize,
+    /// Resume pc (already past the call instruction).
+    pc: usize,
+    /// Caller-frame slot the return value lands in ([`NO_SLOT`] if unused).
+    ret_dst: u32,
+}
+
 /// The interpreter.
 #[derive(Debug)]
 pub struct Interp<'a> {
@@ -208,16 +274,27 @@ pub struct Interp<'a> {
     pub stats: InterpStats,
     fuel: u64,
     max_depth: usize,
+    engine: Engine,
+    // Reusable buffers for the lowered engine — cleared, never shrunk, so
+    // repeated runs and nested calls allocate nothing in steady state.
+    slots: Vec<i64>,
+    frames: Vec<Frame<'a>>,
+    argv: Vec<i64>,
 }
 
 impl<'a> Interp<'a> {
-    /// Creates an interpreter over `registry` with a default fuel budget.
+    /// Creates an interpreter over `registry` with a default fuel budget,
+    /// running the lowered engine.
     pub fn new(registry: &'a CodeRegistry) -> Self {
         Interp {
             registry,
             stats: InterpStats::default(),
             fuel: 10_000_000,
             max_depth: 128,
+            engine: Engine::default(),
+            slots: Vec::new(),
+            frames: Vec::new(),
+            argv: Vec::new(),
         }
     }
 
@@ -228,39 +305,423 @@ impl<'a> Interp<'a> {
         self
     }
 
+    /// Overrides the call-depth limit (frames beyond which
+    /// [`InterpFault::StackOverflow`] is raised). The entry function runs at
+    /// depth 0 and is never refused; a limit of `n` allows `n` nested calls.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine in effect.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Fuel left in the budget. Both engines consume fuel identically (one
+    /// unit per non-terminator instruction), so this is comparable across
+    /// engines.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
     /// Runs the function registered at `entry`.
     ///
     /// # Errors
     ///
     /// Any [`InterpFault`] raised during execution.
-    pub fn run(
+    pub fn run<E: MemBus + ExternHost>(
         &mut self,
         entry: CodeAddr,
         args: &[i64],
-        env: &mut dyn EnvBus,
+        env: &mut E,
     ) -> Result<i64, InterpFault> {
         let entry_fn = self
             .registry
             .resolve(entry)
             .ok_or(InterpFault::BadIndirect { target: entry.0 })?;
-        self.exec(entry_fn.module, entry_fn.func, args, env, 0)
+        let (module, func) = (entry_fn.module, entry_fn.func);
+        self.run_function(module, func, args, env)
     }
 
     /// Runs function `func` of `module` directly (used for direct kernel
     /// entry points that are not indirect-call targets).
     ///
+    /// The environment is a generic parameter (rather than `&mut dyn EnvBus`)
+    /// so the lowered engine is monomorphised per environment type: memory
+    /// and host calls inline into the dispatch loop instead of going through
+    /// a vtable. The reference tree-walker keeps its historical type-erased
+    /// signature.
+    ///
     /// # Errors
     ///
     /// Any [`InterpFault`] raised during execution.
-    pub fn run_function(
+    pub fn run_function<E: MemBus + ExternHost>(
         &mut self,
         module: ModuleHandle,
         func: u32,
         args: &[i64],
-        env: &mut dyn EnvBus,
+        env: &mut E,
     ) -> Result<i64, InterpFault> {
-        self.exec(module, func, args, env, 0)
+        match self.engine {
+            Engine::Lowered => self.exec_lowered(module, func, args, env),
+            Engine::Reference => self.exec(module, func, args, env, 0),
+        }
     }
+
+    // ---- the lowered engine ------------------------------------------------
+
+    fn exec_lowered<E: MemBus + ExternHost>(
+        &mut self,
+        module: ModuleHandle,
+        func: u32,
+        args: &[i64],
+        env: &mut E,
+    ) -> Result<i64, InterpFault> {
+        // Detach the reusable buffers so the loop can borrow `self` freely.
+        let mut slots = std::mem::take(&mut self.slots);
+        let mut frames = std::mem::take(&mut self.frames);
+        slots.clear();
+        frames.clear();
+        let r = self.lowered_loop(module, func, args, env, &mut slots, &mut frames);
+        slots.clear();
+        frames.clear();
+        self.slots = slots;
+        self.frames = frames;
+        r
+    }
+
+    fn lowered_loop<E: MemBus + ExternHost>(
+        &mut self,
+        module: ModuleHandle,
+        func: u32,
+        args: &[i64],
+        env: &mut E,
+        slots: &mut Vec<i64>,
+        frames: &mut Vec<Frame<'a>>,
+    ) -> Result<i64, InterpFault> {
+        let registry = self.registry;
+        // The registry is shared-borrowed for the whole run, so its
+        // generation cannot move under us: hoist it out of the loop.
+        let gen = registry.generation();
+
+        let lm: &'a LoweredModule = registry.lowered(module);
+        let lf: &'a LoweredFunction = &lm.funcs[func as usize];
+        slots.extend_from_slice(&lf.frame_init);
+        for (i, a) in args.iter().enumerate().take(lf.params as usize) {
+            slots[i] = *a;
+        }
+        let mut cur = Frame {
+            lf,
+            lm,
+            base: 0,
+            pc: 0,
+            ret_dst: NO_SLOT,
+        };
+        // The hottest frame state (instruction stream, pc, frame base) lives
+        // in dedicated locals; `cur` is synchronised at call/return edges.
+        let mut code: &'a [LInst] = &cur.lf.code;
+        let mut pc = 0usize;
+        let mut base = 0usize;
+
+        // Fuel and the hottest stats counters live in locals for the duration
+        // of the loop and are written back on every exit path; nothing inside
+        // the loop observes the corresponding `self` fields directly.
+        let mut fuel = self.fuel;
+        let mut insts = self.stats.insts;
+        let mut returns = self.stats.returns;
+        let mut cfi_checks = self.stats.cfi_checks;
+        let mut extern_calls = self.stats.extern_calls;
+        macro_rules! writeback {
+            () => {
+                self.fuel = fuel;
+                self.stats.insts = insts;
+                self.stats.returns = returns;
+                self.stats.cfi_checks = cfi_checks;
+                self.stats.extern_calls = extern_calls;
+            };
+        }
+        macro_rules! bail {
+            ($e:expr) => {{
+                writeback!();
+                return Err($e);
+            }};
+        }
+        // Each non-terminator instruction charges fuel and the instruction
+        // counter exactly like the reference engine's inner loop; lowered
+        // terminators (Jmp/Br/Ret) are free, as block terminators are there.
+        macro_rules! charge {
+            () => {
+                if fuel == 0 {
+                    bail!(InterpFault::OutOfFuel);
+                }
+                fuel -= 1;
+                insts += 1;
+            };
+        }
+        // Push an activation of `clf` (of lowered module `clm`), copying
+        // `n_args` argument slots from the current frame. Mirrors the
+        // reference engine: depth-check first, registers zeroed, extra
+        // arguments ignored, missing parameters stay zero.
+        macro_rules! push_frame {
+            ($clm:expr, $clf:expr, $args:expr, $dst:expr) => {{
+                if frames.len() + 1 > self.max_depth {
+                    bail!(InterpFault::StackOverflow);
+                }
+                let clf: &'a LoweredFunction = $clf;
+                let cbase = slots.len();
+                slots.extend_from_slice(&clf.frame_init);
+                let n = ($args.len as usize).min(clf.params as usize);
+                let ap = &cur.lf.arg_pool[$args.start as usize..$args.start as usize + n];
+                for (i, &slot) in ap.iter().enumerate() {
+                    slots[cbase + i] = slots[base + slot as usize];
+                }
+                cur.pc = pc;
+                let callee = Frame {
+                    lf: clf,
+                    lm: $clm,
+                    base: cbase,
+                    pc: 0,
+                    ret_dst: $dst,
+                };
+                frames.push(std::mem::replace(&mut cur, callee));
+                code = &clf.code;
+                pc = 0;
+                base = cbase;
+            }};
+        }
+        // Shared host-call epilogue: map errors to faults, store the result.
+        macro_rules! extern_finish {
+            ($r:expr, $name:expr, $dst:expr) => {{
+                let r = match $r {
+                    Ok(r) => r,
+                    Err(HostError::Unknown) => {
+                        bail!(InterpFault::UnknownExtern {
+                            name: $name.to_string(),
+                        })
+                    }
+                    Err(HostError::Failed(reason)) => {
+                        bail!(InterpFault::HostFailed { reason })
+                    }
+                };
+                if $dst != NO_SLOT {
+                    slots[base + $dst as usize] = r;
+                }
+            }};
+        }
+
+        loop {
+            let inst = code[pc];
+            pc += 1;
+            match inst {
+                LInst::Jmp { target } => pc = target as usize,
+                LInst::Br {
+                    cond,
+                    then_pc,
+                    else_pc,
+                } => {
+                    pc = if slots[base + cond as usize] != 0 {
+                        then_pc as usize
+                    } else {
+                        else_pc as usize
+                    };
+                }
+                LInst::Ret { src } => {
+                    if cur.lf.instrumented {
+                        // The CFI pass also checks labels at return sites; in
+                        // this executor returns are structurally safe, so the
+                        // check always passes — but it costs.
+                        cfi_checks += 1;
+                    }
+                    returns += 1;
+                    let v = if src == NO_SLOT {
+                        0
+                    } else {
+                        slots[base + src as usize]
+                    };
+                    slots.truncate(base);
+                    match frames.pop() {
+                        Some(caller) => {
+                            let dst = cur.ret_dst;
+                            cur = caller;
+                            code = &cur.lf.code;
+                            pc = cur.pc;
+                            base = cur.base;
+                            if dst != NO_SLOT {
+                                slots[base + dst as usize] = v;
+                            }
+                        }
+                        None => {
+                            writeback!();
+                            return Ok(v);
+                        }
+                    }
+                }
+                LInst::Bin { op, dst, lhs, rhs } => {
+                    charge!();
+                    slots[base + dst as usize] =
+                        binop(op, slots[base + lhs as usize], slots[base + rhs as usize]);
+                }
+                LInst::Mov { dst, src } => {
+                    charge!();
+                    slots[base + dst as usize] = slots[base + src as usize];
+                }
+                LInst::Load { dst, addr, width } => {
+                    charge!();
+                    self.stats.loads += 1;
+                    let a = slots[base + addr as usize] as u64;
+                    let v = match env.load(a, width) {
+                        Ok(v) => v,
+                        Err(e) => bail!(InterpFault::Mem(e)),
+                    };
+                    slots[base + dst as usize] = v as i64;
+                }
+                LInst::Store { src, addr, width } => {
+                    charge!();
+                    self.stats.stores += 1;
+                    let a = slots[base + addr as usize] as u64;
+                    let v = slots[base + src as usize] as u64;
+                    if let Err(e) = env.store(a, width, v) {
+                        bail!(InterpFault::Mem(e));
+                    }
+                }
+                LInst::Memcpy { dst, src, len } => {
+                    charge!();
+                    let d = slots[base + dst as usize] as u64;
+                    let s = slots[base + src as usize] as u64;
+                    let n = slots[base + len as usize] as u64;
+                    self.stats.memcpy_bytes += n;
+                    if let Err(e) = env.memcpy(d, s, n) {
+                        bail!(InterpFault::Mem(e));
+                    }
+                }
+                LInst::Call { dst, callee, args } => {
+                    charge!();
+                    let clm = cur.lm;
+                    push_frame!(clm, &clm.funcs[callee as usize], args, dst);
+                }
+                LInst::CallIndirect {
+                    dst,
+                    target,
+                    args,
+                    site,
+                } => {
+                    charge!();
+                    let t = slots[base + target as usize] as u64;
+                    let cache = &cur.lf.sites[site as usize];
+                    let c = cache.get();
+                    let (cmodule, cfunc) = if c.gen == gen && c.addr == t {
+                        (c.module, c.func)
+                    } else {
+                        let e = match registry.resolve(CodeAddr(t)) {
+                            Some(e) => e,
+                            None => bail!(InterpFault::BadIndirect { target: t }),
+                        };
+                        cache.set(SiteCache {
+                            gen,
+                            addr: t,
+                            module: e.module,
+                            func: e.func,
+                            label: e.label,
+                        });
+                        (e.module, e.func)
+                    };
+                    let clm: &'a LoweredModule = registry.lowered(cmodule);
+                    push_frame!(clm, &clm.funcs[cfunc as usize], args, dst);
+                }
+                LInst::Extern { dst, ext, args } => {
+                    charge!();
+                    extern_calls += 1;
+                    let n = args.len as usize;
+                    let ap = &cur.lf.arg_pool[args.start as usize..args.start as usize + n];
+                    self.argv.clear();
+                    self.argv
+                        .extend(ap.iter().map(|&s| slots[base + s as usize]));
+                    let name = registry.extern_name(ext).unwrap_or("");
+                    let r = env.call_extern_id(ext, name, &self.argv);
+                    extern_finish!(r, name, dst);
+                }
+                LInst::Extern1 { dst, ext, a0 } => {
+                    charge!();
+                    extern_calls += 1;
+                    let argv = [slots[base + a0 as usize]];
+                    let name = registry.extern_name(ext).unwrap_or("");
+                    let r = env.call_extern_id(ext, name, &argv);
+                    extern_finish!(r, name, dst);
+                }
+                LInst::Extern2 { dst, ext, a0, a1 } => {
+                    charge!();
+                    extern_calls += 1;
+                    let argv = [slots[base + a0 as usize], slots[base + a1 as usize]];
+                    let name = registry.extern_name(ext).unwrap_or("");
+                    let r = env.call_extern_id(ext, name, &argv);
+                    extern_finish!(r, name, dst);
+                }
+                LInst::MaskGhost { dst, src } => {
+                    charge!();
+                    self.stats.masks += 1;
+                    let a = slots[base + src as usize] as u64;
+                    slots[base + dst as usize] = mask_kernel_pointer(VAddr(a)).0 as i64;
+                }
+                LInst::ZeroSva { dst, src } => {
+                    charge!();
+                    self.stats.masks += 1;
+                    let a = slots[base + src as usize] as u64;
+                    slots[base + dst as usize] =
+                        if (SVA_INTERNAL_BASE..SVA_INTERNAL_END).contains(&a) {
+                            0
+                        } else {
+                            a as i64
+                        };
+                }
+                LInst::CfiCheck {
+                    target,
+                    expected_label,
+                    site,
+                } => {
+                    charge!();
+                    cfi_checks += 1;
+                    let t = slots[base + target as usize] as u64;
+                    // No masking happens here: any target below kernel text
+                    // is rejected outright, then the label at the landing
+                    // site must match (see DESIGN.md §4).
+                    if t < crate::registry::KERNEL_TEXT_BASE {
+                        bail!(InterpFault::CfiViolation { target: t });
+                    }
+                    let cache = &cur.lf.sites[site as usize];
+                    let c = cache.get();
+                    let label = if c.gen == gen && c.addr == t {
+                        c.label
+                    } else {
+                        match registry.resolve(CodeAddr(t)) {
+                            Some(e) => {
+                                cache.set(SiteCache {
+                                    gen,
+                                    addr: t,
+                                    module: e.module,
+                                    func: e.func,
+                                    label: e.label,
+                                });
+                                e.label
+                            }
+                            None => bail!(InterpFault::CfiViolation { target: t }),
+                        }
+                    };
+                    if label != Some(expected_label) {
+                        bail!(InterpFault::CfiViolation { target: t });
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- the reference tree-walker ----------------------------------------
 
     fn exec(
         &mut self,
@@ -409,8 +870,9 @@ impl<'a> Interp<'a> {
             } => {
                 self.stats.cfi_checks += 1;
                 let t = eval(target, regs) as u64;
-                // The check first masks the target into kernel space, then
-                // requires the label at the landing site to match.
+                // No masking happens here: any target below kernel text is
+                // rejected outright, then the label at the landing site must
+                // match (see DESIGN.md §4).
                 if t < crate::registry::KERNEL_TEXT_BASE {
                     return Err(InterpFault::CfiViolation { target: t });
                 }
@@ -431,6 +893,7 @@ fn eval(op: &Operand, regs: &[i64]) -> i64 {
     }
 }
 
+#[inline(always)]
 fn binop(op: BinOp, a: i64, b: i64) -> i64 {
     match op {
         BinOp::Add => a.wrapping_add(b),

@@ -23,8 +23,13 @@
 //! * [`compiler`] — the pass pipeline plus translation signing.
 //! * [`registry`] — maps code addresses to functions (the "native code"
 //!   address space that indirect calls resolve through).
+//! * [`lower`] — the load-time lowering pass: linear pre-decoded
+//!   instructions, pre-resolved branch pcs, pooled constants, interned
+//!   extern ids, and inline-cache sites for the fast engine.
 //! * [`interp`] — the executor, with pluggable memory ([`interp::MemBus`])
-//!   and host-call ([`interp::ExternHost`]) interfaces.
+//!   and host-call ([`interp::ExternHost`]) interfaces. Two engines share
+//!   one observable semantics: the default lowered engine and the
+//!   reference tree-walker ([`interp::Engine`]).
 //!
 //! ## Example: compile a module and watch the instrumentation appear
 //!
@@ -54,6 +59,7 @@ pub mod compiler;
 pub mod encode;
 pub mod inst;
 pub mod interp;
+pub mod lower;
 pub mod passes;
 pub mod registry;
 pub mod verify;
@@ -61,6 +67,6 @@ pub mod verify;
 pub use builder::FunctionBuilder;
 pub use compiler::{Translation, VgCompiler};
 pub use inst::{BinOp, BlockId, Function, Inst, Module, Operand, Terminator, VReg, Width};
-pub use interp::{ExternHost, Interp, InterpFault, InterpStats, MemBus, MemFault};
+pub use interp::{Engine, ExternHost, Interp, InterpFault, InterpStats, MemBus, MemFault};
 pub use registry::{CodeAddr, CodeRegistry};
 pub use verify::VerifyError;

@@ -114,14 +114,110 @@ impl MemBus for KernelCtx<'_> {
     }
 }
 
+/// The kernel API surface, one variant per extern name. Module code names
+/// these by string in the IR; the lowered engine calls through
+/// [`ExternHost::call_extern_id`] with the registry's interned id, which the
+/// system resolves to a `KernApi` through a table built once per id (see
+/// [`System::kern_api_tab`](crate::system::System)) — no string matching on
+/// the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernApi {
+    /// `kern.cur_pid`
+    CurPid,
+    /// `kern.own_module`
+    OwnModule,
+    /// `kern.own_fn_addr`
+    OwnFnAddr,
+    /// `kern.config`
+    Config,
+    /// `kern.set_config`
+    SetConfig,
+    /// `kern.log_val`
+    LogVal,
+    /// `kern.log_bytes`
+    LogBytes,
+    /// `kern.hook_syscall`
+    HookSyscall,
+    /// `kern.orig_syscall`
+    OrigSyscall,
+    /// `kern.mmap_user`
+    MmapUser,
+    /// `kern.inject_code`
+    InjectCode,
+    /// `kern.set_sighandler`
+    SetSighandler,
+    /// `kern.send_signal`
+    SendSignal,
+    /// `kern.read_ic_rip`
+    ReadIcRip,
+    /// `kern.write_ic_rip`
+    WriteIcRip,
+    /// `kern.exfil_file`
+    ExfilFile,
+    /// `kern.port_write`
+    PortWrite,
+    /// `kern.iommu_map`
+    IommuMap,
+}
+
+impl KernApi {
+    /// Resolves an extern name to its API entry.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "kern.cur_pid" => KernApi::CurPid,
+            "kern.own_module" => KernApi::OwnModule,
+            "kern.own_fn_addr" => KernApi::OwnFnAddr,
+            "kern.config" => KernApi::Config,
+            "kern.set_config" => KernApi::SetConfig,
+            "kern.log_val" => KernApi::LogVal,
+            "kern.log_bytes" => KernApi::LogBytes,
+            "kern.hook_syscall" => KernApi::HookSyscall,
+            "kern.orig_syscall" => KernApi::OrigSyscall,
+            "kern.mmap_user" => KernApi::MmapUser,
+            "kern.inject_code" => KernApi::InjectCode,
+            "kern.set_sighandler" => KernApi::SetSighandler,
+            "kern.send_signal" => KernApi::SendSignal,
+            "kern.read_ic_rip" => KernApi::ReadIcRip,
+            "kern.write_ic_rip" => KernApi::WriteIcRip,
+            "kern.exfil_file" => KernApi::ExfilFile,
+            "kern.port_write" => KernApi::PortWrite,
+            "kern.iommu_map" => KernApi::IommuMap,
+            _ => return None,
+        })
+    }
+}
+
 impl ExternHost for KernelCtx<'_> {
     fn call_extern(&mut self, name: &str, args: &[i64]) -> Result<i64, HostError> {
+        match KernApi::from_name(name) {
+            Some(api) => self.dispatch(api, args),
+            None => Err(HostError::Unknown),
+        }
+    }
+
+    fn call_extern_id(&mut self, id: u32, _name: &str, args: &[i64]) -> Result<i64, HostError> {
+        // Extern ids are append-only in the registry, so the table only ever
+        // grows; existing entries never go stale.
+        while self.sys.kern_api_tab.len() < self.sys.vm.code.extern_count() {
+            let i = self.sys.kern_api_tab.len() as u32;
+            let api = self.sys.vm.code.extern_name(i).and_then(KernApi::from_name);
+            self.sys.kern_api_tab.push(api);
+        }
+        match self.sys.kern_api_tab.get(id as usize).copied().flatten() {
+            Some(api) => self.dispatch(api, args),
+            None => Err(HostError::Unknown),
+        }
+    }
+}
+
+impl KernelCtx<'_> {
+    fn dispatch(&mut self, api: KernApi, args: &[i64]) -> Result<i64, HostError> {
         let a = |i: usize| args.get(i).copied().unwrap_or(0);
-        match name {
+        match api {
             // ---- introspection ------------------------------------------------
-            "kern.cur_pid" => Ok(self.cur_pid as i64),
-            "kern.own_module" => Ok(self.cur_module.map(|m| m.0 as i64).unwrap_or(-1)),
-            "kern.own_fn_addr" => {
+            KernApi::CurPid => Ok(self.cur_pid as i64),
+            KernApi::OwnModule => Ok(self.cur_module.map(|m| m.0 as i64).unwrap_or(-1)),
+            KernApi::OwnFnAddr => {
                 let Some(module) = self.cur_module else {
                     return Ok(-1);
                 };
@@ -133,13 +229,13 @@ impl ExternHost for KernelCtx<'_> {
                     .map(|addr| addr.0 as i64)
                     .unwrap_or(-1))
             }
-            "kern.config" => Ok(self
+            KernApi::Config => Ok(self
                 .sys
                 .module_config
                 .get(a(0) as usize)
                 .copied()
                 .unwrap_or(0)),
-            "kern.set_config" => {
+            KernApi::SetConfig => {
                 let idx = a(0) as usize;
                 if idx < self.sys.module_config.len() {
                     self.sys.module_config[idx] = a(1);
@@ -147,11 +243,11 @@ impl ExternHost for KernelCtx<'_> {
                 Ok(0)
             }
             // ---- logging (attack 1 exfiltration sink) -------------------------
-            "kern.log_val" => {
+            KernApi::LogVal => {
                 self.sys.log.push(format!("module: {:#x}", a(0)));
                 Ok(0)
             }
-            "kern.log_bytes" => {
+            KernApi::LogBytes => {
                 // Print a *kernel-heap* buffer to the system log. The module
                 // must have copied the data there itself with its own
                 // (instrumented) loads and stores — the host refuses other
@@ -168,18 +264,18 @@ impl ExternHost for KernelCtx<'_> {
                 Ok(0)
             }
             // ---- hooking ------------------------------------------------------
-            "kern.hook_syscall" => {
+            KernApi::HookSyscall => {
                 self.sys.hooks.insert(a(0) as u32, CodeAddr(a(1) as u64));
                 Ok(0)
             }
-            "kern.orig_syscall" => {
+            KernApi::OrigSyscall => {
                 // Forward to the built-in handler (stealth passthrough).
                 let num = a(0) as u32;
                 let sargs = [a(1) as u64, a(2) as u64, a(3) as u64, 0, 0, 0];
                 Ok(self.sys.builtin_syscall(self.cur_pid, num, sargs))
             }
             // ---- process manipulation (kernel APIs a module can call) ---------
-            "kern.mmap_user" => {
+            KernApi::MmapUser => {
                 // Map anonymous memory into a victim process.
                 let (pid, len) = (a(0) as u64, a(1) as u64);
                 if !self.sys.procs.contains_key(&pid) {
@@ -188,7 +284,7 @@ impl ExternHost for KernelCtx<'_> {
                 let proc = self.sys.procs.get_mut(&pid).expect("checked");
                 Ok(proc.aspace.reserve_mmap(len, crate::mem::RegionKind::Anon) as i64)
             }
-            "kern.inject_code" => {
+            KernApi::InjectCode => {
                 // "Copy exploit code into the buffer": register module
                 // function #arg2 at user address arg1 of the current module.
                 let (va, module_idx, func) = (a(0) as u64, a(1) as usize, a(2) as u32);
@@ -198,7 +294,7 @@ impl ExternHost for KernelCtx<'_> {
                     Err(_) => Ok(-1),
                 }
             }
-            "kern.set_sighandler" => {
+            KernApi::SetSighandler => {
                 let (pid, sig, addr) = (a(0) as u64, a(1) as i32, a(2) as u64);
                 match self.sys.procs.get_mut(&pid) {
                     Some(p) => {
@@ -208,19 +304,19 @@ impl ExternHost for KernelCtx<'_> {
                     None => Ok(-1),
                 }
             }
-            "kern.send_signal" => {
+            KernApi::SendSignal => {
                 self.sys.post_signal(a(0) as u64, a(1) as i32);
                 Ok(0)
             }
             // ---- interrupted-state attack surface ------------------------------
-            "kern.read_ic_rip" => {
+            KernApi::ReadIcRip => {
                 // Under Virtual Ghost the IC lives in SVA memory: no access.
                 match self.sys.vm.native_ic_mut(vg_core::ThreadId(a(0) as u64)) {
                     Some(ic) => Ok(ic.frame.rip as i64),
                     None => Ok(-1),
                 }
             }
-            "kern.write_ic_rip" => {
+            KernApi::WriteIcRip => {
                 match self.sys.vm.native_ic_mut(vg_core::ThreadId(a(0) as u64)) {
                     Some(ic) => {
                         ic.frame.rip = a(1) as u64;
@@ -230,7 +326,7 @@ impl ExternHost for KernelCtx<'_> {
                 }
             }
             // ---- file exfiltration sink ----------------------------------------
-            "kern.exfil_file" => {
+            KernApi::ExfilFile => {
                 // Append a *kernel-heap* buffer to /stolen — models the
                 // module writing captured data to a file it opened. Same
                 // kernel-heap-only rule as `kern.log_bytes`.
@@ -242,7 +338,7 @@ impl ExternHost for KernelCtx<'_> {
                 Ok(bytes.len() as i64)
             }
             // ---- raw hardware pokes --------------------------------------------
-            "kern.port_write" => {
+            KernApi::PortWrite => {
                 match self
                     .sys
                     .vm
@@ -252,7 +348,7 @@ impl ExternHost for KernelCtx<'_> {
                     Err(_) => Ok(-1),
                 }
             }
-            "kern.iommu_map" => {
+            KernApi::IommuMap => {
                 match self
                     .sys
                     .vm
@@ -262,7 +358,6 @@ impl ExternHost for KernelCtx<'_> {
                     Err(_) => Ok(-1),
                 }
             }
-            _ => Err(HostError::Unknown),
         }
     }
 }
@@ -292,14 +387,62 @@ impl MemBus for UserCtx<'_> {
     }
 }
 
+/// The user-context API surface (syscall-like entry points available to code
+/// dispatched into a process). Same id-table dispatch scheme as [`KernApi`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserApi {
+    /// `user.exfil`
+    Exfil,
+    /// `user.getpid`
+    Getpid,
+    /// `user.secret_addr`
+    SecretAddr,
+    /// `user.secret_len`
+    SecretLen,
+}
+
+impl UserApi {
+    /// Resolves an extern name to its API entry.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "user.exfil" => UserApi::Exfil,
+            "user.getpid" => UserApi::Getpid,
+            "user.secret_addr" => UserApi::SecretAddr,
+            "user.secret_len" => UserApi::SecretLen,
+            _ => return None,
+        })
+    }
+}
+
 impl ExternHost for UserCtx<'_> {
     fn call_extern(&mut self, name: &str, args: &[i64]) -> Result<i64, HostError> {
+        match UserApi::from_name(name) {
+            Some(api) => self.dispatch(api, args),
+            None => Err(HostError::Unknown),
+        }
+    }
+
+    fn call_extern_id(&mut self, id: u32, _name: &str, args: &[i64]) -> Result<i64, HostError> {
+        while self.sys.user_api_tab.len() < self.sys.vm.code.extern_count() {
+            let i = self.sys.user_api_tab.len() as u32;
+            let api = self.sys.vm.code.extern_name(i).and_then(UserApi::from_name);
+            self.sys.user_api_tab.push(api);
+        }
+        match self.sys.user_api_tab.get(id as usize).copied().flatten() {
+            Some(api) => self.dispatch(api, args),
+            None => Err(HostError::Unknown),
+        }
+    }
+}
+
+impl UserCtx<'_> {
+    fn dispatch(&mut self, api: UserApi, args: &[i64]) -> Result<i64, HostError> {
         let a = |i: usize| args.get(i).copied().unwrap_or(0);
-        match name {
+        match api {
             // The exploit's exfiltration: copy process-readable memory
             // (which, running *as* the process, includes ghost memory) out
             // via a write() system call to a file.
-            "user.exfil" => {
+            UserApi::Exfil => {
                 let (addr, len) = (a(0) as u64, (a(1) as u64).min(4096));
                 let mut bytes = Vec::with_capacity(len as usize);
                 for i in 0..len {
@@ -312,12 +455,11 @@ impl ExternHost for UserCtx<'_> {
                 self.sys.append_file("/stolen", &bytes);
                 Ok(n as i64)
             }
-            "user.getpid" => Ok(self.pid as i64),
+            UserApi::Getpid => Ok(self.pid as i64),
             // Attacker-baked reconnaissance (set through the same config
             // channel the module uses).
-            "user.secret_addr" => Ok(self.sys.module_config.first().copied().unwrap_or(0)),
-            "user.secret_len" => Ok(self.sys.module_config.get(1).copied().unwrap_or(0)),
-            _ => Err(HostError::Unknown),
+            UserApi::SecretAddr => Ok(self.sys.module_config.first().copied().unwrap_or(0)),
+            UserApi::SecretLen => Ok(self.sys.module_config.get(1).copied().unwrap_or(0)),
         }
     }
 }

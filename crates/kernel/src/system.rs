@@ -266,6 +266,11 @@ pub struct System {
     pub hooks: HashMap<u32, vg_ir::CodeAddr>,
     /// Attacker/module configuration cells (the "sysctl" channel).
     pub module_config: Vec<i64>,
+    /// Extern-id dispatch tables for module/user code, indexed by the code
+    /// registry's interned extern ids (lazily extended; ids are append-only
+    /// so entries never go stale). See `module.rs`.
+    pub(crate) kern_api_tab: Vec<Option<crate::module::KernApi>>,
+    pub(crate) user_api_tab: Vec<Option<crate::module::UserApi>>,
     /// Network stack.
     pub net: NetStack,
     /// Socket table.
@@ -342,6 +347,8 @@ impl System {
             binaries: HashMap::new(),
             hooks: HashMap::new(),
             module_config: vec![0; 16],
+            kern_api_tab: Vec::new(),
+            user_api_tab: Vec::new(),
             net: NetStack::new(),
             sockets: HashMap::new(),
             log: Vec::new(),
@@ -364,6 +371,17 @@ impl System {
     /// The mode's cost-model name ("native", "virtual-ghost", …).
     pub fn mode_name(&self) -> &'static str {
         self.mode_name
+    }
+
+    /// The IR engine module/user code runs under: the lowered engine by
+    /// default, the reference tree-walker when
+    /// [`Machine::tree_walk_interp`](vg_machine::Machine) is set.
+    pub fn interp_engine(&self) -> vg_ir::Engine {
+        if self.machine.tree_walk_interp {
+            vg_ir::Engine::Reference
+        } else {
+            vg_ir::Engine::Lowered
+        }
     }
 
     /// Installs an application binary: computes the code digest, derives a
@@ -1069,7 +1087,7 @@ impl System {
         }
         if self.vm.code.resolve(vg_ir::CodeAddr(addr)).is_some() {
             let registry = self.vm.code.clone();
-            let mut interp = vg_ir::Interp::new(&registry);
+            let mut interp = vg_ir::Interp::new(&registry).with_engine(self.interp_engine());
             let mut ctx = crate::module::UserCtx { sys: self, pid };
             let result = interp.run(vg_ir::CodeAddr(addr), &[arg as i64], &mut ctx);
             let stats = interp.stats;

@@ -98,6 +98,12 @@ pub struct Machine {
     /// apart from TLB statistics); the flag exists so equivalence tests can
     /// run both. See DESIGN.md §6.
     pub byte_granular_bus: bool,
+    /// When set, IR executors built on this machine run the reference
+    /// tree-walking engine instead of the default lowered engine. The two
+    /// are observationally identical (same results, faults, statistics and
+    /// fuel consumption — property-tested in `vg-ir`); the flag exists so
+    /// equivalence and bisection runs can pick the executable specification.
+    pub tree_walk_interp: bool,
 }
 
 /// Configuration for machine construction.
@@ -111,6 +117,8 @@ pub struct MachineConfig {
     pub costs: CostModel,
     /// Force byte-granular memory buses (reference mode; default off).
     pub byte_granular_bus: bool,
+    /// Force the tree-walking IR engine (reference mode; default off).
+    pub tree_walk_interp: bool,
 }
 
 impl Default for MachineConfig {
@@ -120,6 +128,7 @@ impl Default for MachineConfig {
             disk_blocks: 64 * 1024, // 256 MiB
             costs: CostModel::native(),
             byte_granular_bus: false,
+            tree_walk_interp: false,
         }
     }
 }
@@ -142,6 +151,7 @@ impl Machine {
             trace: Tracer::new(),
             metrics: MetricsRegistry::new(),
             byte_granular_bus: config.byte_granular_bus,
+            tree_walk_interp: config.tree_walk_interp,
         }
     }
 
