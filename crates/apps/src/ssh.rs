@@ -17,7 +17,7 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
-use vg_crypto::aes::ctr_xor;
+use vg_crypto::aes::Aes128;
 use vg_crypto::Sha256;
 use vg_kernel::syscall::O_CREAT;
 use vg_kernel::{ChildKind, System, UserEnv};
@@ -199,7 +199,9 @@ pub fn expected_agent_signature(key_material: &[u8], challenge: &[u8]) -> [u8; 3
 }
 
 fn stream_encrypted_file(env: &mut UserEnv, conn: i64, path: &str) -> u64 {
-    let key = session_key();
+    // Expand the session-key schedule once for the whole stream, not once
+    // per 8 KiB chunk.
+    let cipher = Aes128::new(&session_key());
     let fd = env.open(path, 0);
     if fd < 0 {
         return 0;
@@ -214,7 +216,7 @@ fn stream_encrypted_file(env: &mut UserEnv, conn: i64, path: &str) -> u64 {
         }
         // Encrypt under the session key (real cipher + charged cost).
         let mut chunk = env.read_mem(buf, n as usize);
-        ctr_xor(&key, nonce, &mut chunk);
+        cipher.ctr_xor(nonce, &mut chunk);
         nonce += 1;
         let blocks = (n as u64).div_ceil(16);
         let aes = env.sys.machine.costs.aes_per_block * blocks;
@@ -292,9 +294,9 @@ pub fn sshd_bandwidth(sys: &mut System, file_size: usize, transfers: u32) -> f64
     // Spot-check a transfer decrypts to the original.
     let mut got = sys.wire_recv(flows[0]);
     assert_eq!(got.len(), file_size, "full file arrived");
-    let key = session_key();
+    let cipher = Aes128::new(&session_key());
     for (i, chunk) in got.chunks_mut(8192).enumerate() {
-        ctr_xor(&key, i as u64, chunk);
+        cipher.ctr_xor(i as u64, chunk);
     }
     assert_eq!(got, data, "scp payload decrypts");
     let secs = cycles as f64 / vg_machine::cost::CYCLES_PER_US / 1e6;
@@ -315,9 +317,9 @@ pub fn ssh_client_bandwidth(
     // The remote peer: replies to "get" with the session-encrypted file.
     let payload: Vec<u8> = (0..file_size).map(|i| (i * 13 % 251) as u8).collect();
     let mut wire = payload.clone();
-    let key = session_key();
+    let cipher = Aes128::new(&session_key());
     for (i, chunk) in wire.chunks_mut(8192).enumerate() {
-        ctr_xor(&key, i as u64, chunk);
+        cipher.ctr_xor(i as u64, chunk);
     }
     sys.remote_responder = Some(Box::new(move |msg| {
         if msg.starts_with(b"get") {
@@ -334,6 +336,7 @@ pub fn ssh_client_bandwidth(
     sys.install_app_with_key(name, ghosting, suite_key(), move || {
         let c = c2.clone();
         let expect = expect.clone();
+        let cipher = cipher.clone();
         Box::new(move |env| {
             let ghost = env.sys.procs[&env.pid].ghosting;
             let w = Wrappers::new(env);
@@ -361,7 +364,7 @@ pub fn ssh_client_bandwidth(
                 }
                 let mut data = env.read_mem(buf, got);
                 for (i, chunk) in data.chunks_mut(8192).enumerate() {
-                    ctr_xor(&key, i as u64, chunk);
+                    cipher.ctr_xor(i as u64, chunk);
                 }
                 let blocks = (got as u64).div_ceil(16);
                 let aes = env.sys.machine.costs.aes_per_block * blocks;

@@ -50,6 +50,85 @@ fn bench_crypto(c: &mut Criterion) {
     g.finish();
 }
 
+/// The crypto data plane vs. the retained textbook scalar implementations
+/// (`vg_crypto::reference`) on the hot shapes: a 4 KiB page (the swap unit)
+/// and a 1 KiB MAC. The `_scalar` entries are the pre-overhaul code paths;
+/// BENCH_crypto.json records the ratios.
+fn bench_crypto_data_plane(c: &mut Criterion) {
+    use vg_crypto::aes::{Aes128, SealedBox};
+    use vg_crypto::hmac::HmacKey;
+    use vg_crypto::reference;
+
+    let mut g = c.benchmark_group("crypto_data_plane");
+    let page = vec![0xabu8; 4096];
+    let kib = vec![0xcdu8; 1024];
+    let enc = [1u8; 16];
+    let mac = [2u8; 32];
+    let cipher = Aes128::new(&enc);
+    let mac_key = HmacKey::new(&mac);
+
+    g.bench_function("aes_ctr_page", |b| {
+        b.iter_batched(
+            || page.clone(),
+            |mut buf| cipher.ctr_xor(1, &mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("aes_ctr_page_scalar", |b| {
+        b.iter_batched(
+            || page.clone(),
+            |mut buf| reference::ctr_xor(&enc, 1, &mut buf),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("seal_page", |b| {
+        b.iter(|| SealedBox::seal_with(&cipher, &mac_key, 7, std::hint::black_box(&page)))
+    });
+    g.bench_function("seal_page_scalar", |b| {
+        b.iter(|| reference::seal(&enc, &mac, 7, std::hint::black_box(&page)))
+    });
+    let sealed = SealedBox::seal_with(&cipher, &mac_key, 7, &page);
+    g.bench_function("unseal_page", |b| {
+        b.iter(|| sealed.open_with(&cipher, &mac_key, 7).unwrap())
+    });
+    g.bench_function("unseal_page_scalar", |b| {
+        b.iter(|| {
+            reference::open(
+                &enc,
+                &mac,
+                7,
+                sealed.nonce(),
+                sealed.ciphertext(),
+                sealed.tag(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("hmac_1k", |b| {
+        b.iter(|| mac_key.mac(std::hint::black_box(&kib)))
+    });
+    g.bench_function("hmac_1k_scalar", |b| {
+        b.iter(|| reference::hmac_sha256(&mac, std::hint::black_box(&kib)))
+    });
+    g.finish();
+}
+
+/// End-to-end SSH bulk transfer (Figure 3 driver, native mode): exercises
+/// the hoisted per-stream cipher in `stream_encrypted_file` plus the real
+/// simulator around it.
+fn bench_ssh_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssh");
+    g.sample_size(10);
+    g.bench_function("ssh_transfer", |b| {
+        b.iter_batched(
+            || System::boot(Mode::Native),
+            |mut sys| vg_apps::ssh::sshd_bandwidth(&mut sys, 64 * 1024, 2),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine");
     g.bench_function("mmu_translate_hit", |b| {
@@ -567,6 +646,8 @@ fn bench_engines(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_crypto,
+    bench_crypto_data_plane,
+    bench_ssh_transfer,
     bench_machine,
     bench_syscall_path,
     bench_fs,

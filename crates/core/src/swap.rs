@@ -14,22 +14,28 @@
 
 use crate::frames::FrameKind;
 use crate::{ProcId, SvaError, SvaVm};
-use vg_crypto::aes::SealedBox;
+use vg_crypto::aes::{Aes128, SealedBox};
+use vg_crypto::hmac::HmacKey;
 use vg_machine::layout::{Region, PAGE_SIZE};
 use vg_machine::pte::{Pte, PteFlags};
 use vg_machine::{DenialKind, Machine, Pfn, TraceEvent, VAddr};
 
-/// The VM's swap keys.
+/// The VM's swap keys, held pre-expanded: the AES key schedule and the HMAC
+/// ipad/opad midstates are computed once at boot instead of once per sealed
+/// page.
 #[derive(Debug)]
 pub struct SwapManager {
-    enc_key: [u8; 16],
-    mac_key: [u8; 32],
+    cipher: Aes128,
+    mac: HmacKey,
 }
 
 impl SwapManager {
     /// Creates a manager with the given keys (generated at VM boot).
     pub fn new(enc_key: [u8; 16], mac_key: [u8; 32]) -> Self {
-        SwapManager { enc_key, mac_key }
+        SwapManager {
+            cipher: Aes128::new(&enc_key),
+            mac: HmacKey::new(&mac_key),
+        }
     }
 
     /// Derives the sealing context binding a blob to (process, location).
@@ -42,7 +48,7 @@ impl SwapManager {
     /// fixed-width encoding of both fields makes finding *any* colliding
     /// pair as hard as breaking HMAC-SHA256.
     pub(crate) fn context(&self, proc: ProcId, vpn: u64) -> u64 {
-        let mut mac = vg_crypto::hmac::HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.hasher();
         mac.update(b"vg-swap-context");
         mac.update(&proc.0.to_be_bytes());
         mac.update(&vpn.to_be_bytes());
@@ -93,9 +99,9 @@ impl SvaVm {
         );
         machine.metrics.add("swap.crypto_bytes", PAGE_SIZE);
         let contents = machine.phys.read_frame(pfn);
-        let sealed = SealedBox::seal(
-            &self.swap.enc_key,
-            &self.swap.mac_key,
+        let sealed = SealedBox::seal_with(
+            &self.swap.cipher,
+            &self.swap.mac,
             self.swap.context(proc, vpn),
             &contents,
         );
@@ -146,9 +152,9 @@ impl SvaVm {
         );
         machine.metrics.add("swap.crypto_bytes", PAGE_SIZE);
         let vpn = va.vpn().0;
-        let contents = match blob.sealed.open(
-            &self.swap.enc_key,
-            &self.swap.mac_key,
+        let contents = match blob.sealed.open_with(
+            &self.swap.cipher,
+            &self.swap.mac,
             self.swap.context(proc, vpn),
         ) {
             Ok(c) => c,

@@ -4,10 +4,25 @@
 //! ghost page: the page is encrypted under the VM's AES key and authenticated
 //! (together with its virtual page number, to prevent the OS substituting one
 //! swapped page for another) under the VM's MAC key. Applications use
-//! [`Aes128`]/[`ctr_xor`] directly for their own file encryption, mirroring
-//! the paper's point that applications choose their own algorithms.
+//! [`Aes128`]/[`Aes128Ctr`]/[`ctr_xor`] directly for their own file
+//! encryption, mirroring the paper's point that applications choose their own
+//! algorithms.
+//!
+//! ## Data-plane layout
+//!
+//! The round function is the word-sliced (T-table) formulation: four const
+//! 256-entry `u32` tables fold SubBytes, ShiftRows, and MixColumns into one
+//! lookup + xor per state byte, with the decryption direction running the
+//! equivalent inverse cipher over InvMixColumns-transformed round keys
+//! ([`Aes128::new`] precomputes both schedules once; `decrypt_block` no
+//! longer rebuilds the inverse S-box per call). CTR keystream is generated
+//! four blocks (64 bytes) at a time. All tables are built by `const fn` at
+//! compile time from the S-box, so there is nothing to initialize at run
+//! time and outputs stay bit-identical to the textbook scalar
+//! implementation retained in [`crate::reference`] (proven by differential
+//! proptests in `tests/differential.rs`).
 
-use crate::hmac::HmacSha256;
+use crate::hmac::{HmacKey, HmacSha256};
 
 /// AES S-box.
 const SBOX: [u8; 256] = [
@@ -29,33 +44,100 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// Inverse S-box, derived from [`SBOX`] at construction time.
-fn inv_sbox() -> [u8; 256] {
-    let mut inv = [0u8; 256];
-    for (i, &s) in SBOX.iter().enumerate() {
-        inv[s as usize] = i as u8;
-    }
-    inv
+const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
 }
 
-fn xtime(b: u8) -> u8 {
-    (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0 }
-}
-
-/// Multiplication in GF(2^8) with the AES polynomial.
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+/// Multiplication in GF(2^8) with the AES polynomial (compile-time capable).
+const fn gmul(a: u8, b: u8) -> u8 {
+    let mut a = a;
+    let mut b = b;
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
-/// An expanded AES-128 key schedule.
+const fn build_inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// Inverse S-box, derived from [`SBOX`] at compile time.
+const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// `TE0[x]` is the MixColumns image of `SubBytes(x)` placed in byte 0 of a
+/// column: the (2,1,1,3) column of the MixColumns matrix scaled by `S[x]`.
+/// `TE1..TE3` are byte rotations for the other three positions, which also
+/// absorbs ShiftRows into the table index selection.
+const fn build_te0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        t[i] = u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)]);
+        i += 1;
+    }
+    t
+}
+
+/// `TD0[x]` is the InvMixColumns image of `InvSubBytes(x)` in byte 0: the
+/// (14,9,13,11) column scaled by `S⁻¹[x]`.
+const fn build_td0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        t[i] = u32::from_be_bytes([gmul(s, 14), gmul(s, 9), gmul(s, 13), gmul(s, 11)]);
+        i += 1;
+    }
+    t
+}
+
+const fn rotr_table(src: &[u32; 256], r: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(r);
+        i += 1;
+    }
+    t
+}
+
+const TE0: [u32; 256] = build_te0();
+const TE1: [u32; 256] = rotr_table(&TE0, 8);
+const TE2: [u32; 256] = rotr_table(&TE0, 16);
+const TE3: [u32; 256] = rotr_table(&TE0, 24);
+const TD0: [u32; 256] = build_td0();
+const TD1: [u32; 256] = rotr_table(&TD0, 8);
+const TD2: [u32; 256] = rotr_table(&TD0, 16);
+const TD3: [u32; 256] = rotr_table(&TD0, 24);
+
+/// InvMixColumns of one round-key word, via the decryption tables:
+/// `TD_i[S[b]]` is exactly the InvMixColumns column for input byte `b`.
+fn inv_mix_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    TD0[SBOX[a as usize] as usize]
+        ^ TD1[SBOX[b as usize] as usize]
+        ^ TD2[SBOX[c as usize] as usize]
+        ^ TD3[SBOX[d as usize] as usize]
+}
+
+/// An expanded AES-128 key schedule: encryption round keys plus the
+/// InvMixColumns-transformed decryption schedule for the equivalent inverse
+/// cipher, both computed once at construction.
 ///
 /// # Examples
 ///
@@ -68,129 +150,287 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    /// Encryption round keys, as big-endian column words: `ek[4r + c]` is
+    /// column `c` of round `r`.
+    ek: [u32; 44],
+    /// Decryption round keys for the equivalent inverse cipher: reversed
+    /// rounds, InvMixColumns applied to rounds 1..=9.
+    dk: [u32; 44],
 }
 
 impl Aes128 {
-    /// Expands a 16-byte key into the 11 round keys.
+    /// Expands a 16-byte key into both round-key schedules.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 44];
-        for i in 0..4 {
-            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        let mut ek = [0u32; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            ek[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        let mut rcon = 1u8;
+        let mut rcon: u32 = 0x0100_0000;
         for i in 4..44 {
-            let mut t = w[i - 1];
+            let mut t = ek[i - 1];
             if i % 4 == 0 {
-                t.rotate_left(1);
-                for b in &mut t {
-                    *b = SBOX[*b as usize];
-                }
-                t[0] ^= rcon;
-                rcon = xtime(rcon);
+                t = sub_word(t.rotate_left(8)) ^ rcon;
+                rcon = u32::from_be_bytes([xtime(rcon.to_be_bytes()[0]), 0, 0, 0]);
             }
-            for j in 0..4 {
-                w[i][j] = w[i - 4][j] ^ t[j];
-            }
+            ek[i] = ek[i - 4] ^ t;
         }
-        let mut round_keys = [[0u8; 16]; 11];
-        for r in 0..11 {
+        let mut dk = [0u32; 44];
+        dk[..4].copy_from_slice(&ek[40..44]);
+        dk[40..44].copy_from_slice(&ek[..4]);
+        for r in 1..10 {
             for c in 0..4 {
-                round_keys[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                dk[4 * r + c] = inv_mix_word(ek[4 * (10 - r) + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 { ek, dk }
     }
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
-        let mut s = block;
-        add_round_key(&mut s, &self.round_keys[0]);
+        let k = &self.ek;
+        let mut s0 = load_be(&block, 0) ^ k[0];
+        let mut s1 = load_be(&block, 4) ^ k[1];
+        let mut s2 = load_be(&block, 8) ^ k[2];
+        let mut s3 = load_be(&block, 12) ^ k[3];
         for r in 1..10 {
-            sub_bytes(&mut s);
-            shift_rows(&mut s);
-            mix_columns(&mut s);
-            add_round_key(&mut s, &self.round_keys[r]);
+            let t0 = te(s0, s1, s2, s3) ^ k[4 * r];
+            let t1 = te(s1, s2, s3, s0) ^ k[4 * r + 1];
+            let t2 = te(s2, s3, s0, s1) ^ k[4 * r + 2];
+            let t3 = te(s3, s0, s1, s2) ^ k[4 * r + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
         }
-        sub_bytes(&mut s);
-        shift_rows(&mut s);
-        add_round_key(&mut s, &self.round_keys[10]);
-        s
+        let mut out = [0u8; 16];
+        store_be(&mut out, 0, final_enc(s0, s1, s2, s3) ^ k[40]);
+        store_be(&mut out, 4, final_enc(s1, s2, s3, s0) ^ k[41]);
+        store_be(&mut out, 8, final_enc(s2, s3, s0, s1) ^ k[42]);
+        store_be(&mut out, 12, final_enc(s3, s0, s1, s2) ^ k[43]);
+        out
     }
 
-    /// Decrypts one 16-byte block.
+    /// Decrypts one 16-byte block (equivalent inverse cipher over the
+    /// precomputed `dk` schedule — no per-call table building).
     pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
-        let inv = inv_sbox();
-        let mut s = block;
-        add_round_key(&mut s, &self.round_keys[10]);
-        for r in (1..10).rev() {
-            inv_shift_rows(&mut s);
-            inv_sub_bytes(&mut s, &inv);
-            add_round_key(&mut s, &self.round_keys[r]);
-            inv_mix_columns(&mut s);
+        let k = &self.dk;
+        let mut s0 = load_be(&block, 0) ^ k[0];
+        let mut s1 = load_be(&block, 4) ^ k[1];
+        let mut s2 = load_be(&block, 8) ^ k[2];
+        let mut s3 = load_be(&block, 12) ^ k[3];
+        for r in 1..10 {
+            let t0 = td(s0, s3, s2, s1) ^ k[4 * r];
+            let t1 = td(s1, s0, s3, s2) ^ k[4 * r + 1];
+            let t2 = td(s2, s1, s0, s3) ^ k[4 * r + 2];
+            let t3 = td(s3, s2, s1, s0) ^ k[4 * r + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
         }
-        inv_shift_rows(&mut s);
-        inv_sub_bytes(&mut s, &inv);
-        add_round_key(&mut s, &self.round_keys[0]);
-        s
+        let mut out = [0u8; 16];
+        store_be(&mut out, 0, final_dec(s0, s3, s2, s1) ^ k[40]);
+        store_be(&mut out, 4, final_dec(s1, s0, s3, s2) ^ k[41]);
+        store_be(&mut out, 8, final_dec(s2, s1, s0, s3) ^ k[42]);
+        store_be(&mut out, 12, final_dec(s3, s2, s1, s0) ^ k[43]);
+        out
     }
-}
 
-// State is column-major: s[4*c + r] is row r, column c (matches FIPS 197's
-// byte ordering of the input block).
-fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        s[i] ^= rk[i];
-    }
-}
-
-fn sub_bytes(s: &mut [u8; 16]) {
-    for b in s.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-fn inv_sub_bytes(s: &mut [u8; 16], inv: &[u8; 256]) {
-    for b in s.iter_mut() {
-        *b = inv[*b as usize];
-    }
-}
-
-fn shift_rows(s: &mut [u8; 16]) {
-    for r in 1..4 {
-        let row = [s[r], s[4 + r], s[8 + r], s[12 + r]];
-        for c in 0..4 {
-            s[4 * c + r] = row[(c + r) % 4];
+    /// XORs `data` in place with the CTR keystream for `nonce`, counter
+    /// starting at 0 — one pass over an already-expanded schedule.
+    ///
+    /// Equivalent to the free function [`ctr_xor`] minus the per-call key
+    /// expansion; loop-heavy callers (page sealing, SSH chunk transfer)
+    /// should hoist the [`Aes128`] and call this.
+    pub fn ctr_xor(&self, nonce: u64, data: &mut [u8]) {
+        let mut counter = 0u64;
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in &mut chunks {
+            let ks = self.keystream4(nonce, counter);
+            counter = counter.wrapping_add(4);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
         }
-    }
-}
-
-fn inv_shift_rows(s: &mut [u8; 16]) {
-    for r in 1..4 {
-        let row = [s[r], s[4 + r], s[8 + r], s[12 + r]];
-        for c in 0..4 {
-            s[4 * c + r] = row[(c + 4 - r) % 4];
+        for chunk in chunks.into_remainder().chunks_mut(16) {
+            let ks = self.keystream_block(nonce, counter);
+            counter = counter.wrapping_add(1);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
         }
     }
-}
 
-fn mix_columns(s: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
-        s[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
-        s[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
-        s[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    /// One keystream block: `E(nonce ‖ counter)`.
+    #[inline]
+    fn keystream_block(&self, nonce: u64, counter: u64) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&nonce.to_be_bytes());
+        block[8..].copy_from_slice(&counter.to_be_bytes());
+        self.encrypt_block(block)
+    }
+
+    /// Four consecutive keystream blocks, batched into one 64-byte buffer.
+    #[inline]
+    fn keystream4(&self, nonce: u64, counter: u64) -> [u8; 64] {
+        let mut ks = [0u8; 64];
+        for i in 0..4 {
+            let block = self.keystream_block(nonce, counter.wrapping_add(i as u64));
+            ks[16 * i..16 * i + 16].copy_from_slice(&block);
+        }
+        ks
     }
 }
 
-fn inv_mix_columns(s: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        s[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        s[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        s[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+#[inline(always)]
+fn load_be(b: &[u8; 16], i: usize) -> u32 {
+    u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]])
+}
+
+#[inline(always)]
+fn store_be(b: &mut [u8; 16], i: usize, w: u32) {
+    b[i..i + 4].copy_from_slice(&w.to_be_bytes());
+}
+
+#[inline(always)]
+fn sub_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    u32::from_be_bytes([
+        SBOX[a as usize],
+        SBOX[b as usize],
+        SBOX[c as usize],
+        SBOX[d as usize],
+    ])
+}
+
+/// One encryption-round column: ShiftRows selects which state word feeds
+/// each byte position, the tables do SubBytes + MixColumns.
+#[inline(always)]
+fn te(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    TE0[(a >> 24) as usize]
+        ^ TE1[((b >> 16) & 0xff) as usize]
+        ^ TE2[((c >> 8) & 0xff) as usize]
+        ^ TE3[(d & 0xff) as usize]
+}
+
+/// One decryption-round column (InvShiftRows rotates the other way, hence
+/// the reversed word order at the call sites).
+#[inline(always)]
+fn td(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    TD0[(a >> 24) as usize]
+        ^ TD1[((b >> 16) & 0xff) as usize]
+        ^ TD2[((c >> 8) & 0xff) as usize]
+        ^ TD3[(d & 0xff) as usize]
+}
+
+/// Final encryption round: SubBytes + ShiftRows only (no MixColumns).
+#[inline(always)]
+fn final_enc(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    u32::from_be_bytes([
+        SBOX[(a >> 24) as usize],
+        SBOX[((b >> 16) & 0xff) as usize],
+        SBOX[((c >> 8) & 0xff) as usize],
+        SBOX[(d & 0xff) as usize],
+    ])
+}
+
+/// Final decryption round: InvSubBytes + InvShiftRows only.
+#[inline(always)]
+fn final_dec(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    u32::from_be_bytes([
+        INV_SBOX[(a >> 24) as usize],
+        INV_SBOX[((b >> 16) & 0xff) as usize],
+        INV_SBOX[((c >> 8) & 0xff) as usize],
+        INV_SBOX[(d & 0xff) as usize],
+    ])
+}
+
+/// A streaming AES-CTR keystream: expands the key schedule once and keeps
+/// the (counter, intra-block offset) position across calls, so xoring a
+/// message in arbitrary chunks produces exactly the same bytes as one
+/// [`ctr_xor`] pass over the concatenation.
+///
+/// # Examples
+///
+/// ```
+/// use vg_crypto::aes::{ctr_xor, Aes128, Aes128Ctr};
+///
+/// let aes = Aes128::new(&[7u8; 16]);
+/// let mut streamed = *b"split across three calls";
+/// let mut ctr = Aes128Ctr::new(&aes, 99);
+/// ctr.xor(&mut streamed[..5]);
+/// ctr.xor(&mut streamed[5..6]);
+/// ctr.xor(&mut streamed[6..]);
+///
+/// let mut oneshot = *b"split across three calls";
+/// ctr_xor(&[7u8; 16], 99, &mut oneshot);
+/// assert_eq!(streamed, oneshot);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128Ctr {
+    aes: Aes128,
+    nonce: u64,
+    counter: u64,
+    ks: [u8; 16],
+    ks_off: usize,
+}
+
+impl Aes128Ctr {
+    /// Starts a keystream for `nonce` with the block counter at 0 (the
+    /// [`ctr_xor`] convention).
+    pub fn new(aes: &Aes128, nonce: u64) -> Self {
+        Self::with_counter(aes, nonce, 0)
+    }
+
+    /// Starts a keystream with an explicit initial block counter. The
+    /// counter occupies the low 64 bits of the counter block (the high half
+    /// is `nonce`), so this can express standard test vectors such as SP
+    /// 800-38A's `f0f1…feff` initial counter block. The counter wraps at
+    /// 2^64 rather than carrying into the nonce.
+    pub fn with_counter(aes: &Aes128, nonce: u64, counter: u64) -> Self {
+        Aes128Ctr {
+            aes: aes.clone(),
+            nonce,
+            counter,
+            ks: [0u8; 16],
+            ks_off: 16,
+        }
+    }
+
+    /// XORs the next `data.len()` keystream bytes into `data`, advancing the
+    /// stream position. Full blocks are generated four at a time.
+    pub fn xor(&mut self, data: &mut [u8]) {
+        let mut data = data;
+        // Drain keystream left over from a previous partial block.
+        if self.ks_off < 16 {
+            let take = data.len().min(16 - self.ks_off);
+            let (head, rest) = data.split_at_mut(take);
+            for (b, k) in head.iter_mut().zip(&self.ks[self.ks_off..]) {
+                *b ^= k;
+            }
+            self.ks_off += take;
+            data = rest;
+        }
+        let mut chunks = data.chunks_exact_mut(64);
+        for chunk in &mut chunks {
+            let ks = self.aes.keystream4(self.nonce, self.counter);
+            self.counter = self.counter.wrapping_add(4);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let tail = chunks.into_remainder();
+        let mut full = tail.chunks_exact_mut(16);
+        for chunk in &mut full {
+            let ks = self.aes.keystream_block(self.nonce, self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let rem = full.into_remainder();
+        if !rem.is_empty() {
+            self.ks = self.aes.keystream_block(self.nonce, self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            for (b, k) in rem.iter_mut().zip(self.ks.iter()) {
+                *b ^= k;
+            }
+            self.ks_off = rem.len();
+        }
     }
 }
 
@@ -199,17 +439,12 @@ fn inv_mix_columns(s: &mut [u8; 16]) {
 /// CTR mode is an involution, so the same call encrypts and decrypts. The
 /// 8-byte nonce occupies the top half of the counter block; the block counter
 /// occupies the bottom half.
+///
+/// This is a compatibility wrapper that expands the key schedule on every
+/// call. Callers in loops should build an [`Aes128`] once and use
+/// [`Aes128::ctr_xor`] or [`Aes128Ctr`].
 pub fn ctr_xor(key: &[u8; 16], nonce: u64, data: &mut [u8]) {
-    let aes = Aes128::new(key);
-    for (counter, chunk) in data.chunks_mut(16).enumerate() {
-        let mut block = [0u8; 16];
-        block[..8].copy_from_slice(&nonce.to_be_bytes());
-        block[8..].copy_from_slice(&(counter as u64).to_be_bytes());
-        let ks = aes.encrypt_block(block);
-        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-            *b ^= k;
-        }
-    }
+    Aes128::new(key).ctr_xor(nonce, data);
 }
 
 /// An encrypted and authenticated blob: AES-CTR then HMAC-SHA256 over
@@ -243,15 +478,40 @@ impl SealedBox {
     /// The nonce is derived from the context; callers that seal the same
     /// context twice with different contents (e.g. re-swapping a dirty page)
     /// still get integrity because the MAC covers the fresh ciphertext.
+    ///
+    /// Convenience form that expands both keys per call; hot paths hold an
+    /// [`Aes128`] + [`HmacKey`] and use [`SealedBox::seal_with`].
     pub fn seal(enc_key: &[u8; 16], mac_key: &[u8; 32], context: u64, plaintext: &[u8]) -> Self {
+        Self::seal_with(
+            &Aes128::new(enc_key),
+            &HmacKey::new(mac_key),
+            context,
+            plaintext,
+        )
+    }
+
+    /// Seals `plaintext` using pre-expanded cipher and MAC key material:
+    /// one keystream pass, one MAC pass, no per-call key setup.
+    pub fn seal_with(cipher: &Aes128, mac_key: &HmacKey, context: u64, plaintext: &[u8]) -> Self {
+        let mut stream = Self::sealer(cipher, mac_key, context);
+        stream.write(plaintext);
+        stream.finish()
+    }
+
+    /// Starts a streaming seal bound to `context`: feed plaintext in chunks
+    /// with [`SealStream::write`], then [`SealStream::finish`]. Produces a
+    /// box byte-identical to [`SealedBox::seal_with`] over the concatenated
+    /// chunks, without ever materializing the full plaintext.
+    pub fn sealer(cipher: &Aes128, mac_key: &HmacKey, context: u64) -> SealStream {
         let nonce = context ^ 0x5653_4143_4845_u64; // context-derived, deterministic
-        let mut ct = plaintext.to_vec();
-        ctr_xor(enc_key, nonce, &mut ct);
-        let tag = Self::tag(mac_key, context, nonce, &ct);
-        SealedBox {
+        let mut mac = mac_key.hasher();
+        mac.update(&context.to_be_bytes());
+        mac.update(&nonce.to_be_bytes());
+        SealStream {
+            ctr: Aes128Ctr::new(cipher, nonce),
+            mac,
             nonce,
-            ciphertext: ct,
-            tag,
+            ciphertext: Vec::new(),
         }
     }
 
@@ -268,7 +528,23 @@ impl SealedBox {
         mac_key: &[u8; 32],
         context: u64,
     ) -> Result<Vec<u8>, OpenSealedBoxError> {
-        let expect = Self::tag(mac_key, context, self.nonce, &self.ciphertext);
+        self.open_with(&Aes128::new(enc_key), &HmacKey::new(mac_key), context)
+    }
+
+    /// Opens the box using pre-expanded key material: one MAC pass to verify
+    /// (before any plaintext is produced), then one keystream pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenSealedBoxError`] on any tampering, exactly like
+    /// [`SealedBox::open`].
+    pub fn open_with(
+        &self,
+        cipher: &Aes128,
+        mac_key: &HmacKey,
+        context: u64,
+    ) -> Result<Vec<u8>, OpenSealedBoxError> {
+        let expect = Self::tag_with(mac_key, context, self.nonce, &self.ciphertext);
         let mut diff = 0u8;
         for (a, b) in expect.iter().zip(&self.tag) {
             diff |= a ^ b;
@@ -277,7 +553,7 @@ impl SealedBox {
             return Err(OpenSealedBoxError);
         }
         let mut pt = self.ciphertext.clone();
-        ctr_xor(enc_key, self.nonce, &mut pt);
+        cipher.ctr_xor(self.nonce, &mut pt);
         Ok(pt)
     }
 
@@ -291,18 +567,64 @@ impl SealedBox {
         self.ciphertext.is_empty()
     }
 
+    /// The context-derived nonce.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// The raw ciphertext.
+    pub fn ciphertext(&self) -> &[u8] {
+        &self.ciphertext
+    }
+
+    /// The 32-byte authentication tag.
+    pub fn tag(&self) -> &[u8; 32] {
+        &self.tag
+    }
+
     /// Mutable access to the raw ciphertext — used by attack simulations that
     /// model the OS flipping bits in swapped-out pages.
     pub fn ciphertext_mut(&mut self) -> &mut Vec<u8> {
         &mut self.ciphertext
     }
 
-    fn tag(mac_key: &[u8; 32], context: u64, nonce: u64, ct: &[u8]) -> [u8; 32] {
-        let mut mac = HmacSha256::new(mac_key);
+    fn tag_with(mac_key: &HmacKey, context: u64, nonce: u64, ct: &[u8]) -> [u8; 32] {
+        let mut mac = mac_key.hasher();
         mac.update(&context.to_be_bytes());
         mac.update(&nonce.to_be_bytes());
         mac.update(ct);
         mac.finalize()
+    }
+}
+
+/// In-progress streaming seal created by [`SealedBox::sealer`]: the CTR
+/// keystream and the MAC run incrementally as chunks arrive, so sealing is
+/// single-pass no matter how the plaintext is delivered.
+#[derive(Debug)]
+pub struct SealStream {
+    ctr: Aes128Ctr,
+    mac: HmacSha256,
+    nonce: u64,
+    ciphertext: Vec<u8>,
+}
+
+impl SealStream {
+    /// Encrypts and MACs the next plaintext chunk.
+    pub fn write(&mut self, chunk: &[u8]) {
+        let start = self.ciphertext.len();
+        self.ciphertext.extend_from_slice(chunk);
+        let ct = &mut self.ciphertext[start..];
+        self.ctr.xor(ct);
+        self.mac.update(ct);
+    }
+
+    /// Finishes the MAC and returns the sealed box.
+    pub fn finish(self) -> SealedBox {
+        SealedBox {
+            nonce: self.nonce,
+            ciphertext: self.ciphertext,
+            tag: self.mac.finalize(),
+        }
     }
 }
 
@@ -339,7 +661,9 @@ mod tests {
             0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
             0xc5, 0x5a,
         ];
-        assert_eq!(Aes128::new(&key).encrypt_block(pt), expect);
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(pt), expect);
+        assert_eq!(aes.decrypt_block(expect), pt);
     }
 
     #[test]
@@ -364,10 +688,47 @@ mod tests {
     }
 
     #[test]
+    fn ctr_stream_matches_oneshot_across_splits() {
+        let key = [0x5au8; 16];
+        let aes = Aes128::new(&key);
+        let data: Vec<u8> = (0..257u16).map(|i| i as u8).collect();
+        let mut oneshot = data.clone();
+        ctr_xor(&key, 7, &mut oneshot);
+        for split in [0, 1, 15, 16, 17, 63, 64, 65, 100, 256, 257] {
+            let mut buf = data.clone();
+            let mut ctr = Aes128Ctr::new(&aes, 7);
+            ctr.xor(&mut buf[..split]);
+            ctr.xor(&mut buf[split..]);
+            assert_eq!(buf, oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
     fn sealed_box_roundtrip() {
         let sealed = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
         assert_eq!(
             sealed.open(&[3; 16], &[4; 32], 7).unwrap(),
+            b"page data here"
+        );
+    }
+
+    #[test]
+    fn seal_with_matches_seal_and_streams() {
+        let cipher = Aes128::new(&[3; 16]);
+        let mac = HmacKey::new(&[4; 32]);
+        let oneshot = SealedBox::seal(&[3; 16], &[4; 32], 7, b"page data here");
+        assert_eq!(
+            SealedBox::seal_with(&cipher, &mac, 7, b"page data here"),
+            oneshot
+        );
+        let mut s = SealedBox::sealer(&cipher, &mac, 7);
+        s.write(b"page ");
+        s.write(b"data");
+        s.write(b" here");
+        let streamed = s.finish();
+        assert_eq!(streamed, oneshot);
+        assert_eq!(
+            streamed.open_with(&cipher, &mac, 7).unwrap(),
             b"page data here"
         );
     }

@@ -2,10 +2,81 @@
 //!
 //! Used by the Virtual Ghost VM to authenticate swapped-out ghost pages
 //! (encrypt-then-MAC) and by applications to detect OS tampering with files.
+//!
+//! Hot callers (the swap path seals every ghost page; SecureStorage MACs
+//! every file) should derive an [`HmacKey`] once per key: it stores the
+//! SHA-256 compression states *after* the ipad and opad blocks, so each MAC
+//! costs two finalizations instead of four full key-block hashes. The
+//! textbook derivation is retained in [`crate::reference`] and proven
+//! equivalent by differential proptests.
 
 use crate::sha256::Sha256;
 
 const BLOCK: usize = 64;
+
+/// A precomputed HMAC-SHA256 key: the inner (ipad) and outer (opad)
+/// compression midstates, computed once.
+///
+/// # Examples
+///
+/// ```
+/// use vg_crypto::hmac::{HmacKey, HmacSha256};
+///
+/// let key = HmacKey::new(b"key");
+/// assert_eq!(key.mac(b"msg"), HmacSha256::mac(b"key", b"msg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacKey {
+    inner0: Sha256,
+    outer0: Sha256,
+}
+
+impl HmacKey {
+    /// Derives the midstates for `key` (any length; hashed if longer than
+    /// the block size, per the RFC).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ikey = [0u8; BLOCK];
+        let mut okey = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ikey[i] = k[i] ^ 0x36;
+            okey[i] = k[i] ^ 0x5c;
+        }
+        // Each update is exactly one block, so both hashers sit on a
+        // compressed midstate with an empty buffer — cloning them later
+        // resumes mid-stream at zero cost.
+        let mut inner0 = Sha256::new();
+        inner0.update(&ikey);
+        let mut outer0 = Sha256::new();
+        outer0.update(&okey);
+        HmacKey { inner0, outer0 }
+    }
+
+    /// Starts a streaming MAC from the precomputed midstates.
+    pub fn hasher(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner0.clone(),
+            outer0: self.outer0.clone(),
+        }
+    }
+
+    /// One-shot MAC of `data` under this key.
+    pub fn mac(&self, data: &[u8]) -> [u8; 32] {
+        let mut h = self.hasher();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time-ish verification of `tag` over `data` under this key.
+    pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
+        verify_tag(&self.mac(data), tag)
+    }
+}
 
 /// Streaming HMAC-SHA256.
 ///
@@ -21,28 +92,18 @@ const BLOCK: usize = 64;
 #[derive(Debug, Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
-    okey: [u8; BLOCK],
+    outer0: Sha256,
 }
 
 impl HmacSha256 {
     /// Creates a MAC context keyed with `key` (any length; hashed if longer
     /// than the block size, per the RFC).
+    ///
+    /// Callers MAC-ing repeatedly under one key should hold an [`HmacKey`]
+    /// and use [`HmacKey::hasher`] instead, which skips the two key-block
+    /// compressions this performs.
     pub fn new(key: &[u8]) -> Self {
-        let mut k = [0u8; BLOCK];
-        if key.len() > BLOCK {
-            k[..32].copy_from_slice(&Sha256::digest(key));
-        } else {
-            k[..key.len()].copy_from_slice(key);
-        }
-        let mut ikey = [0u8; BLOCK];
-        let mut okey = [0u8; BLOCK];
-        for i in 0..BLOCK {
-            ikey[i] = k[i] ^ 0x36;
-            okey[i] = k[i] ^ 0x5c;
-        }
-        let mut inner = Sha256::new();
-        inner.update(&ikey);
-        HmacSha256 { inner, okey }
+        HmacKey::new(key).hasher()
     }
 
     /// Absorbs message bytes.
@@ -53,8 +114,7 @@ impl HmacSha256 {
     /// Produces the 32-byte tag, consuming the context.
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.okey);
+        let mut outer = self.outer0;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -72,16 +132,19 @@ impl HmacSha256 {
     /// short-circuiting; timing side channels are out of the paper's threat
     /// model but there is no reason to be sloppy.
     pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
-        let expect = Self::mac(key, data);
-        if tag.len() != expect.len() {
-            return false;
-        }
-        let mut diff = 0u8;
-        for (a, b) in expect.iter().zip(tag) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        verify_tag(&Self::mac(key, data), tag)
     }
+}
+
+fn verify_tag(expect: &[u8; 32], tag: &[u8]) -> bool {
+    if tag.len() != expect.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
 }
 
 #[cfg(test)]
@@ -89,7 +152,8 @@ mod tests {
     use super::*;
     use crate::sha256::hex;
 
-    // RFC 4231 test vectors.
+    // RFC 4231 test vectors. The full case 1–7 table (including truncation)
+    // lives in tests/vectors.rs; these cover the basic shapes in-module.
     #[test]
     fn rfc4231_case1() {
         let key = [0x0bu8; 20];
@@ -138,9 +202,25 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_key_matches_fresh_derivation() {
+        let key = HmacKey::new(b"swap-mac-key");
+        for msg in [&b""[..], b"x", &[0u8; 200]] {
+            assert_eq!(key.mac(msg), HmacSha256::mac(b"swap-mac-key", msg));
+            assert!(key.verify(msg, &key.mac(msg)));
+        }
+        // Reuse: one HmacKey, many hashers, including >64-byte keys.
+        let long = HmacKey::new(&[0x77u8; 131]);
+        let mut h = long.hasher();
+        h.update(b"ab");
+        h.update(b"cd");
+        assert_eq!(h.finalize(), HmacSha256::mac(&[0x77u8; 131], b"abcd"));
+    }
+
+    #[test]
     fn verify_rejects_wrong_length() {
         let tag = HmacSha256::mac(b"k", b"m");
         assert!(!HmacSha256::verify(b"k", b"m", &tag[..16]));
         assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacKey::new(b"k").verify(b"m", &tag[..16]));
     }
 }

@@ -9,9 +9,15 @@
 //! generator to defeat Iago attacks. This crate provides those primitives
 //! without external dependencies:
 //!
-//! * [`sha256`] — SHA-256 (FIPS 180-4) and [`hmac`] — HMAC-SHA256 (RFC 2104).
-//! * [`aes`] — AES-128 block cipher (FIPS 197) with CTR mode and an
-//!   encrypt-then-MAC [`aes::SealedBox`] used for ghost page swapping.
+//! * [`sha256`] — SHA-256 (FIPS 180-4, unrolled multi-block compress) and
+//!   [`hmac`] — HMAC-SHA256 (RFC 2104) with precomputed per-key midstates
+//!   ([`hmac::HmacKey`]).
+//! * [`aes`] — AES-128 block cipher (FIPS 197, compile-time T-tables) with
+//!   batched CTR mode ([`aes::Aes128Ctr`]) and an encrypt-then-MAC
+//!   [`aes::SealedBox`] used for ghost page swapping.
+//! * [`reference`] — the retained textbook scalar implementations; the
+//!   optimized data plane is proven bit-identical to them by differential
+//!   proptests (`tests/differential.rs`).
 //! * [`bignum`] — arbitrary-precision unsigned arithmetic with modular
 //!   exponentiation and Miller–Rabin primality testing.
 //! * [`rsa`] — RSA key generation, encryption and signatures built on
@@ -40,14 +46,15 @@
 pub mod aes;
 pub mod bignum;
 pub mod hmac;
+pub mod reference;
 pub mod rng;
 pub mod rsa;
 pub mod sha256;
 pub mod tpm;
 
-pub use aes::{Aes128, SealedBox};
+pub use aes::{Aes128, Aes128Ctr, SealedBox};
 pub use bignum::BigUint;
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use rng::ChaChaRng;
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use sha256::Sha256;

@@ -1,10 +1,18 @@
 //! SHA-256 as specified by FIPS 180-4.
 //!
-//! Implemented directly from the specification with the standard streaming
-//! interface ([`Sha256::update`] / [`Sha256::finalize`]) plus the one-shot
-//! [`Sha256::digest`] convenience. Unit tests check the FIPS/NIST test
-//! vectors; property tests in this crate check incremental-vs-oneshot
-//! equivalence.
+//! Implemented from the specification with the standard streaming interface
+//! ([`Sha256::update`] / [`Sha256::finalize`]) plus the one-shot
+//! [`Sha256::digest`] convenience. The compression function keeps the
+//! message schedule in a 16-word ring with the 64 rounds fully unrolled, and
+//! `update` feeds whole blocks straight from the caller's slice without
+//! staging them through the internal buffer. The hasher is `Clone`, which is
+//! what makes HMAC midstates cheap: [`crate::hmac::HmacKey`] stores the
+//! compression state after the ipad/opad block and clones it per MAC.
+//!
+//! Unit tests check the FIPS/NIST test vectors; property tests in this crate
+//! check incremental-vs-oneshot equivalence, and
+//! `tests/differential.rs` proves equality with the retained scalar
+//! [`crate::reference`] implementation on arbitrary inputs.
 
 /// Round constants: first 32 bits of the fractional parts of the cube roots
 /// of the first 64 primes.
@@ -68,6 +76,9 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Whole 64-byte blocks are compressed directly from `data`; only the
+    /// ragged head/tail pass through the internal buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -77,21 +88,18 @@ impl Sha256 {
             self.buf_len += take;
             rest = &rest[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        let mut blocks = rest.chunks_exact(64);
+        for block in &mut blocks {
+            compress(&mut self.state, block.try_into().expect("exact chunk"));
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -118,55 +126,110 @@ impl Sha256 {
         }
         out
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+#[inline(always)]
+fn bsig0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+
+#[inline(always)]
+fn bsig1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+
+#[inline(always)]
+fn ssig0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+#[inline(always)]
+fn ssig1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// One compression-function application, fully unrolled.
+///
+/// The message schedule lives in a 16-word ring (`w[t & 15]` holds `W[t]`
+/// once `sched!(t)` has run) and the eight working variables rotate by
+/// argument position instead of by moves, so a round is four adds, the three
+/// sigma/ch/maj computations, and nothing else.
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *wi = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
     }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    macro_rules! rnd {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {
+            let t1 = $h
+                .wrapping_add(bsig1($e))
+                .wrapping_add(($e & $f) ^ (!$e & $g))
+                .wrapping_add(K[$t])
+                .wrapping_add(w[$t & 15]);
+            let t2 = bsig0($a).wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(t2);
+        };
+    }
+    // W[t] = σ1(W[t-2]) + W[t-7] + σ0(W[t-15]) + W[t-16], in ring indexing.
+    macro_rules! sched {
+        ($t:expr) => {
+            w[$t & 15] = w[$t & 15]
+                .wrapping_add(ssig1(w[($t + 14) & 15]))
+                .wrapping_add(w[($t + 9) & 15])
+                .wrapping_add(ssig0(w[($t + 1) & 15]));
+        };
+    }
+    macro_rules! rnd8 {
+        ($t:expr) => {
+            rnd!(a, b, c, d, e, f, g, h, $t);
+            rnd!(h, a, b, c, d, e, f, g, $t + 1);
+            rnd!(g, h, a, b, c, d, e, f, $t + 2);
+            rnd!(f, g, h, a, b, c, d, e, $t + 3);
+            rnd!(e, f, g, h, a, b, c, d, $t + 4);
+            rnd!(d, e, f, g, h, a, b, c, $t + 5);
+            rnd!(c, d, e, f, g, h, a, b, $t + 6);
+            rnd!(b, c, d, e, f, g, h, a, $t + 7);
+        };
+    }
+    macro_rules! sched8 {
+        ($t:expr) => {
+            sched!($t);
+            sched!($t + 1);
+            sched!($t + 2);
+            sched!($t + 3);
+            sched!($t + 4);
+            sched!($t + 5);
+            sched!($t + 6);
+            sched!($t + 7);
+        };
+    }
+
+    rnd8!(0);
+    rnd8!(8);
+    sched8!(16);
+    rnd8!(16);
+    sched8!(24);
+    rnd8!(24);
+    sched8!(32);
+    rnd8!(32);
+    sched8!(40);
+    rnd8!(40);
+    sched8!(48);
+    rnd8!(48);
+    sched8!(56);
+    rnd8!(56);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// Formats a digest as lowercase hex, convenient for tests and logs.

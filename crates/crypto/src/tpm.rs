@@ -14,7 +14,8 @@
 //! caller-supplied context tag so blobs sealed for one purpose cannot be
 //! replayed for another.
 
-use crate::aes::{OpenSealedBoxError, SealedBox};
+use crate::aes::{Aes128, OpenSealedBoxError, SealedBox};
+use crate::hmac::HmacKey;
 use crate::rng::ChaChaRng;
 
 /// A simulated TPM coprocessor.
@@ -31,8 +32,8 @@ use crate::rng::ChaChaRng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tpm {
-    storage_enc_key: [u8; 16],
-    storage_mac_key: [u8; 32],
+    storage_cipher: Aes128,
+    storage_mac: HmacKey,
     monotonic: u64,
 }
 
@@ -49,15 +50,15 @@ impl Tpm {
         rng.fill(&mut enc);
         rng.fill(&mut mac);
         Tpm {
-            storage_enc_key: enc,
-            storage_mac_key: mac,
+            storage_cipher: Aes128::new(&enc),
+            storage_mac: HmacKey::new(&mac),
             monotonic: 0,
         }
     }
 
     /// Seals `data` under the storage key, bound to `context`.
     pub fn seal(&self, context: u64, data: &[u8]) -> SealedBox {
-        SealedBox::seal(&self.storage_enc_key, &self.storage_mac_key, context, data)
+        SealedBox::seal_with(&self.storage_cipher, &self.storage_mac, context, data)
     }
 
     /// Unseals a blob previously produced by [`seal`](Self::seal) on this TPM
@@ -68,7 +69,7 @@ impl Tpm {
     /// Fails if the blob was tampered with, sealed by another TPM, or sealed
     /// under a different context.
     pub fn unseal(&self, context: u64, blob: &SealedBox) -> Result<Vec<u8>, OpenSealedBoxError> {
-        blob.open(&self.storage_enc_key, &self.storage_mac_key, context)
+        blob.open_with(&self.storage_cipher, &self.storage_mac, context)
     }
 
     /// Increments and returns the monotonic counter (used by replay-defense

@@ -1,0 +1,189 @@
+//! Published test vectors for the optimized crypto data plane:
+//! NIST SP 800-38A AES-CTR, RFC 4231 HMAC-SHA-256 cases 1–7, and
+//! multi-block SHA-256 messages (FIPS 180-4 / NIST CAVP).
+
+use vg_crypto::aes::{Aes128, Aes128Ctr};
+use vg_crypto::hmac::{HmacKey, HmacSha256};
+use vg_crypto::sha256::{hex, Sha256};
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2));
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+// ---- NIST SP 800-38A, F.5.1 / F.5.2 (CTR-AES128) --------------------------
+//
+// The standard's initial counter block is f0f1…feff; in this crate's
+// (nonce ‖ counter) split that is nonce = f0f1f2f3f4f5f6f7 with the 64-bit
+// block counter starting at f8f9fafbfcfdfeff.
+
+const SP800_38A_KEY: [u8; 16] = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+];
+const SP800_38A_NONCE: u64 = 0xf0f1_f2f3_f4f5_f6f7;
+const SP800_38A_COUNTER: u64 = 0xf8f9_fafb_fcfd_feff;
+const SP800_38A_PT: &str = "6bc1bee22e409f96e93d7e117393172a\
+                            ae2d8a571e03ac9c9eb76fac45af8e51\
+                            30c81c46a35ce411e5fbc1191a0a52ef\
+                            f69f2445df4f9b17ad2b417be66c3710";
+const SP800_38A_CT: &str = "874d6191b620e3261bef6864990db6ce\
+                            9806f66b7970fdff8617187bb9fffdff\
+                            5ae4df3edbd5d35e5b4f09020db03eab\
+                            1e031dda2fbe03d1792170a0f3009cee";
+
+#[test]
+fn sp800_38a_ctr_encrypt() {
+    let aes = Aes128::new(&SP800_38A_KEY);
+    let mut buf = unhex(SP800_38A_PT);
+    let mut ctr = Aes128Ctr::with_counter(&aes, SP800_38A_NONCE, SP800_38A_COUNTER);
+    ctr.xor(&mut buf);
+    assert_eq!(buf, unhex(SP800_38A_CT));
+}
+
+#[test]
+fn sp800_38a_ctr_decrypt() {
+    let aes = Aes128::new(&SP800_38A_KEY);
+    let mut buf = unhex(SP800_38A_CT);
+    let mut ctr = Aes128Ctr::with_counter(&aes, SP800_38A_NONCE, SP800_38A_COUNTER);
+    ctr.xor(&mut buf);
+    assert_eq!(buf, unhex(SP800_38A_PT));
+}
+
+#[test]
+fn sp800_38a_ctr_chunked_stream() {
+    // Same vector fed one byte, then one block+1, then the rest — the
+    // stream position must track across ragged chunk boundaries.
+    let aes = Aes128::new(&SP800_38A_KEY);
+    let mut buf = unhex(SP800_38A_PT);
+    let mut ctr = Aes128Ctr::with_counter(&aes, SP800_38A_NONCE, SP800_38A_COUNTER);
+    ctr.xor(&mut buf[..1]);
+    ctr.xor(&mut buf[1..18]);
+    ctr.xor(&mut buf[18..]);
+    assert_eq!(buf, unhex(SP800_38A_CT));
+}
+
+// ---- RFC 4231 HMAC-SHA-256, cases 1–7 -------------------------------------
+
+struct Rfc4231Case {
+    key: Vec<u8>,
+    data: Vec<u8>,
+    /// Full tag, or the truncated 128-bit tag for case 5.
+    tag_hex: &'static str,
+}
+
+fn rfc4231_cases() -> Vec<Rfc4231Case> {
+    vec![
+        // Case 1
+        Rfc4231Case {
+            key: vec![0x0b; 20],
+            data: b"Hi There".to_vec(),
+            tag_hex: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        },
+        // Case 2: shorter-than-block key.
+        Rfc4231Case {
+            key: b"Jefe".to_vec(),
+            data: b"what do ya want for nothing?".to_vec(),
+            tag_hex: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        },
+        // Case 3: combined key/data longer than a block.
+        Rfc4231Case {
+            key: vec![0xaa; 20],
+            data: vec![0xdd; 50],
+            tag_hex: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+        },
+        // Case 4: 25-byte key 0x01..0x19.
+        Rfc4231Case {
+            key: (1..=25).collect(),
+            data: vec![0xcd; 50],
+            tag_hex: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+        },
+        // Case 5: output truncated to 128 bits.
+        Rfc4231Case {
+            key: vec![0x0c; 20],
+            data: b"Test With Truncation".to_vec(),
+            tag_hex: "a3b6167473100ee06e0c796c2955552b",
+        },
+        // Case 6: 131-byte key — exercises the Sha256::digest(key) path.
+        Rfc4231Case {
+            key: vec![0xaa; 131],
+            data: b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+            tag_hex: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        },
+        // Case 7: >block-size key AND >block-size data.
+        Rfc4231Case {
+            key: vec![0xaa; 131],
+            data: b"This is a test using a larger than block-size key and a larger t\
+han block-size data. The key needs to be hashed before being used by the HMAC \
+algorithm."
+                .to_vec(),
+            tag_hex: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+        },
+    ]
+}
+
+#[test]
+fn rfc4231_cases_1_through_7() {
+    for (i, case) in rfc4231_cases().iter().enumerate() {
+        let tag = HmacSha256::mac(&case.key, &case.data);
+        let want = case.tag_hex;
+        assert_eq!(&hex(&tag)[..want.len()], want, "RFC 4231 case {}", i + 1);
+        // The midstate path must agree byte for byte.
+        let key = HmacKey::new(&case.key);
+        assert_eq!(key.mac(&case.data), tag, "HmacKey, case {}", i + 1);
+        // And streaming in small pieces.
+        let mut h = key.hasher();
+        for chunk in case.data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), tag, "streaming, case {}", i + 1);
+    }
+}
+
+// ---- Multi-block SHA-256 --------------------------------------------------
+
+#[test]
+fn sha256_two_block_896_bit_message() {
+    // FIPS 180-4 style 896-bit test message (NIST CAVP).
+    let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+    assert_eq!(msg.len(), 112);
+    assert_eq!(
+        hex(&Sha256::digest(msg)),
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    );
+}
+
+#[test]
+fn sha256_exact_block_multiples() {
+    // One and two full blocks with no ragged tail: the direct-from-slice
+    // compress path, plus padding that lands in a fresh block.
+    assert_eq!(
+        hex(&Sha256::digest(&[b'a'; 64])),
+        "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+    );
+    assert_eq!(
+        hex(&Sha256::digest(&[b'a'; 128])),
+        "6836cf13bac400e9105071cd6af47084dfacad4e5e302c94bfed24e013afb73e"
+    );
+}
+
+#[test]
+fn sha256_multi_block_streaming_odd_chunks() {
+    // 1 MiB of 'a' streamed in prime-sized chunks must equal the known
+    // million-'a' digest (exercises buffered + direct block paths mixed).
+    let mut h = Sha256::new();
+    let chunk = [b'a'; 997];
+    let mut fed = 0usize;
+    while fed < 1_000_000 {
+        let take = chunk.len().min(1_000_000 - fed);
+        h.update(&chunk[..take]);
+        fed += take;
+    }
+    assert_eq!(
+        hex(&h.finalize()),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
+}

@@ -12,8 +12,8 @@
 //! detected on read.
 
 use crate::wrappers::Wrappers;
-use vg_crypto::aes::ctr_xor;
-use vg_crypto::hmac::HmacSha256;
+use vg_crypto::aes::Aes128;
+use vg_crypto::hmac::HmacKey;
 use vg_crypto::sha256::Sha256;
 use vg_kernel::syscall::{O_CREAT, O_TRUNC};
 use vg_kernel::UserEnv;
@@ -42,11 +42,13 @@ impl std::fmt::Display for SecureFileError {
 
 impl std::error::Error for SecureFileError {}
 
-/// Secure file I/O bound to the application key.
+/// Secure file I/O bound to the application key. The AES key schedule and
+/// HMAC midstates are expanded once at construction and reused for every
+/// file operation.
 #[derive(Debug)]
 pub struct SecureFiles {
-    enc_key: [u8; 16],
-    mac_key: [u8; 32],
+    cipher: Aes128,
+    mac: HmacKey,
     nonce_counter: u64,
 }
 
@@ -67,8 +69,8 @@ impl SecureFiles {
         // Nonce freshness comes from the trusted RNG (not the OS — Iago).
         let nonce_counter = env.sva_random();
         Ok(SecureFiles {
-            enc_key: ek,
-            mac_key: mk,
+            cipher: Aes128::new(&ek),
+            mac: HmacKey::new(&mk),
             nonce_counter,
         })
     }
@@ -97,9 +99,9 @@ impl SecureFiles {
         self.nonce_counter = self.nonce_counter.wrapping_add(1);
         let nonce = self.nonce_counter;
         let mut ct = plaintext.to_vec();
-        ctr_xor(&self.enc_key, nonce, &mut ct);
+        self.cipher.ctr_xor(nonce, &mut ct);
         Self::charge_crypto(env, plaintext.len());
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.hasher();
         mac.update(&nonce.to_be_bytes());
         mac.update(&ct);
         let tag = mac.finalize();
@@ -149,7 +151,7 @@ impl SecureFiles {
         let (body, tag) = blob.split_at(blob.len() - 32);
         let ct = &body[8..];
         Self::charge_crypto(env, ct.len());
-        let mut mac = HmacSha256::new(&self.mac_key);
+        let mut mac = self.mac.hasher();
         mac.update(&nonce.to_be_bytes());
         mac.update(ct);
         let expect = mac.finalize();
@@ -157,7 +159,7 @@ impl SecureFiles {
             return Err(SecureFileError::Tampered);
         }
         let mut pt = ct.to_vec();
-        ctr_xor(&self.enc_key, nonce, &mut pt);
+        self.cipher.ctr_xor(nonce, &mut pt);
         Ok(pt)
     }
 }
