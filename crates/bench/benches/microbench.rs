@@ -605,6 +605,7 @@ fn bench_engines(c: &mut Criterion) {
         let entry = registry.addr_of(h, "main").unwrap();
         let leaf = registry.addr_of(h, "leaf").unwrap();
         for (label, engine) in [
+            ("fused", Engine::Fused),
             ("lowered", Engine::Lowered),
             ("reference", Engine::Reference),
         ] {
@@ -615,7 +616,7 @@ fn bench_engines(c: &mut Criterion) {
                 let mut mem = vg_ir::interp::FlatMem::new(64);
                 let mut host = BenchHost::for_registry(&registry);
                 match engine {
-                    Engine::Lowered => b.iter(|| {
+                    Engine::Fused | Engine::Lowered => b.iter(|| {
                         let mut env = Pair {
                             mem: &mut mem,
                             host: &mut host,

@@ -135,6 +135,30 @@ impl FunctionBuilder {
         self.push(Inst::Memcpy { dst, src, len });
     }
 
+    /// Appends a ghost-pointer mask (what the sandbox pass inserts).
+    pub fn mask_ghost(&mut self, src: Operand) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::MaskGhost { dst, src });
+        dst
+    }
+
+    /// Appends an SVA-internal-memory guard (what the SVA-guard pass
+    /// inserts).
+    pub fn zero_sva(&mut self, src: Operand) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::ZeroSva { dst, src });
+        dst
+    }
+
+    /// Appends a CFI label check (what the CFI pass inserts before indirect
+    /// calls).
+    pub fn cfi_check(&mut self, target: Operand, expected_label: u32) {
+        self.push(Inst::CfiCheck {
+            target,
+            expected_label,
+        });
+    }
+
     /// Appends a direct call to function index `callee`.
     pub fn call(&mut self, callee: u32, args: &[Operand]) -> VReg {
         let dst = self.fresh();

@@ -63,6 +63,9 @@ impl Width {
 }
 
 /// Binary ALU operations.
+///
+/// `Add`/`Sub`/`Mul` wrap on overflow (two's complement, like the native
+/// code they stand in for).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
@@ -72,7 +75,13 @@ pub enum BinOp {
     And,
     Or,
     Xor,
+    /// Shift left. The shift count is taken **mod 64** (x86-64 `shl`
+    /// semantics): a count of 64 returns the operand unchanged, and a
+    /// negative count wraps (e.g. `-1` shifts by 63). All engines apply the
+    /// mask explicitly — see `binop` in `interp.rs`.
     Shl,
+    /// Logical (unsigned) shift right; the count is taken **mod 64**
+    /// exactly as for [`BinOp::Shl`].
     Shr,
     /// Set if equal (1/0).
     Eq,

@@ -25,11 +25,13 @@
 //!   address space that indirect calls resolve through).
 //! * [`lower`] — the load-time lowering pass: linear pre-decoded
 //!   instructions, pre-resolved branch pcs, pooled constants, interned
-//!   extern ids, and inline-cache sites for the fast engine.
+//!   extern ids, and inline-cache sites for the fast engines.
+//! * [`fuse`] — the superinstruction pass over the lowered form: ALU runs,
+//!   compare-and-branch pairs, and jump threading for the fused tier.
 //! * [`interp`] — the executor, with pluggable memory ([`interp::MemBus`])
-//!   and host-call ([`interp::ExternHost`]) interfaces. Two engines share
-//!   one observable semantics: the default lowered engine and the
-//!   reference tree-walker ([`interp::Engine`]).
+//!   and host-call ([`interp::ExternHost`]) interfaces. Three engines share
+//!   one observable semantics: the default fused engine, the lowered
+//!   engine, and the reference tree-walker ([`interp::Engine`]).
 //!
 //! ## Example: compile a module and watch the instrumentation appear
 //!
@@ -57,6 +59,7 @@
 pub mod builder;
 pub mod compiler;
 pub mod encode;
+pub mod fuse;
 pub mod inst;
 pub mod interp;
 pub mod lower;
@@ -68,5 +71,6 @@ pub use builder::FunctionBuilder;
 pub use compiler::{Translation, VgCompiler};
 pub use inst::{BinOp, BlockId, Function, Inst, Module, Operand, Terminator, VReg, Width};
 pub use interp::{Engine, ExternHost, Interp, InterpFault, InterpStats, MemBus, MemFault};
+pub use lower::LowerError;
 pub use registry::{CodeAddr, CodeRegistry};
 pub use verify::VerifyError;

@@ -29,10 +29,67 @@
 //! results, faults, statistics and fuel consumption to the reference
 //! tree-walker.
 
+use crate::fuse::{self, FusedCode};
 use crate::inst::{BinOp, Function, Inst, Module, Operand, Terminator, Width};
 use crate::registry::ModuleHandle;
 use std::cell::Cell;
 use std::collections::HashMap;
+
+/// Lowering failure: the function is structurally too large for the `u32`
+/// execution format. These used to wrap silently (`len as u32`) — a
+/// pathological module could alias pc 0 and misexecute; now the loader
+/// refuses it up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The lowered instruction stream would exceed `u32::MAX` entries.
+    CodeTooLarge {
+        /// Offending function name.
+        function: String,
+    },
+    /// The call/extern argument pool would exceed `u32::MAX` slots.
+    ArgPoolTooLarge {
+        /// Offending function name.
+        function: String,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::CodeTooLarge { function } => {
+                write!(
+                    f,
+                    "function `{function}`: lowered code exceeds u32::MAX instructions"
+                )
+            }
+            LowerError::ArgPoolTooLarge { function } => {
+                write!(
+                    f,
+                    "function `{function}`: argument pool exceeds u32::MAX slots"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Checked `usize → u32` for code offsets: the overflow guard behind
+/// [`LowerError::CodeTooLarge`]. Factored out (rather than inlined at each
+/// site) so the guard itself is unit-testable without materializing a
+/// four-billion-instruction function.
+fn code_offset_u32(len: usize, function: &str) -> Result<u32, LowerError> {
+    u32::try_from(len).map_err(|_| LowerError::CodeTooLarge {
+        function: function.to_string(),
+    })
+}
+
+/// Checked `usize → u32` for argument-pool offsets; see [`code_offset_u32`].
+fn pool_offset_u32(len: usize, function: &str) -> Result<u32, LowerError> {
+    u32::try_from(len).map_err(|_| LowerError::ArgPoolTooLarge {
+        function: function.to_string(),
+    })
+}
 
 /// Sentinel slot index meaning "no register" (unused call result, `ret` with
 /// no value). Real slot indices are always well below this.
@@ -238,11 +295,16 @@ pub struct LoweredFunction {
     pub arg_pool: Vec<u32>,
     /// Inline caches, one per `CallIndirect`/`CfiCheck` site. `Cell` because
     /// caches warm while the registry (which owns the lowered code behind an
-    /// `Rc`) is only shared-borrowed by the engine.
+    /// `Rc`) is only shared-borrowed by the engine. Shared by the lowered
+    /// *and* fused tiers (fusion preserves site indices verbatim), so the
+    /// generation-based invalidation story covers both.
     pub sites: Vec<Cell<SiteCache>>,
     /// Whether the function carries a CFI label (return sites then charge a
     /// label check, mirroring the reference engine).
     pub instrumented: bool,
+    /// The superinstruction tier's form of [`code`](Self::code), built by
+    /// [`fuse::fuse_function`] at lowering time (see `fuse.rs`).
+    pub fused: FusedCode,
 }
 
 impl LoweredFunction {
@@ -301,18 +363,33 @@ impl ExternInterner {
 }
 
 /// Lowers every function of `module`, interning extern names into `externs`.
-pub fn lower_module(module: &Module, externs: &mut ExternInterner) -> LoweredModule {
-    LoweredModule {
+///
+/// # Errors
+///
+/// [`LowerError`] if any function exceeds the `u32` execution format.
+pub fn lower_module(
+    module: &Module,
+    externs: &mut ExternInterner,
+) -> Result<LoweredModule, LowerError> {
+    Ok(LoweredModule {
         funcs: module
             .functions
             .iter()
             .map(|f| lower_function(f, externs))
-            .collect(),
-    }
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 /// Lowers one function. See the module docs for the format.
-pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunction {
+///
+/// # Errors
+///
+/// [`LowerError`] if the lowered code or argument pool would overflow the
+/// `u32` offsets the execution format uses.
+pub fn lower_function(
+    f: &Function,
+    externs: &mut ExternInterner,
+) -> Result<LoweredFunction, LowerError> {
     let nregs = f.max_reg() + 1;
     let mut consts: Vec<i64> = Vec::new();
     let mut const_ids: HashMap<i64, u32> = HashMap::new();
@@ -320,13 +397,21 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
     let mut sites = 0u32;
 
     // Pass 1: block start offsets. Every block contributes its instructions
-    // plus exactly one lowered terminator.
+    // plus exactly one lowered terminator. Offsets are checked into u32 —
+    // `pc += len as u32 + 1` used to wrap silently on a pathological module.
     let mut starts = Vec::with_capacity(f.blocks.len());
-    let mut pc = 0u32;
+    let mut total = 0usize;
     for b in &f.blocks {
-        starts.push(pc);
-        pc += b.insts.len() as u32 + 1;
+        starts.push(code_offset_u32(total, &f.name)?);
+        total = total
+            .checked_add(b.insts.len())
+            .and_then(|t| t.checked_add(1))
+            .ok_or_else(|| LowerError::CodeTooLarge {
+                function: f.name.clone(),
+            })?;
     }
+    code_offset_u32(total, &f.name)?;
+    let pc = total as u32;
 
     let mut slot_of = |op: &Operand| -> u32 {
         match op {
@@ -374,7 +459,7 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
                 Inst::Call { dst, callee, args } => LInst::Call {
                     dst: dst.map_or(NO_SLOT, |d| d.0),
                     callee: *callee,
-                    args: pool_args(&mut arg_pool, args, &mut slot_of),
+                    args: pool_args(&mut arg_pool, args, &mut slot_of, &f.name)?,
                 },
                 Inst::CallIndirect { dst, target, args } => {
                     let site = sites;
@@ -382,7 +467,7 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
                     LInst::CallIndirect {
                         dst: dst.map_or(NO_SLOT, |d| d.0),
                         target: slot_of(target),
-                        args: pool_args(&mut arg_pool, args, &mut slot_of),
+                        args: pool_args(&mut arg_pool, args, &mut slot_of, &f.name)?,
                         site,
                     }
                 }
@@ -404,7 +489,7 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
                         _ => LInst::Extern {
                             dst,
                             ext,
-                            args: pool_args(&mut arg_pool, args, &mut slot_of),
+                            args: pool_args(&mut arg_pool, args, &mut slot_of, &f.name)?,
                         },
                     }
                 }
@@ -452,7 +537,8 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
 
     let mut frame_init = vec![0i64; nregs as usize];
     frame_init.extend_from_slice(&consts);
-    LoweredFunction {
+    let fused = fuse::fuse_function(&code, nregs, &frame_init, &arg_pool);
+    Ok(LoweredFunction {
         params: f.params,
         nregs,
         consts,
@@ -463,20 +549,21 @@ pub fn lower_function(f: &Function, externs: &mut ExternInterner) -> LoweredFunc
             .map(|_| Cell::new(SiteCache::default()))
             .collect(),
         instrumented: f.cfi_label.is_some(),
-    }
+        fused,
+    })
 }
 
 fn pool_args(
     pool: &mut Vec<u32>,
     args: &[Operand],
     slot_of: &mut impl FnMut(&Operand) -> u32,
-) -> ArgRange {
-    let start = pool.len() as u32;
+    function: &str,
+) -> Result<ArgRange, LowerError> {
+    let start = pool_offset_u32(pool.len(), function)?;
+    let len = pool_offset_u32(args.len(), function)?;
     pool.extend(args.iter().map(slot_of));
-    ArgRange {
-        start,
-        len: args.len() as u32,
-    }
+    pool_offset_u32(pool.len(), function)?;
+    Ok(ArgRange { start, len })
 }
 
 #[cfg(test)]
@@ -493,7 +580,7 @@ mod tests {
         let z = b.bin(BinOp::Sub, y.into(), 3.into());
         let f = b.ret(Some(z.into()));
         let mut ext = ExternInterner::default();
-        let lf = lower_function(&f, &mut ext);
+        let lf = lower_function(&f, &mut ext).unwrap();
         assert_eq!(lf.consts, vec![7, 3], "7 appears once, 3 once");
         assert_eq!(lf.nregs, f.max_reg() + 1);
         // The two uses of `7` resolve to the same slot, past the registers.
@@ -520,7 +607,7 @@ mod tests {
         b.switch_to(b2);
         b.terminate(Terminator::Ret(None));
         let f = b.finish();
-        let lf = lower_function(&f, &mut ExternInterner::default());
+        let lf = lower_function(&f, &mut ExternInterner::default()).unwrap();
         // Layout: [0]=Jmp(B1=1), [1]=Mov, [2]=Jmp(B2=3), [3]=Ret.
         assert_eq!(lf.code[0], LInst::Jmp { target: 1 });
         assert_eq!(lf.code[2], LInst::Jmp { target: 3 });
@@ -535,7 +622,7 @@ mod tests {
         b.ext("a.one", &[1.into()]);
         let f = b.ret(None);
         let mut ext = ExternInterner::default();
-        let lf = lower_function(&f, &mut ext);
+        let lf = lower_function(&f, &mut ext).unwrap();
         assert_eq!(ext.len(), 2);
         assert_eq!(ext.lookup("a.one"), Some(0));
         assert_eq!(ext.lookup("a.two"), Some(1));
@@ -576,7 +663,7 @@ mod tests {
             }],
             cfi_label: Some(5),
         };
-        let lf = lower_function(&f, &mut ExternInterner::default());
+        let lf = lower_function(&f, &mut ExternInterner::default()).unwrap();
         assert_eq!(lf.sites.len(), 2);
         assert_eq!(lf.sites[0].get().gen, 0, "caches start empty");
         assert!(lf.instrumented);
@@ -592,7 +679,7 @@ mod tests {
             blocks: vec![],
             cfi_label: None,
         };
-        let lf = lower_function(&f, &mut ExternInterner::default());
+        let lf = lower_function(&f, &mut ExternInterner::default()).unwrap();
         assert!(lf.code.is_empty());
     }
 
@@ -602,11 +689,62 @@ mod tests {
         let v = b.bin(BinOp::Add, b.param(0).into(), 1000.into());
         b.mov_to(VReg(0), v.into());
         let f = b.ret(Some(VReg(0).into()));
-        let lf = lower_function(&f, &mut ExternInterner::default());
+        let lf = lower_function(&f, &mut ExternInterner::default()).unwrap();
         for i in &lf.code {
             if let LInst::Bin { dst, .. } | LInst::Mov { dst, .. } = i {
                 assert!(*dst < lf.nregs);
             }
         }
+    }
+
+    /// Satellite regression: offsets that no longer fit a `u32` are an
+    /// explicit [`LowerError`], not a silent wraparound. The guard is
+    /// exercised directly — materializing a 2^32-instruction function to
+    /// trip it through `lower_function` would need >100 GiB.
+    #[test]
+    fn offset_overflow_is_an_explicit_error() {
+        assert_eq!(code_offset_u32(u32::MAX as usize, "f"), Ok(u32::MAX));
+        assert_eq!(
+            code_offset_u32(u32::MAX as usize + 1, "f"),
+            Err(LowerError::CodeTooLarge {
+                function: "f".into()
+            })
+        );
+        assert_eq!(pool_offset_u32(0, "g"), Ok(0));
+        assert_eq!(
+            pool_offset_u32(usize::MAX, "g"),
+            Err(LowerError::ArgPoolTooLarge {
+                function: "g".into()
+            })
+        );
+        // And the error renders something actionable.
+        let e = code_offset_u32(usize::MAX, "huge").unwrap_err();
+        assert!(e.to_string().contains("huge"));
+    }
+
+    /// Every code offset produced by lowering goes through the checked
+    /// conversion: block starts are strictly increasing and in-bounds.
+    #[test]
+    fn block_starts_are_checked_and_monotonic() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        b.jmp(b1);
+        b.switch_to(b1);
+        b.mov(1.into());
+        b.jmp(b2);
+        b.switch_to(b2);
+        b.terminate(Terminator::Ret(None));
+        let f = b.finish();
+        let lf = lower_function(&f, &mut ExternInterner::default()).unwrap();
+        let targets: Vec<u32> = lf
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                LInst::Jmp { target } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        assert!(targets.iter().all(|&t| (t as usize) < lf.code.len()));
     }
 }

@@ -7,7 +7,7 @@
 //! buffer address has no label, which is exactly what the CFI check catches.
 
 use crate::inst::Module;
-use crate::lower::{self, ExternInterner, LoweredModule};
+use crate::lower::{self, ExternInterner, LowerError, LoweredModule};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -101,11 +101,35 @@ impl CodeRegistry {
     }
 
     /// Registers a module, assigning each function an address in `space`.
-    /// The module is lowered to its execution form here, once; returns the
-    /// module handle.
+    /// The module is lowered (and its hot paths fused) to its execution
+    /// forms here, once; returns the module handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module exceeds the lowering size limits (lowered code
+    /// or arg pool past `u32::MAX` entries) — callers that load untrusted
+    /// module sizes should use
+    /// [`try_register_module`](Self::try_register_module).
     pub fn register_module(&mut self, module: Module, space: CodeSpace) -> ModuleHandle {
+        self.try_register_module(module, space)
+            .expect("module exceeds lowering size limits")
+    }
+
+    /// Fallible [`register_module`](Self::register_module): returns the
+    /// lowering error instead of panicking when the module is too large for
+    /// the `u32` offsets of the lowered form.
+    ///
+    /// # Errors
+    ///
+    /// [`LowerError`] if lowered code or the pooled argument table would
+    /// exceed `u32::MAX` entries.
+    pub fn try_register_module(
+        &mut self,
+        module: Module,
+        space: CodeSpace,
+    ) -> Result<ModuleHandle, LowerError> {
         let handle = ModuleHandle(self.modules.len());
-        let lowered = lower::lower_module(&module, &mut self.externs);
+        let lowered = lower::lower_module(&module, &mut self.externs)?;
         let module = Rc::new(module);
         for (i, f) in module.functions.iter().enumerate() {
             let addr = match space {
@@ -133,7 +157,7 @@ impl CodeRegistry {
         self.modules.push(module);
         self.lowered.push(Rc::new(lowered));
         self.generation = next_generation();
-        handle
+        Ok(handle)
     }
 
     /// Registers a single function of an existing module at an *arbitrary*
@@ -163,8 +187,9 @@ impl CodeRegistry {
     }
 
     /// The registry's generation: bumped (to a process-wide fresh value) by
-    /// every code registration. Inline caches in lowered code validate
-    /// against it, so registering code — including injection via
+    /// every code registration. Inline caches validate against it (the
+    /// lowered and fused tiers share one site table per function), so
+    /// registering code — including injection via
     /// [`register_at`](Self::register_at) — implicitly flushes every cache.
     pub fn generation(&self) -> u64 {
         self.generation

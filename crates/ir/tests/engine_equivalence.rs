@@ -1,12 +1,14 @@
-//! Differential tests: the lowered engine against the reference tree-walker.
+//! Differential tests: the fused and lowered engines against the reference
+//! tree-walker.
 //!
-//! The hard invariant of the lowered engine (see `interp.rs`): for *any*
-//! program — including ones that fault, run out of fuel, overflow the call
-//! stack, or hit unknown host functions — both engines produce bit-identical
-//! results, faults, [`InterpStats`], remaining fuel, and memory state. The
-//! property test below generates multi-function programs with loops, direct
-//! and indirect calls, CFI checks, and extern calls, then runs them under
-//! both engines at randomized fuel and depth limits.
+//! The hard invariant of the fast engines (see `interp.rs`): for *any*
+//! program — including ones that fault, run out of fuel (even mid-fused-run),
+//! overflow the call stack, or hit unknown host functions — all three
+//! engines produce bit-identical results, faults, [`InterpStats`], remaining
+//! fuel, and memory state. The property test below generates multi-function
+//! programs with loops, direct and indirect calls, CFI checks, and extern
+//! calls, then runs them under every engine at randomized fuel and depth
+//! limits.
 
 use proptest::prelude::*;
 use vg_ir::inst::{
@@ -251,13 +253,54 @@ proptest! {
         // Arg 0 is a *valid* code address, so indirect calls and CFI checks
         // through register 0 sometimes succeed instead of always faulting.
         let args = [entry.0 as i64, a0 as i64];
-        let lowered = run_engine(&reg, Engine::Lowered, entry, &args, fuel, max_depth);
         let reference = run_engine(&reg, Engine::Reference, entry, &args, fuel, max_depth);
+        let lowered = run_engine(&reg, Engine::Lowered, entry, &args, fuel, max_depth);
         prop_assert_eq!(&lowered, &reference);
-        // Run the lowered engine again with every inline cache warm: still
-        // identical.
+        let fused = run_engine(&reg, Engine::Fused, entry, &args, fuel, max_depth);
+        prop_assert_eq!(&fused, &reference);
+        // Run the fast engines again with every inline cache warm (the two
+        // tiers share one site table per function): still identical.
         let warm = run_engine(&reg, Engine::Lowered, entry, &args, fuel, max_depth);
         prop_assert_eq!(&warm, &reference);
+        let warm_fused = run_engine(&reg, Engine::Fused, entry, &args, fuel, max_depth);
+        prop_assert_eq!(&warm_fused, &reference);
+    }
+
+    /// Satellite (shift-count semantics): shift counts at and beyond 64, and
+    /// negative counts, are taken mod 64 identically by all three engines.
+    #[test]
+    fn shift_semantics_agree(
+        a in any::<i64>(),
+        count in prop_oneof![
+            any::<i64>(),
+            // Weight the interesting boundary region: 0..=130 and negatives.
+            0i64..131,
+            -130i64..0,
+            Just(63i64), Just(64i64), Just(65i64), Just(-1i64), Just(i64::MIN),
+        ],
+        shr in any::<bool>(),
+    ) {
+        let op = if shr { BinOp::Shr } else { BinOp::Shl };
+        let mut m = Module::new("shift");
+        let mut b = FunctionBuilder::new("f0", 2);
+        let v = b.bin(op, b.param(0).into(), b.param(1).into());
+        m.push_function(b.ret(Some(v.into())));
+        let mut reg = CodeRegistry::new();
+        let h = reg.register_module(m, CodeSpace::Kernel);
+        let entry = reg.addr_of(h, "f0").expect("registered");
+        let args = [a, count];
+        let reference = run_engine(&reg, Engine::Reference, entry, &args, 100, 4);
+        let lowered = run_engine(&reg, Engine::Lowered, entry, &args, 100, 4);
+        let fused = run_engine(&reg, Engine::Fused, entry, &args, 100, 4);
+        prop_assert_eq!(&lowered, &reference);
+        prop_assert_eq!(&fused, &reference);
+        // And against the documented mod-64 model directly.
+        let expect = if shr {
+            ((a as u64) >> ((count as u32) & 63)) as i64
+        } else {
+            a.wrapping_shl((count as u32) & 63)
+        };
+        prop_assert_eq!(reference.result, Ok(expect));
     }
 }
 
@@ -278,37 +321,174 @@ fn limits_module() -> Module {
     m
 }
 
-/// Satellite: both engines hit `OutOfFuel` at exactly the same point for
-/// every fuel budget (identical stats and zero fuel left).
+/// Satellite: all three engines hit `OutOfFuel` at exactly the same point
+/// for every fuel budget (identical stats and zero fuel left).
 #[test]
 fn equal_out_of_fuel_points() {
     let mut reg = CodeRegistry::new();
     let h = reg.register_module(limits_module(), CodeSpace::Kernel);
     let entry = reg.addr_of(h, "spin").unwrap();
     for fuel in 0..64 {
-        let l = run_engine(&reg, Engine::Lowered, entry, &[], fuel, 128);
         let r = run_engine(&reg, Engine::Reference, entry, &[], fuel, 128);
+        let l = run_engine(&reg, Engine::Lowered, entry, &[], fuel, 128);
+        let f = run_engine(&reg, Engine::Fused, entry, &[], fuel, 128);
         assert_eq!(l, r, "fuel budget {fuel}");
-        assert_eq!(l.result, Err(InterpFault::OutOfFuel));
-        assert_eq!(l.fuel_left, 0);
+        assert_eq!(f, r, "fuel budget {fuel} (fused)");
+        assert_eq!(r.result, Err(InterpFault::OutOfFuel));
+        assert_eq!(r.fuel_left, 0);
     }
 }
 
-/// Satellite: both engines hit `StackOverflow` at exactly the same frame
-/// count for every depth limit.
+/// Satellite: fuel exhaustion *inside* a fused ALU run faults at the
+/// identical instruction index, with identical counters, in all three
+/// engines — the fused engine's amortized fuel check may not move the
+/// exhaustion point.
+#[test]
+fn out_of_fuel_mid_fused_sequence() {
+    // A straight line of 24 ALU ops (mask ops included, so the `masks`
+    // counter is also cut mid-run) that the fuser collapses into one run.
+    let mut m = Module::new("run");
+    let mut b = FunctionBuilder::new("f", 1);
+    let mut v = b.param(0);
+    for k in 0..8i64 {
+        v = b.bin(BinOp::Add, v.into(), k.into());
+        let g = b.mask_ghost(v.into());
+        v = b.bin(BinOp::Xor, v.into(), g.into());
+    }
+    m.push_function(b.ret(Some(v.into())));
+    let mut reg = CodeRegistry::new();
+    let h = reg.register_module(m, CodeSpace::Kernel);
+    let entry = reg.addr_of(h, "f").unwrap();
+    for fuel in 0..32 {
+        let r = run_engine(&reg, Engine::Reference, entry, &[7], fuel, 8);
+        let l = run_engine(&reg, Engine::Lowered, entry, &[7], fuel, 8);
+        let f = run_engine(&reg, Engine::Fused, entry, &[7], fuel, 8);
+        assert_eq!(l, r, "fuel budget {fuel}");
+        assert_eq!(f, r, "fuel budget {fuel} (fused)");
+        if fuel < 24 {
+            assert_eq!(r.result, Err(InterpFault::OutOfFuel), "fuel {fuel}");
+            assert_eq!(r.stats.insts, fuel, "exhaustion index, fuel {fuel}");
+        } else {
+            assert!(r.result.is_ok(), "fuel {fuel}");
+        }
+    }
+}
+
+/// Satellite: all three engines hit `StackOverflow` at exactly the same
+/// frame count for every depth limit.
 #[test]
 fn equal_stack_overflow_points() {
     let mut reg = CodeRegistry::new();
     let h = reg.register_module(limits_module(), CodeSpace::Kernel);
     let entry = reg.addr_of(h, "rec").unwrap();
     for depth in 0..32 {
-        let l = run_engine(&reg, Engine::Lowered, entry, &[], 1_000_000, depth);
         let r = run_engine(&reg, Engine::Reference, entry, &[], 1_000_000, depth);
+        let l = run_engine(&reg, Engine::Lowered, entry, &[], 1_000_000, depth);
+        let f = run_engine(&reg, Engine::Fused, entry, &[], 1_000_000, depth);
         assert_eq!(l, r, "depth limit {depth}");
-        assert_eq!(l.result, Err(InterpFault::StackOverflow));
+        assert_eq!(f, r, "depth limit {depth} (fused)");
+        assert_eq!(r.result, Err(InterpFault::StackOverflow));
         // Exactly one call instruction per frame reached the check.
-        assert_eq!(l.stats.insts, depth as u64 + 1);
+        assert_eq!(r.stats.insts, depth as u64 + 1);
     }
+}
+
+/// Satellite (fuel write-back on fault paths): for *every* fault kind, the
+/// full outcome — result, stats, remaining fuel, memory — is identical
+/// across the three engines. The fast engines cache fuel in a local and
+/// write it back on exit; a missed write-back on any early-return path
+/// would show up here as a `fuel_left` divergence.
+#[test]
+fn fuel_writeback_agrees_on_every_fault_kind() {
+    let faulting = |name: &'static str, build: &dyn Fn(&mut FunctionBuilder)| {
+        let mut m = Module::new("faults");
+        let mut b = FunctionBuilder::new(name, 1);
+        // A couple of charged instructions before the fault so `fuel_left`
+        // is nonzero and divergence is observable.
+        let x = b.bin(BinOp::Add, b.param(0).into(), 1.into());
+        b.bin(BinOp::Mul, x.into(), 3.into());
+        build(&mut b);
+        m.push_function(b.ret(None));
+        m
+    };
+    let cases: Vec<(&'static str, Module, InterpFault)> = vec![
+        (
+            "load_fault",
+            faulting("f", &|b| {
+                b.load((MEM_SIZE as i64 + 8).into(), Width::W8);
+            }),
+            InterpFault::Mem(vg_ir::interp::MemFault {
+                addr: MEM_SIZE as u64 + 8,
+                write: false,
+            }),
+        ),
+        (
+            "store_fault",
+            faulting("f", &|b| {
+                b.store(1.into(), (MEM_SIZE as i64 + 8).into(), Width::W8);
+            }),
+            InterpFault::Mem(vg_ir::interp::MemFault {
+                addr: MEM_SIZE as u64 + 8,
+                write: true,
+            }),
+        ),
+        (
+            "memcpy_fault",
+            faulting("f", &|b| {
+                b.memcpy((MEM_SIZE as i64 - 4).into(), 0.into(), 64.into());
+            }),
+            InterpFault::Mem(vg_ir::interp::MemFault {
+                addr: MEM_SIZE as u64,
+                write: true,
+            }),
+        ),
+        (
+            "cfi_violation",
+            faulting("f", &|b| {
+                let t = b.mov(0x1000.into());
+                b.cfi_check(t.into(), LABEL);
+            }),
+            InterpFault::CfiViolation { target: 0x1000 },
+        ),
+        (
+            "bad_indirect",
+            faulting("f", &|b| {
+                b.call_indirect(0x1000.into(), &[]);
+            }),
+            InterpFault::BadIndirect { target: 0x1000 },
+        ),
+        (
+            "unknown_extern",
+            faulting("f", &|b| {
+                b.ext("no.such.fn", &[]);
+            }),
+            InterpFault::UnknownExtern {
+                name: "no.such.fn".into(),
+            },
+        ),
+        (
+            "host_failed",
+            faulting("f", &|b| {
+                b.ext("test.fail", &[]);
+            }),
+            InterpFault::HostFailed {
+                reason: "deliberate".into(),
+            },
+        ),
+    ];
+    for (label, m, want) in cases {
+        let mut reg = CodeRegistry::new();
+        let h = reg.register_module(m, CodeSpace::Kernel);
+        let entry = reg.addr_of(h, "f").unwrap();
+        let r = run_engine(&reg, Engine::Reference, entry, &[5], 1000, 8);
+        let l = run_engine(&reg, Engine::Lowered, entry, &[5], 1000, 8);
+        let f = run_engine(&reg, Engine::Fused, entry, &[5], 1000, 8);
+        assert_eq!(r.result, Err(want), "{label}: expected fault");
+        assert_eq!(l, r, "{label}: lowered diverged");
+        assert_eq!(f, r, "{label}: fused diverged");
+        assert!(r.fuel_left > 0, "{label}: fault should leave fuel");
+    }
+    // OutOfFuel and StackOverflow are covered exhaustively above.
 }
 
 /// Satellite: extern names never seen by the host's id table still work via
@@ -433,13 +613,16 @@ fn warm_inline_caches_are_invalidated_by_registration() {
     assert!(target.0 >= KERNEL_TEXT_BASE);
     let entry = reg.addr_of(ch, "main").unwrap();
 
-    // Warm both site caches (CFI check + indirect call) on the `ok` target.
+    // Warm both site caches (CFI check + indirect call) on the `ok` target —
+    // under *both* fast tiers, which share one site table per function.
     let warm = run_engine(&reg, Engine::Lowered, entry, &[target.0 as i64], 1000, 8);
     assert_eq!(warm.result, Ok(1));
+    let warm_fused = run_engine(&reg, Engine::Fused, entry, &[target.0 as i64], 1000, 8);
+    assert_eq!(warm_fused.result, Ok(1));
 
     // Rootkit move: rebind the *same address* to the differently-labeled
     // `bad` function. The generation bump must flush the warm caches, so the
-    // CFI check re-resolves and rejects the swapped-in code.
+    // CFI check re-resolves and rejects the swapped-in code — in both tiers.
     reg.register_at(target, th, 1);
     let after = run_engine(&reg, Engine::Lowered, entry, &[target.0 as i64], 1000, 8);
     assert_eq!(
@@ -447,7 +630,14 @@ fn warm_inline_caches_are_invalidated_by_registration() {
         Err(InterpFault::CfiViolation { target: target.0 }),
         "stale cache satisfied a CFI check over injected code"
     );
+    let after_fused = run_engine(&reg, Engine::Fused, entry, &[target.0 as i64], 1000, 8);
+    assert_eq!(
+        after_fused.result,
+        Err(InterpFault::CfiViolation { target: target.0 }),
+        "stale cache satisfied a CFI check over injected code (fused)"
+    );
     // And the reference engine agrees about the post-injection world.
     let reference = run_engine(&reg, Engine::Reference, entry, &[target.0 as i64], 1000, 8);
     assert_eq!(after, reference);
+    assert_eq!(after_fused, reference);
 }

@@ -373,14 +373,14 @@ impl System {
         self.mode_name
     }
 
-    /// The IR engine module/user code runs under: the lowered engine by
-    /// default, the reference tree-walker when
-    /// [`Machine::tree_walk_interp`](vg_machine::Machine) is set.
+    /// The IR engine module/user code runs under: the fused superinstruction
+    /// engine by default, or whichever tier
+    /// [`Machine::ir_engine`](vg_machine::Machine) selects.
     pub fn interp_engine(&self) -> vg_ir::Engine {
-        if self.machine.tree_walk_interp {
-            vg_ir::Engine::Reference
-        } else {
-            vg_ir::Engine::Lowered
+        match self.machine.ir_engine {
+            vg_machine::IrEngine::Fused => vg_ir::Engine::Fused,
+            vg_machine::IrEngine::Lowered => vg_ir::Engine::Lowered,
+            vg_machine::IrEngine::Reference => vg_ir::Engine::Reference,
         }
     }
 

@@ -98,12 +98,26 @@ pub struct Machine {
     /// apart from TLB statistics); the flag exists so equivalence tests can
     /// run both. See DESIGN.md §6.
     pub byte_granular_bus: bool,
-    /// When set, IR executors built on this machine run the reference
-    /// tree-walking engine instead of the default lowered engine. The two
-    /// are observationally identical (same results, faults, statistics and
-    /// fuel consumption — property-tested in `vg-ir`); the flag exists so
-    /// equivalence and bisection runs can pick the executable specification.
-    pub tree_walk_interp: bool,
+    /// Which IR execution tier executors built on this machine run. All
+    /// tiers are observationally identical (same results, faults,
+    /// statistics and fuel consumption — property-tested in `vg-ir`); the
+    /// selector exists so equivalence and bisection runs can pick the
+    /// executable specification or the intermediate tier.
+    pub ir_engine: IrEngine,
+}
+
+/// IR execution tier selector. This crate cannot name `vg_ir::Engine`
+/// (`vg-ir` depends on `vg-machine`), so the kernel maps this mirror enum
+/// onto it when building executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IrEngine {
+    /// The superinstruction tier (default, fastest).
+    #[default]
+    Fused,
+    /// The pre-decoded linear tier.
+    Lowered,
+    /// The tree-walking executable specification.
+    Reference,
 }
 
 /// Configuration for machine construction.
@@ -117,8 +131,8 @@ pub struct MachineConfig {
     pub costs: CostModel,
     /// Force byte-granular memory buses (reference mode; default off).
     pub byte_granular_bus: bool,
-    /// Force the tree-walking IR engine (reference mode; default off).
-    pub tree_walk_interp: bool,
+    /// IR execution tier (default: the fused superinstruction engine).
+    pub ir_engine: IrEngine,
 }
 
 impl Default for MachineConfig {
@@ -128,7 +142,7 @@ impl Default for MachineConfig {
             disk_blocks: 64 * 1024, // 256 MiB
             costs: CostModel::native(),
             byte_granular_bus: false,
-            tree_walk_interp: false,
+            ir_engine: IrEngine::default(),
         }
     }
 }
@@ -151,7 +165,7 @@ impl Machine {
             trace: Tracer::new(),
             metrics: MetricsRegistry::new(),
             byte_granular_bus: config.byte_granular_bus,
-            tree_walk_interp: config.tree_walk_interp,
+            ir_engine: config.ir_engine,
         }
     }
 
