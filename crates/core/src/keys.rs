@@ -36,6 +36,9 @@ pub enum KeyError {
     NoKey,
     /// Key section failed to decrypt.
     SectionCorrupt,
+    /// The TPM/key service failed the operation (transient hardware fault;
+    /// the injection layer's `TpmFail` class surfaces here).
+    TpmFailure,
 }
 
 impl std::fmt::Display for KeyError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for KeyError {
             KeyError::CodeMismatch => "application code does not match signed digest",
             KeyError::NoKey => "no application key for process",
             KeyError::SectionCorrupt => "application key section corrupt",
+            KeyError::TpmFailure => "TPM operation failed",
         };
         f.write_str(s)
     }
@@ -161,6 +165,9 @@ impl SvaVm {
         presented_code_digest: [u8; 32],
     ) -> Result<(), SvaError> {
         machine.charge(machine.costs.sha_per_block * 8 + machine.costs.aes_per_block * 4);
+        if machine.fault_check(vg_machine::FaultClass::TpmFail) {
+            return Err(SvaError::Key(KeyError::TpmFailure));
+        }
         let payload =
             AppBinary::signed_payload(&binary.name, &binary.code_digest, &binary.key_section);
         if !self

@@ -136,6 +136,8 @@ pub enum SvaError {
     NotGhostMapped,
     /// Swap blob failed integrity verification.
     SwapIntegrity,
+    /// The swap device failed (transient error persisted through retries).
+    SwapDevice,
     /// The OS tried to configure DMA over a protected frame.
     DmaProtected,
     /// Direct I/O port access denied (port owned by the SVA VM).
@@ -158,6 +160,7 @@ impl std::fmt::Display for SvaError {
             SvaError::OutOfFrames => write!(f, "out of physical frames"),
             SvaError::NotGhostMapped => write!(f, "no ghost allocation at this address"),
             SvaError::SwapIntegrity => write!(f, "swapped page failed integrity check"),
+            SvaError::SwapDevice => write!(f, "swap device I/O failed"),
             SvaError::DmaProtected => write!(f, "DMA configuration over protected frame denied"),
             SvaError::PortProtected => write!(f, "I/O port protected by the SVA VM"),
             SvaError::DeniedByVirtualGhost => write!(f, "operation denied by Virtual Ghost"),

@@ -293,7 +293,7 @@ impl SvaVm {
             table = if pte.present() {
                 pte.pfn()
             } else {
-                let frame = machine.phys.alloc_frame().ok_or(SvaError::OutOfFrames)?;
+                let frame = machine.alloc_frame_checked().ok_or(SvaError::OutOfFrames)?;
                 self.frames.set_kind(frame, table_kind);
                 write_pte(
                     &mut machine.phys,

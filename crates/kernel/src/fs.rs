@@ -62,6 +62,9 @@ pub enum FsError {
     TooBig,
     /// Directory not empty.
     NotEmpty,
+    /// The backing device failed the transfer (after the driver exhausted
+    /// its retries). Surfaces as `EIO` at the syscall boundary.
+    Io,
 }
 
 impl std::fmt::Display for FsError {
@@ -74,6 +77,7 @@ impl std::fmt::Display for FsError {
             FsError::BadName => "invalid file name",
             FsError::TooBig => "file too large",
             FsError::NotEmpty => "directory not empty",
+            FsError::Io => "I/O error",
         };
         f.write_str(s)
     }
@@ -150,9 +154,19 @@ struct CachedBlock {
 /// plain in-memory device and wired to the machine's DMA disk by the kernel.
 pub trait BlockDev {
     /// Reads block `bno` (4 KiB).
-    fn read_block(&mut self, bno: u32) -> Vec<u8>;
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] when the device fails the transfer. Drivers with
+    /// retry logic (the kernel's DMA disk) exhaust their retries *before*
+    /// returning this; the filesystem treats it as final.
+    fn read_block(&mut self, bno: u32) -> Result<Vec<u8>, FsError>;
     /// Writes block `bno`.
-    fn write_block(&mut self, bno: u32, data: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] when the device fails the transfer.
+    fn write_block(&mut self, bno: u32, data: &[u8]) -> Result<(), FsError>;
     /// Device capacity in blocks.
     fn capacity(&self) -> u32;
 }
@@ -173,14 +187,15 @@ impl MemDisk {
 }
 
 impl BlockDev for MemDisk {
-    fn read_block(&mut self, bno: u32) -> Vec<u8> {
-        self.blocks[bno as usize]
+    fn read_block(&mut self, bno: u32) -> Result<Vec<u8>, FsError> {
+        Ok(self.blocks[bno as usize]
             .clone()
-            .unwrap_or_else(|| vec![0; BLOCK_SIZE])
+            .unwrap_or_else(|| vec![0; BLOCK_SIZE]))
     }
 
-    fn write_block(&mut self, bno: u32, data: &[u8]) {
+    fn write_block(&mut self, bno: u32, data: &[u8]) -> Result<(), FsError> {
         self.blocks[bno as usize] = Some(data.to_vec());
+        Ok(())
     }
 
     fn capacity(&self) -> u32 {
@@ -222,19 +237,25 @@ impl VgFs {
             lru: HashMap::new(),
         };
         let mut w = FsWork::default();
-        // Mark metadata blocks used in the bitmap.
-        let meta = 1 + inode_blocks + bitmap_blocks;
-        for b in 0..meta {
-            fs.bitmap_set(dev, b, true, &mut w);
-        }
-        // Root directory.
-        let root = DiskInode {
-            kind: 2,
-            nlink: 1,
-            ..Default::default()
+        // mkfs runs at boot, before any fault plan can be armed, so the
+        // device cannot fail here; a failure would mean a broken harness.
+        let mut fmt = || -> Result<(), FsError> {
+            // Mark metadata blocks used in the bitmap.
+            let meta = 1 + inode_blocks + bitmap_blocks;
+            for b in 0..meta {
+                fs.bitmap_set(dev, b, true, &mut w)?;
+            }
+            // Root directory.
+            let root = DiskInode {
+                kind: 2,
+                nlink: 1,
+                ..Default::default()
+            };
+            fs.write_inode(dev, ROOT_INO, &root, &mut w)?;
+            fs.sync(dev)?;
+            Ok(())
         };
-        fs.write_inode(dev, ROOT_INO, &root, &mut w);
-        fs.sync(dev);
+        fmt().expect("mkfs: boot-time device cannot fail");
         fs
     }
 
@@ -265,45 +286,71 @@ impl VgFs {
         bno: u32,
         w: &mut FsWork,
         f: impl FnOnce(&mut CachedBlock) -> R,
-    ) -> R {
+    ) -> Result<R, FsError> {
         self.clock += 1;
         let tick = self.clock;
         if !self.cache.contains_key(&bno) {
             if self.cache.len() >= self.cache_cap {
-                self.evict_one(dev, w);
+                self.evict_one(dev, w)?;
             }
             w.disk_reads += 1;
-            let data = dev.read_block(bno);
+            let data = dev.read_block(bno)?;
             self.cache.insert(bno, CachedBlock { data, dirty: false });
         }
         self.lru.insert(bno, tick);
         w.acc(8);
-        f(self.cache.get_mut(&bno).expect("just inserted"))
+        Ok(f(self.cache.get_mut(&bno).expect("just inserted")))
     }
 
-    fn evict_one(&mut self, dev: &mut dyn BlockDev, w: &mut FsWork) {
+    fn evict_one(&mut self, dev: &mut dyn BlockDev, w: &mut FsWork) -> Result<(), FsError> {
         if let Some((&victim, _)) = self.lru.iter().min_by_key(|(_, &t)| t) {
-            if let Some(b) = self.cache.remove(&victim) {
+            if let Some(b) = self.cache.get(&victim) {
                 if b.dirty {
                     w.disk_writes += 1;
-                    dev.write_block(victim, &b.data);
+                    // On failure the victim stays cached (and dirty): no
+                    // data is lost, the cache just runs over capacity until
+                    // the device recovers.
+                    dev.write_block(victim, &b.data)?;
                 }
             }
+            self.cache.remove(&victim);
             self.lru.remove(&victim);
         }
+        Ok(())
     }
 
-    /// Flushes all dirty blocks (fsync / unmount). Returns blocks written.
-    pub fn sync(&mut self, dev: &mut dyn BlockDev) -> u64 {
+    /// Flushes all dirty blocks (fsync / unmount), in ascending block
+    /// order so the device sees a deterministic write sequence. Returns
+    /// blocks written.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Io`] if any block failed to write; failed blocks remain
+    /// cached and dirty, so a later sync can retry them.
+    pub fn sync(&mut self, dev: &mut dyn BlockDev) -> Result<u64, FsError> {
         let mut written = 0;
-        for (&bno, blk) in self.cache.iter_mut() {
-            if blk.dirty {
-                dev.write_block(bno, &blk.data);
-                blk.dirty = false;
-                written += 1;
+        let mut failed = false;
+        let mut dirty: Vec<u32> = self
+            .cache
+            .iter()
+            .filter(|(_, b)| b.dirty)
+            .map(|(&bno, _)| bno)
+            .collect();
+        dirty.sort_unstable();
+        for bno in dirty {
+            let blk = self.cache.get_mut(&bno).expect("collected from cache");
+            match dev.write_block(bno, &blk.data) {
+                Ok(()) => {
+                    blk.dirty = false;
+                    written += 1;
+                }
+                Err(_) => failed = true,
             }
         }
-        written
+        if failed {
+            return Err(FsError::Io);
+        }
+        Ok(written)
     }
 
     /// Number of blocks currently cached.
@@ -313,7 +360,13 @@ impl VgFs {
 
     // ---- bitmap ----------------------------------------------------------
 
-    fn bitmap_set(&mut self, dev: &mut dyn BlockDev, bno: u32, used: bool, w: &mut FsWork) {
+    fn bitmap_set(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        bno: u32,
+        used: bool,
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
         let bb = 1 + self.inode_blocks + bno / (BLOCK_SIZE as u32 * 8);
         let idx = (bno % (BLOCK_SIZE as u32 * 8)) as usize;
         self.with_block(dev, bb, w, |blk| {
@@ -323,7 +376,7 @@ impl VgFs {
                 blk.data[idx / 8] &= !(1 << (idx % 8));
             }
             blk.dirty = true;
-        });
+        })
     }
 
     fn alloc_block(&mut self, dev: &mut dyn BlockDev, w: &mut FsWork) -> Result<u32, FsError> {
@@ -339,7 +392,7 @@ impl VgFs {
                     }
                 }
                 None
-            });
+            })?;
             if let Some((bno, byte_i, bit)) = found {
                 if bno < start || bno >= self.nblocks {
                     // Bits below data_start are pre-marked; a bit past the
@@ -352,20 +405,25 @@ impl VgFs {
                 self.with_block(dev, 1 + self.inode_blocks + bb, w, |blk| {
                     blk.data[byte_i] |= 1 << bit;
                     blk.dirty = true;
-                });
+                })?;
                 // Fresh blocks must read as zeros.
                 self.with_block(dev, bno, w, |blk| {
                     blk.data.fill(0);
                     blk.dirty = true;
-                });
+                })?;
                 return Ok(bno);
             }
         }
         Err(FsError::NoSpace)
     }
 
-    fn free_block(&mut self, dev: &mut dyn BlockDev, bno: u32, w: &mut FsWork) {
-        self.bitmap_set(dev, bno, false, w);
+    fn free_block(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        bno: u32,
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
+        self.bitmap_set(dev, bno, false, w)
     }
 
     // ---- inodes ----------------------------------------------------------
@@ -377,19 +435,30 @@ impl VgFs {
         )
     }
 
-    fn read_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, w: &mut FsWork) -> DiskInode {
+    fn read_inode(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        w: &mut FsWork,
+    ) -> Result<DiskInode, FsError> {
         let (bno, off) = self.inode_block(ino);
         self.with_block(dev, bno, w, |blk| {
             DiskInode::decode(&blk.data[off..off + INODE_SIZE])
         })
     }
 
-    fn write_inode(&mut self, dev: &mut dyn BlockDev, ino: Ino, inode: &DiskInode, w: &mut FsWork) {
+    fn write_inode(
+        &mut self,
+        dev: &mut dyn BlockDev,
+        ino: Ino,
+        inode: &DiskInode,
+        w: &mut FsWork,
+    ) -> Result<(), FsError> {
         let (bno, off) = self.inode_block(ino);
         self.with_block(dev, bno, w, |blk| {
             inode.encode(&mut blk.data[off..off + INODE_SIZE]);
             blk.dirty = true;
-        });
+        })
     }
 
     fn alloc_inode(
@@ -400,14 +469,14 @@ impl VgFs {
     ) -> Result<Ino, FsError> {
         for i in 1..self.ninodes {
             let ino = Ino(i);
-            let d = self.read_inode(dev, ino, w);
+            let d = self.read_inode(dev, ino, w)?;
             if d.kind == 0 {
                 let fresh = DiskInode {
                     kind: if kind == InodeKind::Dir { 2 } else { 1 },
                     nlink: 1,
                     ..Default::default()
                 };
-                self.write_inode(dev, ino, &fresh, w);
+                self.write_inode(dev, ino, &fresh, w)?;
                 return Ok(ino);
             }
         }
@@ -430,7 +499,7 @@ impl VgFs {
                     return Ok(None);
                 }
                 inode.direct[fbn] = self.alloc_block(dev, w)?;
-                self.write_inode(dev, ino, inode, w);
+                self.write_inode(dev, ino, inode, w)?;
             }
             return Ok(Some(inode.direct[fbn]));
         }
@@ -443,12 +512,12 @@ impl VgFs {
                 return Ok(None);
             }
             inode.indirect = self.alloc_block(dev, w)?;
-            self.write_inode(dev, ino, inode, w);
+            self.write_inode(dev, ino, inode, w)?;
         }
         let ib = inode.indirect;
         let existing = self.with_block(dev, ib, w, |blk| {
             u32::from_le_bytes(blk.data[4 * ifbn..4 * ifbn + 4].try_into().unwrap())
-        });
+        })?;
         if existing != 0 {
             return Ok(Some(existing));
         }
@@ -459,7 +528,7 @@ impl VgFs {
         self.with_block(dev, ib, w, |blk| {
             blk.data[4 * ifbn..4 * ifbn + 4].copy_from_slice(&nb.to_le_bytes());
             blk.dirty = true;
-        });
+        })?;
         Ok(Some(nb))
     }
 
@@ -474,7 +543,7 @@ impl VgFs {
         buf: &mut [u8],
         w: &mut FsWork,
     ) -> Result<usize, FsError> {
-        let mut inode = self.read_inode(dev, ino, w);
+        let mut inode = self.read_inode(dev, ino, w)?;
         if inode.kind == 0 {
             return Err(FsError::NotFound);
         }
@@ -492,7 +561,7 @@ impl VgFs {
                 Some(bno) => {
                     self.with_block(dev, bno, w, |blk| {
                         buf[done..done + take].copy_from_slice(&blk.data[boff..boff + take]);
-                    });
+                    })?;
                 }
                 None => buf[done..done + take].fill(0), // hole
             }
@@ -514,7 +583,7 @@ impl VgFs {
         if off + data.len() as u64 > MAX_FILE_BYTES {
             return Err(FsError::TooBig);
         }
-        let mut inode = self.read_inode(dev, ino, w);
+        let mut inode = self.read_inode(dev, ino, w)?;
         if inode.kind == 0 {
             return Err(FsError::NotFound);
         }
@@ -526,18 +595,18 @@ impl VgFs {
             let take = (BLOCK_SIZE - boff).min(data.len() - done);
             let bno = self
                 .bmap(dev, &mut inode, ino, fbn, true, w)?
-                .expect("alloc=true always yields a block");
+                .ok_or(FsError::NoSpace)?;
             self.with_block(dev, bno, w, |blk| {
                 blk.data[boff..boff + take].copy_from_slice(&data[done..done + take]);
                 blk.dirty = true;
-            });
+            })?;
             done += take;
             w.bytes_copied += take as u64;
         }
         let end = off + data.len() as u64;
         if end > inode.size {
             inode.size = end;
-            self.write_inode(dev, ino, &inode, w);
+            self.write_inode(dev, ino, &inode, w)?;
         }
         Ok(data.len())
     }
@@ -549,7 +618,7 @@ impl VgFs {
         ino: Ino,
         w: &mut FsWork,
     ) -> Result<(u64, InodeKind), FsError> {
-        let inode = self.read_inode(dev, ino, w);
+        let inode = self.read_inode(dev, ino, w)?;
         match inode.kind {
             1 => Ok((inode.size, InodeKind::File)),
             2 => Ok((inode.size, InodeKind::Dir)),
@@ -564,13 +633,13 @@ impl VgFs {
         ino: Ino,
         w: &mut FsWork,
     ) -> Result<(), FsError> {
-        let mut inode = self.read_inode(dev, ino, w);
+        let mut inode = self.read_inode(dev, ino, w)?;
         if inode.kind == 0 {
             return Err(FsError::NotFound);
         }
         for d in inode.direct {
             if d != 0 {
-                self.free_block(dev, d, w);
+                self.free_block(dev, d, w)?;
             }
         }
         if inode.indirect != 0 {
@@ -578,18 +647,18 @@ impl VgFs {
                 (0..NINDIRECT)
                     .map(|i| u32::from_le_bytes(blk.data[4 * i..4 * i + 4].try_into().unwrap()))
                     .collect::<Vec<_>>()
-            });
+            })?;
             for e in entries {
                 if e != 0 {
-                    self.free_block(dev, e, w);
+                    self.free_block(dev, e, w)?;
                 }
             }
-            self.free_block(dev, inode.indirect, w);
+            self.free_block(dev, inode.indirect, w)?;
         }
         inode.direct = [0; NDIRECT];
         inode.indirect = 0;
         inode.size = 0;
-        self.write_inode(dev, ino, &inode, w);
+        self.write_inode(dev, ino, &inode, w)?;
         Ok(())
     }
 
@@ -726,7 +795,7 @@ impl VgFs {
             return Err(FsError::NotEmpty);
         }
         self.truncate(dev, ino, w)?;
-        self.write_inode(dev, ino, &DiskInode::default(), w);
+        self.write_inode(dev, ino, &DiskInode::default(), w)?;
         entries.remove(idx);
         self.write_dir_entries(dev, parent, &entries, w)?;
         Ok(())
@@ -879,7 +948,7 @@ mod tests {
                 .create(&mut dev, "/persist", InodeKind::File, &mut w)
                 .unwrap();
             fs.write(&mut dev, ino, 0, b"still here", &mut w).unwrap();
-            fs.sync(&mut dev);
+            fs.sync(&mut dev).unwrap();
         }
         let mut fs2 = VgFs::mount(&mut dev, 256);
         let mut w = FsWork::default();

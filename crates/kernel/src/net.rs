@@ -107,6 +107,12 @@ impl System {
 
     pub(crate) fn sys_socket(&mut self, pid: Pid) -> i64 {
         costs::SOCK_SETUP.charge(&mut self.machine);
+        if self
+            .machine
+            .fault_check(vg_machine::FaultClass::KernelAlloc)
+        {
+            return crate::syscall::ENOMEM;
+        }
         let id = self.alloc_socket();
         self.alloc_fd(pid, Fd::Sock { id })
     }

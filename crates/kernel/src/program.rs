@@ -171,7 +171,9 @@ impl UserEnv<'_> {
     }
 
     /// Writes application data at `va` (ordinary user-mode stores; pages
-    /// fault in on demand).
+    /// fault in on demand). For a fault-killed process the store silently
+    /// vanishes — the process is already doomed and its remaining body
+    /// runs only so the kernel can collect it at the next exit boundary.
     ///
     /// # Panics
     ///
@@ -182,10 +184,12 @@ impl UserEnv<'_> {
         let mut done = 0;
         while done < data.len() {
             let cur = va + done as u64;
-            let pa = self
-                .sys
-                .user_resolve(self.pid, cur, AccessKind::Write)
-                .unwrap_or_else(|| panic!("segfault: write to {cur:#x} by pid {}", self.pid));
+            let Some(pa) = self.sys.user_resolve(self.pid, cur, AccessKind::Write) else {
+                if self.sys.is_fault_killed(self.pid) {
+                    return;
+                }
+                panic!("segfault: write to {cur:#x} by pid {}", self.pid);
+            };
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(data.len() - done);
             self.sys.machine.phys.write_bytes(
@@ -197,7 +201,8 @@ impl UserEnv<'_> {
         }
     }
 
-    /// Reads application data at `va`.
+    /// Reads application data at `va`. A fault-killed process reads zeros
+    /// for pages that can no longer be resolved (see [`Self::write_mem`]).
     ///
     /// # Panics
     ///
@@ -208,10 +213,12 @@ impl UserEnv<'_> {
         let mut done = 0;
         while done < len {
             let cur = va + done as u64;
-            let pa = self
-                .sys
-                .user_resolve(self.pid, cur, AccessKind::Read)
-                .unwrap_or_else(|| panic!("segfault: read of {cur:#x} by pid {}", self.pid));
+            let Some(pa) = self.sys.user_resolve(self.pid, cur, AccessKind::Read) else {
+                if self.sys.is_fault_killed(self.pid) {
+                    return out;
+                }
+                panic!("segfault: read of {cur:#x} by pid {}", self.pid);
+            };
             let in_page = (PAGE_SIZE - pa.frame_offset()) as usize;
             let take = in_page.min(len - done);
             self.sys.machine.phys.read_bytes(
@@ -238,7 +245,7 @@ impl UserEnv<'_> {
         // The OS donates frames (it must have unmapped them; fresh ones are).
         let mut frames = Vec::with_capacity(num_pages as usize);
         for _ in 0..num_pages {
-            match self.sys.machine.phys.alloc_frame() {
+            match self.sys.machine.alloc_frame_checked() {
                 Some(f) => frames.push(f),
                 None => {
                     for f in frames {
@@ -327,7 +334,9 @@ impl UserEnv<'_> {
     /// registers it with Virtual Ghost (`sva.permitFunction`) and then with
     /// the kernel (`sigaction`). Returns the handler address.
     pub fn signal(&mut self, sig: i32, body: impl Fn(&mut UserEnv, i32) + 'static) -> u64 {
-        let proc = self.sys.procs.get_mut(&self.pid).expect("proc");
+        let Some(proc) = self.sys.procs.get_mut(&self.pid) else {
+            return 0;
+        };
         let addr = proc.next_handler_addr;
         proc.next_handler_addr += 0x10;
         proc.handlers.insert(addr, Rc::new(body));
@@ -413,12 +422,17 @@ impl UserEnv<'_> {
         if ret < 0 {
             return -1;
         }
-        let mut program = self
+        let Some(mut program) = self
             .sys
             .procs
             .get_mut(&self.pid)
             .and_then(|p| p.program.take())
-            .expect("exec installed a program");
+        else {
+            // exec reported success but left no program body (can only
+            // happen if the process was torn down mid-syscall by a fault);
+            // degrade to a failed exec instead of panicking.
+            return -1;
+        };
         program(self)
     }
 

@@ -14,7 +14,11 @@ use std::collections::HashMap;
 use vg_core::swap::SwappedGhostPage;
 use vg_core::{ProcId, SvaError};
 use vg_machine::layout::{Region, PAGE_SIZE};
-use vg_machine::VAddr;
+use vg_machine::{FaultClass, VAddr};
+
+/// Bounded retries against a transiently failing swap device before the
+/// operation is reported as failed.
+const SWAP_ATTEMPTS: u32 = 4;
 
 /// The kernel's swap store: sealed ghost pages by (pid, vpn). Conceptually
 /// the swap partition; the kernel can read or corrupt these blobs at will —
@@ -61,6 +65,11 @@ impl System {
         let t0 = self.machine.clock.cycles();
         for vpn in vpns.into_iter().take(max_pages) {
             costs::FSYNC.charge(&mut self.machine); // swap-device write path
+            if !self.swap_device_io() {
+                // Device stayed dead through the retries: stop evicting.
+                // Pages not yet swapped simply remain resident.
+                break;
+            }
             match self
                 .vm
                 .sva_swap_out(&mut self.machine, ProcId(pid), root, VAddr(vpn * PAGE_SIZE))
@@ -91,16 +100,40 @@ impl System {
             return Ok(false);
         }
         let vpn = va / PAGE_SIZE;
-        let Some(blob) = self.swap.blobs.get(&(pid, vpn)).cloned() else {
+        if !self.swap.blobs.contains_key(&(pid, vpn)) {
             return Ok(false);
-        };
+        }
+        // Injected hostile-OS/bit-rot tampering hits the *stored* blob, so
+        // the VM's integrity check is what catches it downstream.
+        if self.machine.fault_check(FaultClass::SwapCorrupt) {
+            let e = self.machine.faults.entropy();
+            if let Some(blob) = self.swap.blobs.get_mut(&(pid, vpn)) {
+                let ct = blob.sealed.ciphertext_mut();
+                if !ct.is_empty() {
+                    let i = (e % ct.len() as u64) as usize;
+                    ct[i] ^= 1 << (e >> 32 & 7);
+                }
+            }
+        }
+        if self.machine.fault_check(FaultClass::SwapTruncate) {
+            if let Some(blob) = self.swap.blobs.get_mut(&(pid, vpn)) {
+                let ct = blob.sealed.ciphertext_mut();
+                let half = ct.len() / 2;
+                ct.truncate(half);
+            }
+        }
+        let blob = self.swap.blobs[&(pid, vpn)].clone();
         let t0 = self.machine.clock.cycles();
         costs::FSYNC.charge(&mut self.machine); // swap-device read path
+        if !self.swap_device_io() {
+            self.log
+                .push(format!("swap-in of pid {pid} vpn {vpn:#x}: device failed"));
+            return Err(SvaError::SwapDevice);
+        }
         let root = self.procs[&pid].root;
         let frame = self
             .machine
-            .phys
-            .alloc_frame()
+            .alloc_frame_checked()
             .ok_or(SvaError::OutOfFrames)?;
         match self.vm.sva_swap_in(
             &mut self.machine,
@@ -122,6 +155,27 @@ impl System {
                 Err(e)
             }
         }
+    }
+
+    /// One swap-device transfer with bounded retry against injected
+    /// transient errors. Returns `false` if the device stayed failed for
+    /// all [`SWAP_ATTEMPTS`]. Disarmed injection takes the first branch
+    /// immediately — zero cycles, zero counters.
+    fn swap_device_io(&mut self) -> bool {
+        for attempt in 0..SWAP_ATTEMPTS {
+            if !self.machine.fault_check(FaultClass::DiskTransient) {
+                if attempt > 0 {
+                    self.machine.fault_recovered(FaultClass::DiskTransient);
+                }
+                return true;
+            }
+            if attempt + 1 < SWAP_ATTEMPTS {
+                self.machine.fault_retried(FaultClass::DiskTransient);
+                let backoff = self.machine.costs.disk_per_block << attempt;
+                self.machine.charge(backoff);
+            }
+        }
+        false
     }
 }
 

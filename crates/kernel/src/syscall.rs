@@ -12,6 +12,14 @@ use crate::fs::{FsError, FsWork, InodeKind};
 use crate::mem::RegionKind;
 use crate::system::{DmaDisk, Fd, Pid, System};
 use vg_machine::mmu::AccessKind;
+use vg_machine::FaultClass;
+
+/// `ENOMEM` as a syscall return: the kernel could not find memory (frame
+/// pool dry, kernel allocation failed). Never a panic.
+pub const ENOMEM: i64 = -12;
+/// `EIO` as a syscall return: the device stayed broken through the
+/// driver's bounded retries.
+pub const EIO: i64 = -5;
 
 /// `exit`.
 pub const SYS_EXIT: u32 = 1;
@@ -162,11 +170,10 @@ impl System {
             SYS_SIGACTION => {
                 costs::SIG_INSTALL.charge(&mut self.machine);
                 let (sig, handler) = (args[0] as i32, args[1]);
-                self.procs
-                    .get_mut(&pid)
-                    .expect("proc")
-                    .sig_disposition
-                    .insert(sig, handler);
+                let Some(proc) = self.procs.get_mut(&pid) else {
+                    return -1;
+                };
+                proc.sig_disposition.insert(sig, handler);
                 0
             }
             SYS_FORK => {
@@ -201,7 +208,9 @@ impl System {
     }
 
     pub(crate) fn alloc_fd(&mut self, pid: Pid, fd: Fd) -> i64 {
-        let proc = self.procs.get_mut(&pid).expect("proc");
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return -1;
+        };
         for (i, slot) in proc.fds.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(fd);
@@ -256,13 +265,16 @@ impl System {
                 };
                 self.alloc_fd(pid, Fd::File { ino, off })
             }
+            Err(FsError::Io) => EIO,
             Err(_) => -1,
         }
     }
 
     fn sys_close(&mut self, pid: Pid, fd: u64) -> i64 {
         costs::CLOSE.charge(&mut self.machine);
-        let proc = self.procs.get_mut(&pid).expect("proc");
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return -1;
+        };
         match proc.fds.get_mut(fd as usize) {
             Some(slot @ Some(_)) => {
                 let closed = slot.take();
@@ -282,6 +294,9 @@ impl System {
 
     fn sys_dup(&mut self, pid: Pid, fd: u64) -> i64 {
         crate::mem::kwork(&mut self.machine, 60, 4);
+        if self.machine.fault_check(FaultClass::KernelAlloc) {
+            return ENOMEM;
+        }
         let Some(entry) = self.fd_of(pid, fd) else {
             return -1;
         };
@@ -308,6 +323,9 @@ impl System {
 
     fn sys_pipe(&mut self, pid: Pid) -> i64 {
         crate::mem::kwork(&mut self.machine, 300, 16);
+        if self.machine.fault_check(FaultClass::KernelAlloc) {
+            return ENOMEM;
+        }
         let id = self.next_pipe;
         self.next_pipe += 1;
         self.pipes.insert(
@@ -335,9 +353,9 @@ impl System {
             let mut dev = DmaDisk { machine, vm };
             match fs.readdir(&mut dev, &path, &mut w) {
                 Ok(e) => e,
-                Err(_) => {
+                Err(e) => {
                     self.charge_fswork(&w);
-                    return -1;
+                    return if e == FsError::Io { EIO } else { -1 };
                 }
             }
         };
@@ -381,12 +399,17 @@ impl System {
             Some(Fd::File { ino, off }) => {
                 let mut data = vec![0u8; len];
                 let mut w = FsWork::default();
-                let n = {
+                let r = {
                     let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
                     let mut dev = DmaDisk { machine, vm };
-                    fs.read(&mut dev, ino, off, &mut data, &mut w).unwrap_or(0)
+                    fs.read(&mut dev, ino, off, &mut data, &mut w)
                 };
                 self.charge_fswork(&w);
+                let n = match r {
+                    Ok(n) => n,
+                    Err(FsError::Io) => return EIO,
+                    Err(_) => 0,
+                };
                 data.truncate(n);
                 if !self.copyout(pid, buf, &data) {
                     return -1;
@@ -394,9 +417,7 @@ impl System {
                 if let Some(Some(Fd::File { off, .. })) = self
                     .procs
                     .get_mut(&pid)
-                    .expect("proc")
-                    .fds
-                    .get_mut(fd as usize)
+                    .and_then(|p| p.fds.get_mut(fd as usize))
                 {
                     *off += n as u64;
                 }
@@ -430,21 +451,22 @@ impl System {
         match self.fd_of(pid, fd) {
             Some(Fd::File { ino, off }) => {
                 let mut w = FsWork::default();
-                let n = {
+                let r = {
                     let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
                     let mut dev = DmaDisk { machine, vm };
                     fs.write(&mut dev, ino, off, &data, &mut w)
-                        .map(|n| n as i64)
-                        .unwrap_or(-1)
                 };
                 self.charge_fswork(&w);
+                let n = match r {
+                    Ok(n) => n as i64,
+                    Err(FsError::Io) => EIO,
+                    Err(_) => -1,
+                };
                 if n > 0 {
                     if let Some(Some(Fd::File { off, .. })) = self
                         .procs
                         .get_mut(&pid)
-                        .expect("proc")
-                        .fds
-                        .get_mut(fd as usize)
+                        .and_then(|p| p.fds.get_mut(fd as usize))
                     {
                         *off += n as u64;
                     }
@@ -479,10 +501,10 @@ impl System {
             fs.unlink(&mut dev, &path, &mut w)
         };
         self.charge_fswork(&w);
-        if r.is_ok() {
-            0
-        } else {
-            -1
+        match r {
+            Ok(_) => 0,
+            Err(FsError::Io) => EIO,
+            Err(_) => -1,
         }
     }
 
@@ -501,6 +523,7 @@ impl System {
         self.charge_fswork(&w);
         match r {
             Ok((size, _)) => size as i64,
+            Err(FsError::Io) => EIO,
             Err(_) => -1,
         }
     }
@@ -516,7 +539,9 @@ impl System {
             }
             _ => return -1,
         };
-        let proc = self.procs.get_mut(&pid).expect("proc");
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return -1;
+        };
         if let Some(Some(Fd::File { off, .. })) = proc.fds.get_mut(fd as usize) {
             let new = match whence {
                 0 => offset,               // SEEK_SET
@@ -545,10 +570,10 @@ impl System {
             fs.create(&mut dev, &path, InodeKind::Dir, &mut w)
         };
         self.charge_fswork(&w);
-        if r.is_ok() {
-            0
-        } else {
-            -1
+        match r {
+            Ok(_) => 0,
+            Err(FsError::Io) => EIO,
+            Err(_) => -1,
         }
     }
 
@@ -559,13 +584,19 @@ impl System {
             let mut dev = DmaDisk { machine, vm };
             fs.sync(&mut dev)
         };
-        written as i64
+        match written {
+            Ok(n) => n as i64,
+            Err(_) => EIO,
+        }
     }
 
     // ---- memory syscalls -----------------------------------------------------
 
     fn sys_mmap(&mut self, pid: Pid, len: usize, fd: i64, offset: u64) -> i64 {
         costs::MMAP.charge(&mut self.machine);
+        if self.machine.fault_check(FaultClass::FrameExhaust) {
+            return ENOMEM;
+        }
         let kind = if fd >= 0 {
             match self.fd_of(pid, fd as u64) {
                 Some(Fd::File { ino, .. }) => RegionKind::File { ino, offset },
@@ -574,7 +605,9 @@ impl System {
         } else {
             RegionKind::Anon
         };
-        let proc = self.procs.get_mut(&pid).expect("proc");
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return -1;
+        };
         proc.aspace.reserve_mmap(len as u64, kind) as i64
     }
 
@@ -583,9 +616,7 @@ impl System {
         let Some(region) = self
             .procs
             .get_mut(&pid)
-            .expect("proc")
-            .aspace
-            .remove_region(va)
+            .and_then(|p| p.aspace.remove_region(va))
         else {
             return -1;
         };
@@ -595,10 +626,7 @@ impl System {
             let frame = self
                 .procs
                 .get_mut(&pid)
-                .expect("proc")
-                .aspace
-                .pages
-                .remove(&page);
+                .and_then(|p| p.aspace.pages.remove(&page));
             if let Some(f) = frame {
                 let _ = self
                     .vm
@@ -612,13 +640,14 @@ impl System {
 
     fn sys_brk(&mut self, pid: Pid, new_brk: u64) -> i64 {
         costs::BRK.charge(&mut self.machine);
-        let root = self.procs[&pid].root;
-        let (brk, torn) = self
-            .procs
-            .get_mut(&pid)
-            .expect("proc")
-            .aspace
-            .set_brk(new_brk);
+        if self.machine.fault_check(FaultClass::FrameExhaust) {
+            return ENOMEM;
+        }
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return -1;
+        };
+        let root = proc.root;
+        let (brk, torn) = proc.aspace.set_brk(new_brk);
         // Tear down pages the shrink released, exactly like munmap.
         for (va, frame) in torn {
             let _ = self

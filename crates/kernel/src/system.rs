@@ -14,10 +14,11 @@
 //! the single-core machine of the paper with a deterministic scheduler.
 
 use crate::costs;
-use crate::fs::{BlockDev, FsWork, Ino, VgFs, BLOCK_SIZE};
+use crate::fs::{BlockDev, FsError, FsWork, Ino, VgFs, BLOCK_SIZE};
 use crate::mem::{copy_cost, kwork, AddressSpace, RegionKind, STACK_TOP};
 use crate::net::{NetStack, Socket};
 use crate::program::{AppMain, SigHandlerFn, UserEnv};
+use crate::syscall::ENOMEM;
 use std::collections::{HashMap, VecDeque};
 use vg_core::{AppBinary, ProcId, Protections, SvaError, SvaVm, ThreadId};
 use vg_crypto::{Sha256, Tpm};
@@ -27,7 +28,7 @@ use vg_machine::cpu::TrapKind;
 use vg_machine::layout::{GHOST_BASE, PAGE_SIZE};
 use vg_machine::mmu::{AccessKind, TranslateError};
 use vg_machine::pte::PteFlags;
-use vg_machine::{Machine, MachineConfig, Pfn, VAddr};
+use vg_machine::{DenialKind, FaultClass, Machine, MachineConfig, Pfn, VAddr};
 
 /// Process identifier.
 pub type Pid = u64;
@@ -179,6 +180,12 @@ pub struct Proc {
     pub next_handler_addr: u64,
     /// CPU cycles charged while this process was current.
     pub cpu_cycles: u64,
+    /// Set when the kernel killed this process after an unrecoverable
+    /// fault (the static detail string from the flight-recorder entry).
+    /// A killed process's memory accesses become no-ops and its exit
+    /// status is overridden with 137 — the kernel never panics on its
+    /// behalf.
+    pub fault_killed: Option<&'static str>,
     pub(crate) program: Option<AppMain>,
 }
 
@@ -202,43 +209,78 @@ pub struct DmaDisk<'a> {
     pub vm: &'a mut SvaVm,
 }
 
-impl BlockDev for DmaDisk<'_> {
-    fn read_block(&mut self, bno: u32) -> Vec<u8> {
+impl DmaDisk<'_> {
+    /// Retry budget for transient device errors. The first attempt charges
+    /// exactly what the pre-fault-layer driver charged; each retry adds a
+    /// bounded, exponentially growing backoff charge before re-issuing.
+    const DMA_ATTEMPTS: u32 = 4;
+
+    fn try_read(&mut self, bno: u32) -> Result<Vec<u8>, FsError> {
         self.machine.counters.disk_blocks += 1;
         self.machine.charge(self.machine.costs.disk_per_block);
-        let frame = self.machine.phys.alloc_frame().expect("staging frame");
-        self.vm
-            .sva_iommu_map(self.machine, frame)
-            .expect("staging frames are regular memory");
-        self.machine
-            .disk
-            .dma_read(
-                &self.machine.iommu,
-                &mut self.machine.phys,
-                bno as u64,
-                frame,
-            )
-            .expect("frame just mapped");
-        let data = self.machine.phys.read_frame(frame);
+        let frame = self.machine.alloc_frame_checked().ok_or(FsError::Io)?;
+        if self.vm.sva_iommu_map(self.machine, frame).is_err() {
+            self.machine.phys.free_frame(frame);
+            return Err(FsError::Io);
+        }
+        let res = self.machine.disk_dma_read(bno as u64, frame);
+        let data = res.ok().map(|()| self.machine.phys.read_frame(frame));
         self.vm.sva_iommu_unmap(self.machine, frame);
         self.machine.phys.free_frame(frame);
-        data
+        data.ok_or(FsError::Io)
     }
 
-    fn write_block(&mut self, bno: u32, data: &[u8]) {
+    fn try_write(&mut self, bno: u32, data: &[u8]) -> Result<(), FsError> {
         self.machine.counters.disk_blocks += 1;
         self.machine.charge(self.machine.costs.disk_per_block);
-        let frame = self.machine.phys.alloc_frame().expect("staging frame");
+        let frame = self.machine.alloc_frame_checked().ok_or(FsError::Io)?;
         self.machine.phys.write_frame(frame, data);
-        self.vm
-            .sva_iommu_map(self.machine, frame)
-            .expect("staging frames are regular memory");
-        self.machine
-            .disk
-            .dma_write(&self.machine.iommu, &self.machine.phys, bno as u64, frame)
-            .expect("frame just mapped");
+        if self.vm.sva_iommu_map(self.machine, frame).is_err() {
+            self.machine.phys.free_frame(frame);
+            return Err(FsError::Io);
+        }
+        let res = self.machine.disk_dma_write(bno as u64, frame);
         self.vm.sva_iommu_unmap(self.machine, frame);
         self.machine.phys.free_frame(frame);
+        res.map_err(|_| FsError::Io)
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        self.machine.fault_retried(FaultClass::DeviceIo);
+        self.machine
+            .charge(self.machine.costs.disk_per_block << attempt);
+    }
+}
+
+impl BlockDev for DmaDisk<'_> {
+    fn read_block(&mut self, bno: u32) -> Result<Vec<u8>, FsError> {
+        for attempt in 0..Self::DMA_ATTEMPTS {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            if let Ok(data) = self.try_read(bno) {
+                if attempt > 0 {
+                    self.machine.fault_recovered(FaultClass::DeviceIo);
+                }
+                return Ok(data);
+            }
+        }
+        Err(FsError::Io)
+    }
+
+    fn write_block(&mut self, bno: u32, data: &[u8]) -> Result<(), FsError> {
+        for attempt in 0..Self::DMA_ATTEMPTS {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            if self.try_write(bno, data).is_ok() {
+                if attempt > 0 {
+                    self.machine.fault_recovered(FaultClass::DeviceIo);
+                }
+                return Ok(());
+            }
+        }
+        Err(FsError::Io)
     }
 
     fn capacity(&self) -> u32 {
@@ -423,12 +465,19 @@ impl System {
 
     /// Creates a process ready to exec `name`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not installed.
+    /// When exec is refused (binary not installed, signature/digest
+    /// mismatch, or an injected TPM failure during key loading), the
+    /// process is created with a stub program that exits 127 — mirroring a
+    /// shell's "command not found" — instead of panicking the kernel.
     pub fn spawn(&mut self, name: &str) -> Pid {
         let pid = self.create_proc(name, None);
-        self.exec_load(pid, name).expect("exec of installed binary");
+        if let Err(e) = self.exec_load(pid, name) {
+            self.log
+                .push(format!("exec of {name} refused at spawn: {e}"));
+            if let Some(p) = self.procs.get_mut(&pid) {
+                p.program = Some(Box::new(|_env| 127));
+            }
+        }
         pid
     }
 
@@ -517,6 +566,7 @@ impl System {
                 parent,
                 next_handler_addr: USER_TEXT_BASE + 0x10_0000 + pid * 0x1000,
                 cpu_cycles: 0,
+                fault_killed: None,
                 program: None,
             },
         );
@@ -621,9 +671,59 @@ impl System {
             .get_mut(&pid)
             .and_then(|p| p.program.take())
             .expect("process has a program");
-        let code = program(&mut UserEnv { sys: self, pid });
+        let mut code = program(&mut UserEnv { sys: self, pid });
+        // A process the kernel fault-killed mid-run finished only because
+        // its syscalls and memory accesses were degraded to errors; its
+        // exit status reports the kill (SIGKILL-style 137), not whatever
+        // the stunted program body returned.
+        if self
+            .procs
+            .get(&pid)
+            .is_some_and(|p| p.fault_killed.is_some())
+        {
+            code = 137;
+        }
         self.exit_proc(pid, code);
         code
+    }
+
+    /// Kills `pid` after an unrecoverable fault: records the kill in the
+    /// always-on flight recorder, bumps the per-class `faults.proc_killed`
+    /// metric, and flags the process. Idempotent — only the first kill per
+    /// process records anything.
+    pub(crate) fn fault_kill(
+        &mut self,
+        pid: Pid,
+        class: FaultClass,
+        addr: u64,
+        detail: &'static str,
+    ) {
+        let fresh = self
+            .procs
+            .get(&pid)
+            .is_some_and(|p| p.fault_killed.is_none());
+        if !fresh {
+            return;
+        }
+        self.machine
+            .record_denial(DenialKind::FaultKill, addr, detail);
+        self.machine.metrics.inc(class.proc_killed_counter());
+        self.log.push(format!(
+            "fault: killed pid {pid} ({}): {detail}",
+            class.key()
+        ));
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.fault_killed = Some(detail);
+        }
+    }
+
+    /// Whether `pid` has been fault-killed (used by `UserEnv` to degrade
+    /// the killed process's memory accesses to no-ops instead of treating
+    /// them as segfaults).
+    pub(crate) fn is_fault_killed(&self, pid: Pid) -> bool {
+        self.procs
+            .get(&pid)
+            .is_some_and(|p| p.fault_killed.is_some())
     }
 
     pub(crate) fn exit_proc(&mut self, pid: Pid, code: i32) {
@@ -675,6 +775,9 @@ impl System {
     /// `UserEnv::syscall` invokes.
     pub(crate) fn do_syscall(&mut self, pid: Pid, num: u32, args: [u64; 6]) -> i64 {
         self.switch_to(pid);
+        if self.machine.faults.armed() {
+            self.fault_pulse(pid);
+        }
         let thread = ThreadId(pid);
         // Marshal arguments into registers like a real syscall stub.
         let cpu = &mut self.machine.cpu;
@@ -719,6 +822,57 @@ impl System {
         self.machine.cpu.reg(vg_machine::cpu::Reg::Rax) as i64
     }
 
+    // ---- asynchronous fault arrival ----------------------------------------
+
+    /// Armed-only hook run at syscall entry: spurious interrupts, interrupt
+    /// storms, and stray bit flips "arrive" at trap boundaries, the only
+    /// points where this run-to-completion kernel can observe asynchrony.
+    /// Never reached while injection is disarmed.
+    fn fault_pulse(&mut self, pid: Pid) {
+        let thread = ThreadId(pid);
+        if self.machine.fault_check(FaultClass::SpuriousIrq) {
+            self.spurious_irq(thread);
+        }
+        if self.machine.fault_check(FaultClass::IrqStorm) {
+            for _ in 0..32 {
+                self.spurious_irq(thread);
+            }
+        }
+        if self.machine.fault_check(FaultClass::BitFlip) {
+            self.inject_bit_flip();
+        }
+    }
+
+    /// One spurious device interrupt: a full trap entry/exit pair with no
+    /// work in between. The kernel tolerates it by construction; the cost
+    /// and trap-counter perturbation is the point.
+    fn spurious_irq(&mut self, thread: ThreadId) {
+        self.vm
+            .trap_enter(&mut self.machine, thread, TrapKind::Device(0x7f));
+        let _ = self.vm.trap_return(&mut self.machine, thread);
+    }
+
+    /// Flips one PRNG-chosen bit in an allocated, OS-owned (`Regular`)
+    /// physical frame. Ghost, SVA-internal, page-table and code frames are
+    /// never touched — the paper's protections are exactly about keeping
+    /// those out of reach, and the fault model injects *hardware* flips in
+    /// the unprotected pool.
+    fn inject_bit_flip(&mut self) {
+        let total = self.machine.phys.total_frames() as u64;
+        let pfn = Pfn(self.machine.faults.entropy() % total);
+        let off = self.machine.faults.entropy() % PAGE_SIZE;
+        let bit = (self.machine.faults.entropy() % 8) as u8;
+        if self.machine.phys.is_allocated(pfn)
+            && self.vm.frames.kind(pfn) == vg_core::FrameKind::Regular
+        {
+            let mut b = [0u8];
+            self.machine.phys.read_bytes(pfn, off, &mut b);
+            self.machine
+                .phys
+                .write_bytes(pfn, off, &[b[0] ^ (1 << bit)]);
+        }
+    }
+
     // ---- demand paging -------------------------------------------------------
 
     /// Resolves a user virtual address for `access`, faulting pages in on
@@ -747,7 +901,26 @@ impl System {
                     {
                         match self.kernel_swap_in_ghost(pid, va) {
                             Ok(true) => continue,
-                            _ => return None,
+                            Ok(false) => return None,
+                            Err(e) => {
+                                // A swapped ghost page that cannot come
+                                // back (corrupt blob, dead device, no
+                                // frames) is unrecoverable for this
+                                // process: kill it rather than panic or
+                                // expose anything.
+                                let class = match e {
+                                    SvaError::SwapIntegrity => FaultClass::SwapCorrupt,
+                                    SvaError::OutOfFrames => FaultClass::FrameExhaust,
+                                    _ => FaultClass::DiskTransient,
+                                };
+                                self.fault_kill(
+                                    pid,
+                                    class,
+                                    va,
+                                    "unrecoverable ghost swap-in failure",
+                                );
+                                return None;
+                            }
                         }
                     }
                     if !self.handle_page_fault(pid, va, access) {
@@ -782,7 +955,15 @@ impl System {
         let Some(region) = self.procs[&pid].aspace.region_at(va).cloned() else {
             return false;
         };
-        let Some(frame) = self.machine.phys.alloc_frame() else {
+        let Some(frame) = self.machine.alloc_frame_checked() else {
+            // Out of frames (genuine or injected): an OOM kill, not a
+            // kernel panic — the process dies with a flight-recorder entry.
+            self.fault_kill(
+                pid,
+                FaultClass::FrameExhaust,
+                va,
+                "out of physical frames servicing page fault",
+            );
             return false;
         };
         self.machine.charge(self.machine.costs.frame_zero);
@@ -793,12 +974,24 @@ impl System {
             let file_off = offset + (page_va - region.start);
             let mut buf = vec![0u8; BLOCK_SIZE];
             let mut w = FsWork::default();
-            {
+            let read = {
                 let (fs, machine, vm) = (&mut self.fs, &mut self.machine, &mut self.vm);
                 let mut dev = DmaDisk { machine, vm };
-                let _ = fs.read(&mut dev, ino, file_off, &mut buf, &mut w);
-            }
+                fs.read(&mut dev, ino, file_off, &mut buf, &mut w)
+            };
             self.charge_fswork(&w);
+            if read.is_err() {
+                // The backing device stayed dead through the driver's
+                // retries; the page cannot be populated correctly.
+                self.machine.phys.free_frame(frame);
+                self.fault_kill(
+                    pid,
+                    FaultClass::DeviceIo,
+                    va,
+                    "device error reading file-backed page",
+                );
+                return false;
+            }
             self.machine.phys.write_frame(frame, &buf);
         }
         let root = self.procs[&pid].root;
@@ -817,6 +1010,19 @@ impl System {
                     .pages
                     .insert(page_va, frame);
                 true
+            }
+            Err(SvaError::OutOfFrames) => {
+                // The page-table walk itself needed a frame and the pool
+                // (genuinely or by injection) had none: same OOM-kill
+                // policy as the data-frame allocation above.
+                self.machine.phys.free_frame(frame);
+                self.fault_kill(
+                    pid,
+                    FaultClass::FrameExhaust,
+                    va,
+                    "out of physical frames for page tables",
+                );
+                false
             }
             Err(_) => {
                 self.machine.phys.free_frame(frame);
@@ -917,8 +1123,11 @@ impl System {
         for (va, ppfn) in &parent_pages {
             costs::FORK_PER_PAGE.charge(&mut self.machine);
             copy_cost(&mut self.machine, PAGE_SIZE);
-            let Some(frame) = self.machine.phys.alloc_frame() else {
-                break;
+            let Some(frame) = self.machine.alloc_frame_checked() else {
+                // Out of frames mid-copy: undo the half-built child and
+                // report ENOMEM to the parent instead of leaking a torso.
+                self.abort_forked_child(child_pid);
+                return ENOMEM;
             };
             let data = self.machine.phys.read_frame(*ppfn);
             self.machine.phys.write_frame(frame, &data);
@@ -988,14 +1197,32 @@ impl System {
         child_pid as i64
     }
 
+    /// Rolls back a partially-forked child (frame pool ran dry mid-copy):
+    /// frees every page copied so far, destroys the child's page tables,
+    /// and removes the process entry. No fds or interrupt context exist
+    /// yet at the point this can fire.
+    fn abort_forked_child(&mut self, child_pid: Pid) {
+        let Some(child) = self.procs.remove(&child_pid) else {
+            return;
+        };
+        let pages: Vec<Pfn> = child.aspace.pages.values().copied().collect();
+        self.vm.sva_destroy_root(&mut self.machine, child.root);
+        for f in pages {
+            self.machine.phys.free_frame(f);
+        }
+    }
+
     pub(crate) fn sys_wait(&mut self, parent: Pid) -> i64 {
         costs::WAIT.charge(&mut self.machine);
-        let children: Vec<Pid> = self
+        let mut children: Vec<Pid> = self
             .procs
             .values()
             .filter(|p| p.parent == Some(parent))
             .map(|p| p.pid)
             .collect();
+        // HashMap iteration order is arbitrary; replay determinism needs a
+        // fixed reap order.
+        children.sort_unstable();
         if children.is_empty() {
             return -1;
         }

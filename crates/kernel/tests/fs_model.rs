@@ -107,7 +107,7 @@ proptest! {
                     }
                 }
                 FsOp::Sync => {
-                    fs.sync(&mut dev);
+                    fs.sync(&mut dev).unwrap();
                 }
             }
         }
@@ -136,7 +136,7 @@ proptest! {
                 let ino = fs.create(&mut dev, &name(*id), InodeKind::File, &mut w).unwrap();
                 fs.write(&mut dev, ino, 0, data, &mut w).unwrap();
             }
-            fs.sync(&mut dev);
+            fs.sync(&mut dev).unwrap();
         }
         let mut fs = VgFs::mount(&mut dev, 64);
         let mut w = FsWork::default();

@@ -43,9 +43,11 @@ pub use layout::{mask_kernel_pointer, PAddr, Pfn, Region, VAddr, Vpn, PAGE_SIZE}
 pub use mmu::{AccessKind, Mmu, TlbPolicy, TlbStats, TranslateError};
 pub use phys::PhysMem;
 pub use pte::{PageTableLevel, Pte, PteFlags};
+pub use vg_faults::{FaultClass, FaultPlan, FaultSpec, FaultState, InjectedFault, Trigger};
 pub use vg_trace::{DenialKind, DeniedOp, MetricsRegistry, TraceEvent, Tracer};
 
 use devices::{Console, Disk, Nic};
+use iommu::DmaFault;
 
 /// The whole simulated machine: CPU, memory, MMU, devices, and clock.
 ///
@@ -92,6 +94,11 @@ pub struct Machine {
     pub trace: Tracer,
     /// Per-subsystem metrics registry (always on; deterministic).
     pub metrics: MetricsRegistry,
+    /// Deterministic fault-injection state (disarmed by default). While no
+    /// plan is armed every hook site is one branch: no PRNG draws, no
+    /// counters, no cycles — disarmed runs stay bit-identical to builds
+    /// without the layer (see `vg-faults`).
+    pub faults: FaultState,
     /// When set, the memory buses built on this machine take their byte-wise
     /// reference paths instead of the word-granular fast paths. The two are
     /// observationally identical (same values, faults, cycles and counters
@@ -118,6 +125,17 @@ pub enum IrEngine {
     Lowered,
     /// The tree-walking executable specification.
     Reference,
+}
+
+/// Error from the checked disk-DMA helpers: either the fault layer injected
+/// a device I/O error or the IOMMU refused the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskIoError {
+    /// The fault plan injected a device I/O error (transient from the
+    /// device's point of view — callers may retry).
+    Injected,
+    /// The IOMMU refused the DMA (a real protection fault, not transient).
+    Dma(DmaFault),
 }
 
 /// Configuration for machine construction.
@@ -164,6 +182,7 @@ impl Machine {
             counters: Counters::default(),
             trace: Tracer::new(),
             metrics: MetricsRegistry::new(),
+            faults: FaultState::disarmed(),
             byte_granular_bus: config.byte_granular_bus,
             ir_engine: config.ir_engine,
         }
@@ -228,6 +247,74 @@ impl Machine {
     #[inline]
     pub fn trace_complete(&mut self, cat: &'static str, name: &'static str, start: u64) {
         self.trace_emit(TraceEvent::Complete { cat, name, start });
+    }
+
+    // ---- fault injection --------------------------------------------------
+    //
+    // Hook helpers around `FaultState`. The machine owns the side effects
+    // (injection metrics); the plan itself stays dependency-free in
+    // `vg-faults`. All helpers are inert while no plan is armed.
+
+    /// Consults the armed fault plan: should a fault of `class` inject at
+    /// this hook, now? Bumps the per-class injection metric when it fires.
+    #[inline]
+    pub fn fault_check(&mut self, class: FaultClass) -> bool {
+        if !self.faults.armed() {
+            return false;
+        }
+        let now = self.clock.cycles();
+        if self.faults.check(class, now) {
+            self.metrics.inc(class.injected_counter());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records that a consumer retried an operation after a `class` fault.
+    #[inline]
+    pub fn fault_retried(&mut self, class: FaultClass) {
+        self.metrics.inc(class.retried_counter());
+    }
+
+    /// Records that a consumer recovered from a `class` fault (a retry or
+    /// fallback succeeded).
+    #[inline]
+    pub fn fault_recovered(&mut self, class: FaultClass) {
+        self.metrics.inc(class.recovered_counter());
+    }
+
+    /// Frame allocation with a frame-pool-exhaustion injection point:
+    /// callers that can tolerate `None` gracefully route through here so
+    /// campaigns can exercise their rollback paths.
+    #[inline]
+    pub fn alloc_frame_checked(&mut self) -> Option<Pfn> {
+        if self.fault_check(FaultClass::FrameExhaust) {
+            return None;
+        }
+        self.phys.alloc_frame()
+    }
+
+    /// Disk DMA read with a device-I/O injection point. Identical to
+    /// [`devices::Disk::dma_read`] when no fault fires.
+    pub fn disk_dma_read(&mut self, block: u64, pfn: Pfn) -> Result<(), DiskIoError> {
+        if self.fault_check(FaultClass::DeviceIo) {
+            return Err(DiskIoError::Injected);
+        }
+        self.disk
+            .dma_read(&self.iommu, &mut self.phys, block, pfn)
+            .map_err(DiskIoError::Dma)
+    }
+
+    /// Disk DMA write with a device-I/O injection point. Identical to
+    /// [`devices::Disk::dma_write`] when no fault fires.
+    pub fn disk_dma_write(&mut self, block: u64, pfn: Pfn) -> Result<(), DiskIoError> {
+        if self.fault_check(FaultClass::DeviceIo) {
+            return Err(DiskIoError::Injected);
+        }
+        self.disk
+            .dma_write(&self.iommu, &self.phys, block, pfn)
+            .map_err(DiskIoError::Dma)
     }
 
     /// Records a denied operation in the always-on security flight

@@ -31,7 +31,7 @@
 pub mod export;
 pub mod metrics;
 
-pub use export::{chrome_trace_json, summary_top_n};
+pub use export::{chrome_trace_json, fault_summary, summary_top_n};
 pub use metrics::{Histogram, MetricsRegistry};
 
 use std::collections::VecDeque;
@@ -184,6 +184,10 @@ pub enum DenialKind {
     IcPermitDenied,
     /// Swap-in integrity verification failed (tampered or replayed blob).
     SwapIntegrity,
+    /// The kernel killed a process after an unrecoverable fault (injected
+    /// or genuine hardware misbehavior) instead of panicking. `detail`
+    /// names the fault class and the failing operation.
+    FaultKill,
 }
 
 /// A denied operation with full context — the security audit trail entry.

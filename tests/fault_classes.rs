@@ -1,0 +1,315 @@
+//! Per-fault-class regression tests (mirroring the rootkit tests'
+//! flight-recorder style): each class is armed with a pinpoint trigger and
+//! the exact degradation contract is asserted — retry-and-recover for
+//! transient device errors, `EIO`/`ENOMEM` error returns for persistent
+//! ones, and a fault-kill (exit 137 + `DenialKind::FaultKill` record,
+//! never a panic, never a plaintext exposure) for unrecoverable ones.
+
+use vg_kernel::syscall::{O_CREAT, SYS_BRK, SYS_PIPE};
+use vg_kernel::{Mode, System};
+use vg_machine::{DenialKind, FaultClass, FaultPlan, Trigger};
+
+/// Arms `sys` with a single-spec plan.
+fn arm(sys: &mut System, class: FaultClass, trigger: Trigger) {
+    sys.machine
+        .faults
+        .arm(FaultPlan::new(0xfa117).with(class, trigger));
+}
+
+#[test]
+fn device_io_transient_retries_and_recovers() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("writer", false, || {
+        Box::new(|env| {
+            let buf = env.mmap_anon(4096);
+            env.write_mem(buf, &[9u8; 512]);
+            let fd = env.open("/f", O_CREAT);
+            env.write(fd, buf, 512);
+            env.close(fd);
+            // fsync pushes dirty blocks through the DMA driver; the first
+            // device transfer fails once and must be retried transparently.
+            (env.fsync() <= 0) as i32
+        })
+    });
+    arm(&mut sys, FaultClass::DeviceIo, Trigger::Nth(1));
+    let pid = sys.spawn("writer");
+    assert_eq!(sys.run_until_exit(pid), 0, "fsync succeeded after retry");
+    let m = &sys.machine.metrics;
+    assert_eq!(m.counter("faults.injected.device_io"), 1);
+    assert_eq!(m.counter("faults.retried.device_io"), 1);
+    assert_eq!(m.counter("faults.recovered.device_io"), 1);
+    assert_eq!(m.counter("faults.proc_killed.device_io"), 0);
+    assert_eq!(sys.machine.trace.flight.len(), 0, "no denial recorded");
+}
+
+#[test]
+fn device_io_persistent_surfaces_as_eio() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("writer", false, || {
+        Box::new(|env| {
+            let buf = env.mmap_anon(4096);
+            env.write_mem(buf, &[9u8; 512]);
+            let fd = env.open("/f", O_CREAT);
+            env.write(fd, buf, 512);
+            env.close(fd);
+            // The device stays dead: all bounded retries are consumed and
+            // the syscall reports EIO instead of panicking the kernel.
+            (env.fsync() != -5) as i32
+        })
+    });
+    // Probability 1.0: every device transfer attempt fails.
+    arm(
+        &mut sys,
+        FaultClass::DeviceIo,
+        Trigger::Probability(u32::MAX),
+    );
+    let pid = sys.spawn("writer");
+    assert_eq!(sys.run_until_exit(pid), 0, "fsync returned EIO");
+    let m = &sys.machine.metrics;
+    assert!(
+        m.counter("faults.injected.device_io") >= 4,
+        "all retries consumed"
+    );
+    assert_eq!(m.counter("faults.recovered.device_io"), 0);
+}
+
+#[test]
+fn swap_corrupt_kills_process_never_panics_never_exposes() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("ghosty", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(1).expect("ghost page");
+            env.write_mem(va, b"corrupt-me-secret");
+            let pid = env.pid;
+            env.sys.kernel_swap_out_ghost(pid, 1);
+            // Touching the page swaps it back in; the armed SwapCorrupt
+            // trigger flips a stored-ciphertext bit first, so the VM's
+            // integrity check refuses the page and the kernel kills us.
+            let _ = env.read_mem(va, 17);
+            0 // overridden to 137 by the fault kill
+        })
+    });
+    arm(&mut sys, FaultClass::SwapCorrupt, Trigger::Nth(1));
+    let pid = sys.spawn("ghosty");
+    assert_eq!(sys.run_until_exit(pid), 137, "fault-killed exit code");
+    let denials: Vec<_> = sys.machine.trace.flight.denials().collect();
+    // Exact sequence: the VM's integrity refusal, then the kernel's kill.
+    assert_eq!(denials.len(), 2, "{denials:?}");
+    assert_eq!(denials[0].kind, DenialKind::SwapIntegrity);
+    assert_eq!(denials[1].kind, DenialKind::FaultKill);
+    assert_eq!(denials[1].detail, "unrecoverable ghost swap-in failure");
+    let m = &sys.machine.metrics;
+    assert_eq!(m.counter("faults.injected.swap_corrupt"), 1);
+    assert_eq!(m.counter("faults.proc_killed.swap_corrupt"), 1);
+    // The secret never reappears in physical memory.
+    for f in 0..sys.machine.phys.total_frames() as u64 {
+        let pfn = vg_machine::Pfn(f);
+        if sys.machine.phys.is_allocated(pfn) {
+            let data = sys.machine.phys.read_frame(pfn);
+            assert!(
+                !data.windows(17).any(|w| w == b"corrupt-me-secret"),
+                "plaintext exposed in frame {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn swap_truncate_kills_process_with_flight_record() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("ghosty", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(1).expect("ghost page");
+            env.write_mem(va, b"truncated away");
+            let pid = env.pid;
+            env.sys.kernel_swap_out_ghost(pid, 1);
+            let _ = env.read_mem(va, 8);
+            0
+        })
+    });
+    arm(&mut sys, FaultClass::SwapTruncate, Trigger::Nth(1));
+    let pid = sys.spawn("ghosty");
+    assert_eq!(sys.run_until_exit(pid), 137);
+    let last = sys.machine.trace.flight.denials().last().expect("recorded");
+    assert_eq!(last.kind, DenialKind::FaultKill);
+    // The injection is attributed to the truncate class; the kill itself is
+    // classified by what the VM reported (an integrity failure).
+    assert_eq!(
+        sys.machine.metrics.counter("faults.injected.swap_truncate"),
+        1
+    );
+    assert_eq!(
+        sys.machine
+            .metrics
+            .counter("faults.proc_killed.swap_corrupt"),
+        1
+    );
+}
+
+#[test]
+fn tpm_failure_degrades_spawn_to_exit_127() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("ghosty", true, || Box::new(|_env| 0));
+    // The key-load TPM op fails at exec: the process cannot get its key,
+    // so spawn installs a stub that exits 127 instead of panicking.
+    arm(&mut sys, FaultClass::TpmFail, Trigger::Nth(1));
+    let pid = sys.spawn("ghosty");
+    assert_eq!(sys.run_until_exit(pid), 127);
+    assert!(
+        sys.log.iter().any(|l| l.contains("refused at spawn")),
+        "{:?}",
+        sys.log
+    );
+    assert_eq!(sys.machine.metrics.counter("faults.injected.tpm_fail"), 1);
+}
+
+#[test]
+fn frame_exhaustion_surfaces_as_enomem_from_brk() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("grower", false, || {
+        Box::new(|env| {
+            // First brk hits the injected exhaustion and must see ENOMEM;
+            // the retry succeeds (the trigger is one-shot).
+            let first = env.syscall(SYS_BRK, [0x3000_0000, 0, 0, 0, 0, 0]);
+            if first != -12 {
+                return 1;
+            }
+            let second = env.syscall(SYS_BRK, [0x3000_0000, 0, 0, 0, 0, 0]);
+            (second < 0) as i32
+        })
+    });
+    arm(&mut sys, FaultClass::FrameExhaust, Trigger::Nth(1));
+    let pid = sys.spawn("grower");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    assert_eq!(
+        sys.machine.metrics.counter("faults.injected.frame_exhaust"),
+        1
+    );
+}
+
+#[test]
+fn kernel_alloc_failure_surfaces_as_enomem_from_pipe() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("piper", false, || {
+        Box::new(|env| {
+            if env.syscall(SYS_PIPE, [0; 6]) != -12 {
+                return 1;
+            }
+            let (r, w) = env.pipe();
+            (r < 0 || w < 0) as i32
+        })
+    });
+    arm(&mut sys, FaultClass::KernelAlloc, Trigger::Nth(1));
+    let pid = sys.spawn("piper");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    assert_eq!(
+        sys.machine.metrics.counter("faults.injected.kernel_alloc"),
+        1
+    );
+}
+
+#[test]
+fn spurious_irq_perturbs_only_trap_counters() {
+    let run = |armed: bool| {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.install_app("idle", false, || {
+            Box::new(|env| {
+                for _ in 0..5 {
+                    env.getpid();
+                }
+                0
+            })
+        });
+        if armed {
+            arm(&mut sys, FaultClass::SpuriousIrq, Trigger::Nth(1));
+        }
+        let pid = sys.spawn("idle");
+        assert_eq!(sys.run_until_exit(pid), 0);
+        sys
+    };
+    let base = run(false);
+    let hit = run(true);
+    assert_eq!(
+        hit.machine.metrics.counter("faults.injected.spurious_irq"),
+        1
+    );
+    assert!(
+        hit.machine.counters.traps > base.machine.counters.traps,
+        "the spurious interrupt took a trap"
+    );
+    assert_eq!(
+        hit.machine.counters.syscalls, base.machine.counters.syscalls,
+        "no syscall was fabricated"
+    );
+}
+
+#[test]
+fn irq_storm_charges_a_burst_of_traps() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("idle", false, || Box::new(|env| (env.getpid() <= 0) as i32));
+    arm(&mut sys, FaultClass::IrqStorm, Trigger::Nth(1));
+    let before_arm_traps = sys.machine.counters.traps;
+    let pid = sys.spawn("idle");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    assert_eq!(sys.machine.metrics.counter("faults.injected.irq_storm"), 1);
+    assert!(
+        sys.machine.counters.traps >= before_arm_traps + 32,
+        "storm delivered 32 interrupts"
+    );
+}
+
+#[test]
+fn bit_flip_in_regular_frames_never_panics_the_kernel() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("toucher", false, || {
+        Box::new(|env| {
+            let buf = env.mmap_anon(4096 * 4);
+            for i in 0..4u64 {
+                env.write_mem(buf + i * 4096, &[0xaa; 64]);
+            }
+            for _ in 0..8 {
+                env.getpid(); // trap boundaries where flips arrive
+            }
+            let _ = env.read_mem(buf, 64);
+            0
+        })
+    });
+    arm(
+        &mut sys,
+        FaultClass::BitFlip,
+        Trigger::Probability(u32::MAX),
+    );
+    let pid = sys.spawn("toucher");
+    assert_eq!(sys.run_until_exit(pid), 0, "no panic, no kill");
+    assert!(sys.machine.metrics.counter("faults.injected.bit_flip") > 0);
+}
+
+#[test]
+fn disk_transient_swap_out_retries_then_gives_up_cleanly() {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    sys.install_app("ghosty", true, || {
+        Box::new(|env| {
+            let va = env.allocgm(2).expect("ghost pages");
+            env.write_mem(va, b"stay resident");
+            let pid = env.pid;
+            // Swap device is persistently failing: eviction gives up and
+            // the pages stay resident — reads still work.
+            let evicted = env.sys.kernel_swap_out_ghost(pid, 2);
+            if evicted != 0 {
+                return 1;
+            }
+            (env.read_mem(va, 13) != b"stay resident") as i32
+        })
+    });
+    arm(
+        &mut sys,
+        FaultClass::DiskTransient,
+        Trigger::Probability(u32::MAX),
+    );
+    let pid = sys.spawn("ghosty");
+    assert_eq!(sys.run_until_exit(pid), 0);
+    let m = &sys.machine.metrics;
+    assert!(m.counter("faults.injected.disk_transient") >= 4);
+    assert!(m.counter("faults.retried.disk_transient") >= 3);
+    assert_eq!(m.counter("faults.recovered.disk_transient"), 0);
+}

@@ -10,8 +10,8 @@
 
 use vg_apps::{lmbench, postmark};
 use vg_kernel::{Mode, System};
-use vg_machine::TraceEvent;
-use vg_trace::{chrome_trace_json, summary_top_n, DEFAULT_TRACE_CAPACITY};
+use vg_machine::{FaultPlan, TraceEvent};
+use vg_trace::{chrome_trace_json, fault_summary, summary_top_n, DEFAULT_TRACE_CAPACITY};
 
 /// The capture workload: one LMBench microbenchmark, a ghost-memory swap
 /// roundtrip, and a small Postmark run.
@@ -140,6 +140,54 @@ fn trace_covers_traps_syscalls_sva_ops_and_swap() {
     // Per-syscall latency histograms landed in the metrics registry.
     assert!(sys.machine.metrics.histogram("sys.open").is_some());
     assert!(sys.machine.metrics.counter("swap.crypto_bytes") > 0);
+}
+
+#[test]
+fn fault_layer_is_invisible_when_it_injects_nothing() {
+    // Invariant 4 (DESIGN.md §8, zero-when-disabled): the fault-injection
+    // layer must not perturb any observable output unless a fault actually
+    // fires. Three configurations of the same traced workload — disarmed
+    // (the default), armed with an empty plan, and armed with a plan whose
+    // only trigger can never fire — must be byte-identical in cycles,
+    // counters, exports, and metrics; and the fault-summary table must be
+    // absent from all of them.
+    let run = |plan: Option<FaultPlan>| {
+        let mut sys = System::boot(Mode::VirtualGhost);
+        if let Some(p) = plan {
+            sys.machine.faults.arm(p);
+        }
+        sys.machine.trace.enable(DEFAULT_TRACE_CAPACITY);
+        lmbench::open_close(&mut sys, 25);
+        postmark::run(
+            &mut sys,
+            postmark::PostmarkConfig {
+                base_files: 10,
+                transactions: 25,
+                ..Default::default()
+            },
+        );
+        (
+            sys.machine.clock.cycles(),
+            sys.machine.counters,
+            chrome_trace_json(&sys.machine.trace),
+            summary_top_n(&sys.machine.trace, 10),
+            sys.machine.metrics.report(),
+            fault_summary(&sys.machine.metrics),
+        )
+    };
+    let disarmed = run(None);
+    let empty_plan = run(Some(FaultPlan::new(0xd15a_b1ed)));
+    let never_fires = run(Some(FaultPlan::new(0xd15a_b1ed).with(
+        vg_machine::FaultClass::DeviceIo,
+        vg_machine::Trigger::AtCycle(u64::MAX),
+    )));
+    assert_eq!(disarmed, empty_plan, "armed-but-empty must be invisible");
+    assert_eq!(disarmed, never_fires, "never-firing plan must be invisible");
+    assert!(
+        disarmed.5.is_empty(),
+        "no fault table without fault counters"
+    );
+    assert_eq!(disarmed.1.page_faults, empty_plan.1.page_faults);
 }
 
 #[test]
