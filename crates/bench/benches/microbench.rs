@@ -406,238 +406,41 @@ fn bench_membus(c: &mut Criterion) {
 
 // ---- IR engine shapes (lowered vs. reference) ------------------------------
 
-/// A realistically sized callee: the hot path is add-and-return, and a cold
-/// error-handling block (never executed) gives the body the footprint real
-/// functions have. The reference engine re-derives the register count from
-/// the whole body on every activation; the lowered engine pre-computes it.
-fn engine_leaf(m: &mut vg_ir::Module) {
-    use vg_ir::{BinOp, FunctionBuilder, Terminator};
-    let mut leaf = FunctionBuilder::new("leaf", 2);
-    let s = leaf.bin(BinOp::Add, leaf.param(0).into(), leaf.param(1).into());
-    leaf.terminate(Terminator::Ret(Some(s.into())));
-    let cold = leaf.new_block();
-    leaf.switch_to(cold);
-    let mut t = leaf.mov(0.into());
-    for k in 0..24i64 {
-        t = leaf.bin(BinOp::Xor, t.into(), k.into());
-    }
-    m.push_function(leaf.ret(Some(t.into())));
-}
-
-/// Shared skeleton: `main(target, n)` iterates `n` times over a straight-line
-/// body of `unroll` chained ops produced by `body(prev, i)`, returning the
-/// final value. Unrolling keeps the loop bookkeeping out of the measurement.
-fn loop_module(
-    name: &str,
-    unroll: usize,
-    mut body: impl FnMut(&mut vg_ir::FunctionBuilder, vg_ir::VReg, vg_ir::VReg) -> vg_ir::VReg,
-) -> vg_ir::Module {
-    use vg_ir::{BinOp, FunctionBuilder};
-    let mut m = vg_ir::Module::new(name);
-    engine_leaf(&mut m);
-
-    let mut b = FunctionBuilder::new("main", 2);
-    let i = b.mov(0.into());
-    let acc = b.mov(0.into());
-    let loop_blk = b.new_block();
-    let body_blk = b.new_block();
-    let done_blk = b.new_block();
-    b.jmp(loop_blk);
-    b.switch_to(loop_blk);
-    let cond = b.bin(BinOp::Lts, i.into(), b.param(1).into());
-    b.br(cond.into(), body_blk, done_blk);
-    b.switch_to(body_blk);
-    let mut v = acc;
-    for _ in 0..unroll {
-        v = body(&mut b, v, i);
-    }
-    b.mov_to(acc, v.into());
-    let i2 = b.bin(BinOp::Add, i.into(), 1.into());
-    b.mov_to(i, i2.into());
-    b.jmp(loop_blk);
-    b.switch_to(done_blk);
-    m.push_function(b.ret(Some(acc.into())));
-    m
-}
-
-/// Background population for the code registry, so indirect-call resolution
-/// works against a realistically sized address map rather than two entries.
-fn filler_module(j: usize) -> vg_ir::Module {
-    use vg_ir::{BinOp, FunctionBuilder};
-    let mut m = vg_ir::Module::new(format!("filler-{j}"));
-    for k in 0..4 {
-        let mut f = FunctionBuilder::new(format!("f{k}"), 1);
-        let s = f.bin(BinOp::Add, f.param(0).into(), 1.into());
-        m.push_function(f.ret(Some(s.into())));
-    }
-    m
-}
-
 /// The four hot shapes from the paper's workloads, each run under both IR
 /// engines. `lowered` is the default pre-decoded engine (inline caches,
 /// interned extern ids, frame arena); `reference` is the tree-walker.
 /// Results and simulated costs are identical by construction (see
 /// crates/ir/tests/engine_equivalence.rs); only host wall-time differs.
+/// Shape construction is shared with the `vg-bench` regression-gate binary
+/// (`vg_bench::shapes`), so the gate re-measures exactly these workloads.
 fn bench_engines(c: &mut Criterion) {
-    use vg_ir::interp::{HostError, Pair};
-    use vg_ir::{BinOp, Engine};
-
-    /// The host API surface the extern shape exercises: eight distinct
-    /// two-operand services, the way module code calls several kernel APIs.
-    #[derive(Clone, Copy)]
-    enum BenchOp {
-        Add,
-        Sub,
-        Xor,
-        And,
-        Or,
-        Mul,
-        Min,
-        Max,
-    }
-    const BENCH_API: [(&str, BenchOp); 8] = [
-        ("bench.add", BenchOp::Add),
-        ("bench.sub", BenchOp::Sub),
-        ("bench.xor", BenchOp::Xor),
-        ("bench.and", BenchOp::And),
-        ("bench.lor", BenchOp::Or),
-        ("bench.mul", BenchOp::Mul),
-        ("bench.min", BenchOp::Min),
-        ("bench.max", BenchOp::Max),
-    ];
-    impl BenchOp {
-        fn from_name(name: &str) -> Option<Self> {
-            BENCH_API
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|&(_, op)| op)
-        }
-        #[inline(always)]
-        fn apply(self, args: &[i64]) -> i64 {
-            let a = args.first().copied().unwrap_or(0);
-            let b = args.get(1).copied().unwrap_or(0);
-            match self {
-                BenchOp::Add => a.wrapping_add(b),
-                BenchOp::Sub => a.wrapping_sub(b),
-                BenchOp::Xor => a ^ b,
-                BenchOp::And => a & b,
-                BenchOp::Or => a | b,
-                BenchOp::Mul => a.wrapping_mul(b),
-                BenchOp::Min => a.min(b),
-                BenchOp::Max => a.max(b),
-            }
-        }
-    }
-
-    /// A host with the same dispatch structure as the kernel's `KernelCtx`:
-    /// the string path resolves the name per call (as the kernel did before
-    /// interning), the id path indexes a dense table built once from the
-    /// registry's interner.
-    struct BenchHost {
-        tab: Vec<Option<BenchOp>>,
-    }
-    impl BenchHost {
-        fn for_registry(registry: &vg_ir::CodeRegistry) -> Self {
-            let tab = (0..registry.extern_count() as u32)
-                .map(|i| registry.extern_name(i).and_then(BenchOp::from_name))
-                .collect();
-            BenchHost { tab }
-        }
-    }
-    impl vg_ir::ExternHost for BenchHost {
-        fn call_extern(&mut self, name: &str, args: &[i64]) -> Result<i64, HostError> {
-            match BenchOp::from_name(name) {
-                Some(op) => Ok(op.apply(args)),
-                None => Err(HostError::Unknown),
-            }
-        }
-        #[inline(always)]
-        fn call_extern_id(&mut self, id: u32, name: &str, args: &[i64]) -> Result<i64, HostError> {
-            match self.tab.get(id as usize).copied().flatten() {
-                Some(op) => Ok(op.apply(args)),
-                None => self.call_extern(name, args),
-            }
-        }
-    }
-
-    // Tight arithmetic loop: eight ALU ops per iteration, no calls.
-    let arith = loop_module("bench-arith", 1, |b, acc, i| {
-        let t = b.bin(BinOp::Add, acc.into(), i.into());
-        let t = b.bin(BinOp::Xor, t.into(), 0x5a.into());
-        let t = b.bin(BinOp::Mul, t.into(), 3.into());
-        let t = b.bin(BinOp::And, t.into(), 0xffff.into());
-        let t = b.bin(BinOp::Or, t.into(), 1.into());
-        let t = b.bin(BinOp::Shl, t.into(), 1.into());
-        let t = b.bin(BinOp::Shr, t.into(), 1.into());
-        b.bin(BinOp::Sub, t.into(), i.into())
-    });
-    // Direct-call-heavy: straight-line runs of two-argument calls.
-    let calls = loop_module("bench-calls", 32, |b, v, i| {
-        b.call(0, &[v.into(), i.into()])
-    });
-    // Extern-heavy: straight-line runs of host calls across the API surface.
-    let mut k = 0usize;
-    let externs = loop_module("bench-externs", 32, move |b, v, i| {
-        let name = BENCH_API[k % BENCH_API.len()].0;
-        k += 1;
-        b.ext(name, &[v.into(), i.into()])
-    });
-    // Indirect+CFI-heavy: straight-line runs of indirect calls through the
-    // address in arg 0; the CFI pass inserts a label check before each.
-    let mut indirect = loop_module("bench-indirect", 32, |b, v, i| {
-        b.call_indirect(b.param(0).into(), &[v.into(), i.into()])
-    });
-    vg_ir::passes::cfi::run(&mut indirect);
+    use vg_bench::shapes::{prepared_shapes, BenchHost};
+    use vg_ir::interp::Pair;
+    use vg_ir::Engine;
 
     let mut g = c.benchmark_group("engine");
     g.sample_size(20);
-    for (shape, module, iters) in [
-        ("arith_loop", &arith, 1000i64),
-        ("call_heavy", &calls, 50),
-        ("extern_heavy", &externs, 50),
-        ("indirect_cfi_heavy", &indirect, 50),
-    ] {
-        let mut registry = vg_ir::CodeRegistry::new();
-        for j in 0..24 {
-            registry.register_module(filler_module(j), vg_ir::registry::CodeSpace::Kernel);
-        }
-        let h = registry.register_module(module.clone(), vg_ir::registry::CodeSpace::Kernel);
-        let entry = registry.addr_of(h, "main").unwrap();
-        let leaf = registry.addr_of(h, "leaf").unwrap();
+    for shape in prepared_shapes() {
         for (label, engine) in [
             ("fused", Engine::Fused),
             ("lowered", Engine::Lowered),
             ("reference", Engine::Reference),
         ] {
-            g.bench_function(format!("{shape}_{label}"), |b| {
-                let mut interp = vg_ir::Interp::new(&registry)
+            g.bench_function(format!("{}_{label}", shape.name), |b| {
+                let mut interp = vg_ir::Interp::new(&shape.registry)
                     .with_engine(engine)
                     .with_fuel(u64::MAX);
                 let mut mem = vg_ir::interp::FlatMem::new(64);
-                let mut host = BenchHost::for_registry(&registry);
-                match engine {
-                    Engine::Fused | Engine::Lowered => b.iter(|| {
-                        let mut env = Pair {
-                            mem: &mut mem,
-                            host: &mut host,
-                        };
-                        interp
-                            .run(entry, &[leaf.0 as i64, iters], &mut env)
-                            .unwrap()
-                    }),
-                    // The pre-lowering `run` signature was `&mut dyn EnvBus`
-                    // over a type-erased `Pair`, so the baseline measures the
-                    // doubly-virtual host/memory dispatch callers actually had.
-                    Engine::Reference => b.iter(|| {
-                        let mut env: Pair = Pair {
-                            mem: &mut mem,
-                            host: &mut host,
-                        };
-                        interp
-                            .run(entry, &[leaf.0 as i64, iters], &mut env)
-                            .unwrap()
-                    }),
-                }
+                let mut host = BenchHost::for_registry(&shape.registry);
+                b.iter(|| {
+                    let mut env = Pair {
+                        mem: &mut mem,
+                        host: &mut host,
+                    };
+                    interp
+                        .run(shape.entry, &[shape.leaf.0 as i64, shape.iters], &mut env)
+                        .unwrap()
+                })
             });
         }
     }

@@ -9,11 +9,13 @@
 //! Chrome/Perfetto trace.json plus a top-N span summary; `--metrics` prints
 //! the per-subsystem metrics report for the same capture workload.
 
+use std::collections::BTreeMap;
 use vg_apps::{lmbench, postmark, ssh, thttpd};
 use vg_bench::{ratio, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5};
 use vg_core::Protections;
 use vg_kernel::{Mode, System};
 use vg_machine::cost::CostModel;
+use vg_machine::Domain;
 
 struct Scale {
     lm_iters: u64,
@@ -42,19 +44,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let profile = args.iter().any(|a| a == "--profile");
     let scale = if fast { FAST } else { FULL };
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: paper-tables [ARTEFACT..] [--fast] [--trace PATH] [--metrics]");
+        println!(
+            "usage: paper-tables [ARTEFACT..] [--fast] [--trace PATH] [--metrics] [--profile]"
+        );
         println!("artefacts: table2 table3 table4 table5 figure2 figure3 figure4");
         println!("           security ablation counters   (default: all)");
         println!("--fast: reduced iteration counts for smoke runs");
         println!("--trace PATH: run a traced capture, write Chrome trace.json to PATH");
         println!("--metrics: print the per-subsystem metrics report for the capture");
+        println!("--profile: per-domain cycle attribution, native vs virtual-ghost,");
+        println!("           per workload (where the overhead went)");
+        println!("--folded PATH: with --profile, write collapsed-stack lines for the");
+        println!("           LMBench open/close capture (inferno/speedscope format)");
         return;
     }
     // `--trace` consumes the following token as its path, so it must not
-    // leak into the artefact list.
+    // leak into the artefact list. Anything else starting with `-` that is
+    // not a known flag is an error, not a silently ignored artefact.
     let mut trace_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
     let mut which: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -64,11 +75,26 @@ fn main() {
                 eprintln!("--trace requires a path argument");
                 std::process::exit(2);
             }
-        } else if !a.starts_with("--") {
+        } else if a == "--folded" {
+            folded_path = it.next().cloned();
+            if folded_path.is_none() {
+                eprintln!("--folded requires a path argument");
+                std::process::exit(2);
+            }
+        } else if a == "--fast" || a == "--metrics" || a == "--profile" {
+            // Boolean flags, matched above.
+        } else if a.starts_with('-') {
+            eprintln!("unknown flag: {a} (see --help)");
+            std::process::exit(2);
+        } else {
             which.push(a.as_str());
         }
     }
-    let all = which.is_empty() && trace_path.is_none() && !metrics;
+    if folded_path.is_some() && !profile {
+        eprintln!("--folded only makes sense with --profile (see --help)");
+        std::process::exit(2);
+    }
+    let all = which.is_empty() && trace_path.is_none() && !metrics && !profile;
     let want = |name: &str| all || which.contains(&name);
 
     if want("table2") {
@@ -100,6 +126,9 @@ fn main() {
     }
     if trace_path.is_some() || metrics {
         observability(&scale, trace_path.as_deref(), metrics);
+    }
+    if profile {
+        profile_tables(folded_path.as_deref());
     }
 }
 
@@ -165,6 +194,170 @@ fn observability(scale: &Scale, trace_path: Option<&str>, metrics: bool) {
 /// where Virtual Ghost's cycles go.
 /// A boxed workload driver for the counters table.
 type WorkloadFn = Box<dyn Fn(&mut System)>;
+
+/// The `--profile` workload set: one representative of each paper artefact
+/// family, at `counters()`-scale so the differential tables stay quick.
+fn profile_workloads() -> Vec<(&'static str, WorkloadFn)> {
+    vec![
+        (
+            "lmbench open/close",
+            Box::new(|sys: &mut System| {
+                lmbench::open_close(sys, 100);
+            }),
+        ),
+        (
+            "lmbench fork+exec",
+            Box::new(|sys: &mut System| {
+                lmbench::fork_exec(sys, 20);
+            }),
+        ),
+        (
+            "ghost-swap",
+            Box::new(|sys: &mut System| {
+                sys.install_app("profile-ghost", true, || {
+                    Box::new(|env| {
+                        let va = env.allocgm(4).expect("ghost pages");
+                        for p in 0..4u64 {
+                            env.write_mem(va + p * 4096, b"profiled ghost page");
+                        }
+                        let pid = env.pid;
+                        env.sys.kernel_swap_out_ghost(pid, 4);
+                        for p in 0..4u64 {
+                            assert_eq!(env.read_mem(va + p * 4096, 19), b"profiled ghost page");
+                        }
+                        0
+                    })
+                });
+                let pid = sys.spawn("profile-ghost");
+                assert_eq!(sys.run_until_exit(pid), 0);
+            }),
+        ),
+        (
+            "postmark",
+            Box::new(|sys: &mut System| {
+                postmark::run(
+                    sys,
+                    postmark::PostmarkConfig {
+                        base_files: 50,
+                        transactions: 200,
+                        ..Default::default()
+                    },
+                );
+            }),
+        ),
+        (
+            "thttpd-4k",
+            Box::new(|sys: &mut System| {
+                thttpd::bandwidth(sys, 4096, 10);
+            }),
+        ),
+    ]
+}
+
+/// One `--profile` measurement: boots `mode`, enables attribution right
+/// after boot when `profiled`, runs the workload, and returns the
+/// per-domain cycle rows (boot-time cycles folded into [`Domain::Boot`] so
+/// the rows always sum to the clock) plus the final clock value.
+fn profile_run(mode: Mode, profiled: bool, work: &WorkloadFn) -> (BTreeMap<Domain, u64>, u64) {
+    let mut sys = System::boot(mode);
+    if profiled {
+        sys.machine.profile_enable();
+    }
+    work(&mut sys);
+    let total = sys.machine.clock.cycles();
+    let mut rows = BTreeMap::new();
+    if profiled {
+        sys.machine.profiler.assert_conservation(total);
+        assert_eq!(
+            sys.machine.profiler.depth(),
+            0,
+            "attribution frames must balance across a whole workload"
+        );
+        rows = sys.machine.profiler.domain_totals();
+        *rows.entry(Domain::Boot).or_insert(0) += sys.machine.profiler.start_cycles();
+    }
+    (rows, total)
+}
+
+/// `--profile`: runs each artefact-family workload twice (native cost model
+/// vs Virtual Ghost) with exact cycle attribution and prints where the
+/// overhead went, per domain. Every table is cross-checked two ways: the
+/// domain rows must sum to the clock (conservation), and the profiled
+/// totals must equal an unprofiled twin run byte-for-byte (the profiler
+/// cannot move the simulated clock).
+fn profile_tables(folded: Option<&str>) {
+    println!("\n== Overhead attribution (--profile): exact cycles by domain ==");
+    if let Some(path) = folded {
+        // Collapsed-stack export of the LMBench open/close capture under
+        // Virtual Ghost — one `stack;frames cycles` line per attribution
+        // path, loadable by inferno/flamegraph.pl/speedscope as-is.
+        let mut sys = System::boot(Mode::VirtualGhost);
+        sys.machine.profile_enable();
+        lmbench::open_close(&mut sys, 100);
+        sys.machine
+            .profiler
+            .assert_conservation(sys.machine.clock.cycles());
+        std::fs::write(path, vg_trace::folded_stacks(&sys.machine.profiler))
+            .expect("write folded stacks");
+        println!("folded stacks (lmbench open/close, virtual-ghost) -> {path}");
+    }
+    for (name, work) in profile_workloads() {
+        let (nat, nat_total) = profile_run(Mode::Native, true, &work);
+        let (vg, vg_total) = profile_run(Mode::VirtualGhost, true, &work);
+        let (_, nat_plain) = profile_run(Mode::Native, false, &work);
+        let (_, vg_plain) = profile_run(Mode::VirtualGhost, false, &work);
+        assert_eq!(
+            format!("{nat_total}"),
+            format!("{nat_plain}"),
+            "profiled native total must match the unprofiled run byte-for-byte"
+        );
+        assert_eq!(
+            format!("{vg_total}"),
+            format!("{vg_plain}"),
+            "profiled vg total must match the unprofiled run byte-for-byte"
+        );
+        let overhead = vg_total as i128 - nat_total as i128;
+        println!("\n-- {name} --");
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>9}",
+            "domain", "native", "virtual-ghost", "delta", "share"
+        );
+        for d in Domain::ALL {
+            let n = nat.get(&d).copied().unwrap_or(0);
+            let v = vg.get(&d).copied().unwrap_or(0);
+            if n == 0 && v == 0 {
+                continue;
+            }
+            let delta = v as i128 - n as i128;
+            let share = if overhead != 0 {
+                100.0 * delta as f64 / overhead as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<10} {:>14} {:>14} {:>+14} {:>8.1}%",
+                d.key(),
+                n,
+                v,
+                delta,
+                share
+            );
+        }
+        println!(
+            "{:<10} {:>14} {:>14} {:>+14} {:>8.1}%   ({:.2}x, totals verified vs unprofiled runs)",
+            "total",
+            nat_total,
+            vg_total,
+            overhead,
+            100.0,
+            vg_total as f64 / nat_total as f64
+        );
+        let nat_sum: u64 = nat.values().sum();
+        let vg_sum: u64 = vg.values().sum();
+        assert_eq!(nat_sum, nat_total, "native rows must sum to the clock");
+        assert_eq!(vg_sum, vg_total, "vg rows must sum to the clock");
+    }
+}
 
 fn counters() {
     println!("\n== Instrumentation profile (event counts per workload) ==");

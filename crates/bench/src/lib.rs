@@ -17,6 +17,8 @@
 //! Criterion micro-benchmarks of the simulator itself live under
 //! `benches/`.
 
+pub mod shapes;
+
 use vg_kernel::{Mode, System};
 
 /// Paper-reported values for Table 2 (microseconds): (name, native, vg,

@@ -13,7 +13,7 @@ use crate::{ProcId, SvaError, SvaVm};
 use std::collections::{BTreeMap, HashMap};
 use vg_machine::layout::{Region, PAGE_SIZE};
 use vg_machine::pte::{Pte, PteFlags};
-use vg_machine::{Machine, Pfn, TraceEvent, VAddr};
+use vg_machine::{Domain, Machine, Pfn, TraceEvent, VAddr};
 
 /// Tracks which ghost pages each process owns.
 #[derive(Debug, Default)]
@@ -90,7 +90,9 @@ impl SvaVm {
         }
         let t0 = machine.clock.cycles();
         for (i, &f) in frames.iter().enumerate() {
+            machine.prof_push(Domain::Sva, "sva.allocgm");
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
+            machine.prof_pop();
             machine.counters.ghost_pages_allocated += 1;
             machine.phys.zero_frame(f);
             self.frames.set_kind(f, FrameKind::Ghost);
@@ -150,7 +152,9 @@ impl SvaVm {
         let t0 = machine.clock.cycles();
         let mut freed = Vec::with_capacity(num as usize);
         for i in 0..num {
+            machine.prof_push(Domain::Sva, "sva.freegm");
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
+            machine.prof_pop();
             machine.counters.ghost_pages_freed += 1;
             let vpn = base_vpn + i;
             let pfn = self
@@ -190,7 +194,9 @@ impl SvaVm {
         let t0 = machine.clock.cycles();
         let mut freed = Vec::with_capacity(pages.len());
         for (vpn, pfn) in pages {
+            machine.prof_push(Domain::Sva, "sva.release_ghost");
             machine.charge(machine.costs.ghost_page_op + machine.costs.frame_zero);
+            machine.prof_pop();
             machine.counters.ghost_pages_freed += 1;
             self.unmap_page_unchecked(machine, root, VAddr(vpn * PAGE_SIZE));
             machine.mmu.flush_page(vg_machine::Vpn(vpn));

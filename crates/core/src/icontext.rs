@@ -20,7 +20,7 @@
 use crate::{ProcId, SvaError, SvaVm, ThreadId};
 use std::collections::{HashMap, HashSet};
 use vg_machine::cpu::{Privilege, Reg, TrapFrame, TrapKind};
-use vg_machine::{DenialKind, Machine, TraceEvent, VAddr};
+use vg_machine::{DenialKind, Domain, Machine, TraceEvent, VAddr};
 
 /// Trace span name and payload for a trap kind.
 fn trap_trace_parts(kind: TrapKind) -> (&'static str, u64) {
@@ -135,7 +135,9 @@ impl SvaVm {
             detail,
         });
         machine.counters.traps += 1;
+        machine.prof_push(Domain::Trap, trap_name);
         machine.charge(machine.costs.trap_entry + machine.costs.ic_save);
+        machine.prof_pop();
         let frame = machine.cpu.take_trap(kind);
         self.ic
             .stacks
@@ -156,7 +158,9 @@ impl SvaVm {
     ///
     /// [`IcError::NoContext`] if the thread has no pending trap.
     pub fn trap_return(&mut self, machine: &mut Machine, thread: ThreadId) -> Result<(), SvaError> {
+        machine.prof_push(Domain::Trap, "trap_return");
         machine.charge(machine.costs.trap_exit + machine.costs.ic_restore);
+        machine.prof_pop();
         let ic = self
             .ic
             .stacks
@@ -230,7 +234,9 @@ impl SvaVm {
         thread: ThreadId,
     ) -> Result<(), SvaError> {
         let t0 = machine.clock.cycles();
+        machine.prof_push(Domain::Sva, "sva.icontext.save");
         machine.charge(machine.costs.ic_save / 8 + 20);
+        machine.prof_pop();
         let top = self
             .ic
             .stacks
@@ -256,7 +262,9 @@ impl SvaVm {
         thread: ThreadId,
     ) -> Result<(), SvaError> {
         let t0 = machine.clock.cycles();
+        machine.prof_push(Domain::Sva, "sva.icontext.load");
         machine.charge(machine.costs.ic_restore / 8 + 20);
+        machine.prof_pop();
         let saved = self
             .ic
             .saved
@@ -287,7 +295,9 @@ impl SvaVm {
         arg: u64,
     ) -> Result<(), SvaError> {
         let t0 = machine.clock.cycles();
+        machine.prof_push(Domain::Sva, "sva.ipush.function");
         machine.charge(machine.costs.ic_save / 2 + 60);
+        machine.prof_pop();
         if self.ic.protected {
             let permitted = self
                 .ic
@@ -327,7 +337,9 @@ impl SvaVm {
         from_thread: ThreadId,
     ) -> Result<(), SvaError> {
         let t0 = machine.clock.cycles();
+        machine.prof_push(Domain::Sva, "sva.newstate");
         machine.charge(machine.costs.ic_save + 100);
+        machine.prof_pop();
         let top = self
             .ic
             .stacks
@@ -405,7 +417,9 @@ impl SvaVm {
         stack: VAddr,
     ) -> Result<(), SvaError> {
         let t0 = machine.clock.cycles();
+        machine.prof_push(Domain::Sva, "sva.reinit.icontext");
         machine.charge(machine.costs.ic_save + 100);
+        machine.prof_pop();
         self.ic.clear_permits(proc);
         let ic = self.ic_top_mut(thread)?;
         ic.frame = TrapFrame {

@@ -9,7 +9,7 @@
 
 use crate::frames::FrameKind;
 use crate::{SvaError, SvaVm};
-use vg_machine::{Machine, Pfn};
+use vg_machine::{Domain, Machine, Pfn};
 
 /// The I/O port through which the (simulated) IOMMU is configured. Writing
 /// a frame number here maps that frame for DMA — the attack path a hostile
@@ -39,7 +39,9 @@ impl SvaVm {
     /// [`SvaError::DmaProtected`] under Virtual Ghost if the frame backs
     /// ghost memory, SVA-internal memory, or a page table.
     pub fn sva_iommu_map(&mut self, machine: &mut Machine, pfn: Pfn) -> Result<(), SvaError> {
+        machine.prof_push(Domain::Sva, "sva.iommu_map");
         machine.charge(machine.costs.io_check + 30);
+        machine.prof_pop();
         if self.protections.dma_checks {
             match self.frames.kind(pfn) {
                 FrameKind::Ghost | FrameKind::SvaInternal | FrameKind::PageTable => {
@@ -55,7 +57,9 @@ impl SvaVm {
     /// Removes `pfn` from the DMA-visible set (always permitted —
     /// tightening DMA exposure cannot violate confidentiality).
     pub fn sva_iommu_unmap(&mut self, machine: &mut Machine, pfn: Pfn) {
+        machine.prof_push(Domain::Sva, "sva.iommu_unmap");
         machine.charge(machine.costs.io_check + 30);
+        machine.prof_pop();
         machine.iommu.unmap(pfn);
     }
 
@@ -74,7 +78,9 @@ impl SvaVm {
         port: u16,
         value: u64,
     ) -> Result<(), SvaError> {
+        machine.prof_push(Domain::Sva, "sva.port_write");
         machine.charge(machine.costs.io_check + 20);
+        machine.prof_pop();
         if port == IOMMU_CONFIG_PORT {
             if self.protections.dma_checks {
                 return Err(SvaError::PortProtected);
@@ -95,7 +101,9 @@ impl SvaVm {
     ///
     /// [`SvaError::PortProtected`] for protected ports under Virtual Ghost.
     pub fn sva_port_read(&mut self, machine: &mut Machine, port: u16) -> Result<u64, SvaError> {
+        machine.prof_push(Domain::Sva, "sva.port_read");
         machine.charge(machine.costs.io_check + 20);
+        machine.prof_pop();
         if port == IOMMU_CONFIG_PORT && self.protections.dma_checks {
             return Err(SvaError::PortProtected);
         }

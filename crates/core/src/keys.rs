@@ -22,7 +22,7 @@ use vg_crypto::aes::SealedBox;
 use vg_crypto::rsa::RsaKeyPair;
 use vg_crypto::sha256::Sha256;
 use vg_crypto::Tpm;
-use vg_machine::Machine;
+use vg_machine::{Domain, Machine};
 
 /// Key-management failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -164,7 +164,9 @@ impl SvaVm {
         binary: &AppBinary,
         presented_code_digest: [u8; 32],
     ) -> Result<(), SvaError> {
+        machine.prof_push(Domain::Crypto, "key_unwrap");
         machine.charge(machine.costs.sha_per_block * 8 + machine.costs.aes_per_block * 4);
+        machine.prof_pop();
         if machine.fault_check(vg_machine::FaultClass::TpmFail) {
             return Err(SvaError::Key(KeyError::TpmFailure));
         }
@@ -230,7 +232,9 @@ impl SvaVm {
         proc: ProcId,
         slot: u64,
     ) -> Result<u64, SvaError> {
+        machine.prof_push(Domain::Sva, "sva.version.bump");
         machine.charge(160);
+        machine.prof_pop();
         let key = *self
             .keys
             .app_keys

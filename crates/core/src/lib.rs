@@ -266,7 +266,9 @@ impl SvaVm {
     /// through the SVA path, defeating Iago attacks that serve fixed
     /// "randomness" from `/dev/random`.
     pub fn sva_random(&mut self, machine: &mut Machine) -> u64 {
+        machine.prof_push(vg_machine::Domain::Sva, "sva.random");
         machine.charge(40);
+        machine.prof_pop();
         self.rng.next_u64()
     }
 

@@ -19,7 +19,7 @@ use crate::{SvaError, SvaVm};
 use vg_machine::layout::Region;
 use vg_machine::mmu::{read_pte, write_pte};
 use vg_machine::pte::{PageTableLevel, Pte, PteFlags};
-use vg_machine::{DenialKind, Machine, Pfn, TraceEvent, VAddr};
+use vg_machine::{DenialKind, Domain, Machine, Pfn, TraceEvent, VAddr};
 
 /// Why an MMU update was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +75,9 @@ impl SvaVm {
     ///
     /// [`SvaError::OutOfFrames`] if physical memory is exhausted.
     pub fn sva_create_root(&mut self, machine: &mut Machine) -> Result<Pfn, SvaError> {
+        machine.prof_push(Domain::Mmu, "create_root");
         machine.charge(machine.costs.mmu_update);
+        machine.prof_pop();
         let root = machine.phys.alloc_frame().ok_or(SvaError::OutOfFrames)?;
         self.frames.set_kind(root, FrameKind::PageTable);
         Ok(root)
@@ -132,7 +134,9 @@ impl SvaVm {
         pfn: Pfn,
         flags: PteFlags,
     ) -> Result<(), SvaError> {
+        machine.prof_push(Domain::Mmu, "map_page");
         machine.charge(machine.costs.mmu_update + machine.costs.mmu_check);
+        machine.prof_pop();
         machine.counters.pte_updates += 1;
         if self.protections.mmu_checks {
             if let Err(e) = self.check_update(machine, root, va, Some((pfn, flags))) {
@@ -169,7 +173,9 @@ impl SvaVm {
         root: Pfn,
         va: VAddr,
     ) -> Result<Option<Pfn>, SvaError> {
+        machine.prof_push(Domain::Mmu, "unmap_page");
         machine.charge(machine.costs.mmu_update + machine.costs.mmu_check);
+        machine.prof_pop();
         machine.counters.pte_updates += 1;
         if self.protections.mmu_checks {
             if let Err(e) = self.check_update(machine, root, va, None) {

@@ -31,12 +31,17 @@ pub struct PathCost {
 
 impl PathCost {
     /// Charges this path on `machine` under its cost model and emits a
-    /// `kpath` span covering the charged cycles.
+    /// `kpath` span covering the charged cycles. The profiler leaf inherits
+    /// whatever domain encloses the call site (syscall, fault, boot), so
+    /// kernel paths appear as named flamegraph leaves without reclassifying
+    /// the cycles.
     #[inline]
     pub fn charge(&self, machine: &mut Machine) {
         let t0 = machine.clock.cycles();
+        machine.prof_leaf(self.name);
         kwork(machine, self.acc, self.br);
         machine.charge(self.fixed);
+        machine.prof_pop();
         machine.trace_complete("kpath", self.name, t0);
     }
 }

@@ -297,7 +297,11 @@ impl UserEnv<'_> {
     ///
     /// [`SvaError::Key`] if no key was loaded at exec.
     pub fn get_app_key(&mut self) -> Result<[u8; 16], SvaError> {
+        self.sys
+            .machine
+            .prof_push(vg_machine::Domain::Sva, "sva.getKey");
         self.sys.machine.charge(200);
+        self.sys.machine.prof_pop();
         self.sys.machine.trace_emit(vg_machine::TraceEvent::GetKey);
         self.sys.vm.sva_get_key(ProcId(self.pid))
     }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use vg_core::swap::SwappedGhostPage;
 use vg_core::{ProcId, SvaError};
 use vg_machine::layout::{Region, PAGE_SIZE};
-use vg_machine::{FaultClass, VAddr};
+use vg_machine::{Domain, FaultClass, VAddr};
 
 /// Bounded retries against a transiently failing swap device before the
 /// operation is reported as failed.
@@ -63,6 +63,7 @@ impl System {
         vpns.sort_unstable();
         let mut evicted = 0;
         let t0 = self.machine.clock.cycles();
+        self.machine.prof_push(Domain::Swap, "swap_out");
         for vpn in vpns.into_iter().take(max_pages) {
             costs::FSYNC.charge(&mut self.machine); // swap-device write path
             if !self.swap_device_io() {
@@ -82,6 +83,7 @@ impl System {
                 Err(_) => break,
             }
         }
+        self.machine.prof_pop();
         self.machine.trace_complete("kernel", "swap_out_ghost", t0);
         evicted
     }
@@ -96,6 +98,16 @@ impl System {
     /// corrupted — the application's data is gone (availability is out of
     /// scope), but nothing wrong is ever mapped in.
     pub fn kernel_swap_in_ghost(&mut self, pid: Pid, va: u64) -> Result<bool, SvaError> {
+        // The body has several charged early returns, so the attribution
+        // frame is balanced by wrapping rather than by pairing push/pop at
+        // every exit.
+        self.machine.prof_push(Domain::Swap, "swap_in");
+        let r = self.swap_in_ghost_inner(pid, va);
+        self.machine.prof_pop();
+        r
+    }
+
+    fn swap_in_ghost_inner(&mut self, pid: Pid, va: u64) -> Result<bool, SvaError> {
         if Region::of(VAddr(va)) != Region::Ghost {
             return Ok(false);
         }

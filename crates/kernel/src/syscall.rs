@@ -709,7 +709,9 @@ impl System {
             interp.run(handler, &argv, &mut ctx)
         };
         let stats = interp.stats;
+        self.machine.prof_leaf("module_hook");
         crate::mem::charge_interp(&mut self.machine, &stats);
+        self.machine.prof_pop();
         match result {
             Ok(v) => v,
             Err(e) => {

@@ -28,7 +28,7 @@ use vg_machine::cpu::TrapKind;
 use vg_machine::layout::{GHOST_BASE, PAGE_SIZE};
 use vg_machine::mmu::{AccessKind, TranslateError};
 use vg_machine::pte::PteFlags;
-use vg_machine::{DenialKind, FaultClass, Machine, MachineConfig, Pfn, VAddr};
+use vg_machine::{DenialKind, Domain, FaultClass, Machine, MachineConfig, Pfn, VAddr};
 
 /// Process identifier.
 pub type Pid = u64;
@@ -217,7 +217,9 @@ impl DmaDisk<'_> {
 
     fn try_read(&mut self, bno: u32) -> Result<Vec<u8>, FsError> {
         self.machine.counters.disk_blocks += 1;
+        self.machine.prof_push(Domain::Dma, "disk_read");
         self.machine.charge(self.machine.costs.disk_per_block);
+        self.machine.prof_pop();
         let frame = self.machine.alloc_frame_checked().ok_or(FsError::Io)?;
         if self.vm.sva_iommu_map(self.machine, frame).is_err() {
             self.machine.phys.free_frame(frame);
@@ -232,7 +234,9 @@ impl DmaDisk<'_> {
 
     fn try_write(&mut self, bno: u32, data: &[u8]) -> Result<(), FsError> {
         self.machine.counters.disk_blocks += 1;
+        self.machine.prof_push(Domain::Dma, "disk_write");
         self.machine.charge(self.machine.costs.disk_per_block);
+        self.machine.prof_pop();
         let frame = self.machine.alloc_frame_checked().ok_or(FsError::Io)?;
         self.machine.phys.write_frame(frame, data);
         if self.vm.sva_iommu_map(self.machine, frame).is_err() {
@@ -247,8 +251,10 @@ impl DmaDisk<'_> {
 
     fn backoff(&mut self, attempt: u32) {
         self.machine.fault_retried(FaultClass::DeviceIo);
+        self.machine.prof_push(Domain::Dma, "disk_retry");
         self.machine
             .charge(self.machine.costs.disk_per_block << attempt);
+        self.machine.prof_pop();
     }
 }
 
@@ -620,7 +626,9 @@ impl System {
         self.credit_cpu_time();
         self.machine.counters.context_switches += 1;
         let cs = self.machine.costs.context_switch + self.machine.costs.context_switch_vg;
+        self.machine.prof_push(Domain::Sched, "context_switch");
         self.machine.charge(cs);
+        self.machine.prof_pop();
         let root = self.procs[&pid].root;
         self.vm
             .sva_load_root(&mut self.machine, root)
@@ -671,7 +679,11 @@ impl System {
             .get_mut(&pid)
             .and_then(|p| p.program.take())
             .expect("process has a program");
+        // Everything the program body charges that is not claimed by a more
+        // specific frame (syscalls, faults, traps) is user time.
+        self.machine.prof_push(Domain::User, "user");
         let mut code = program(&mut UserEnv { sys: self, pid });
+        self.machine.prof_pop();
         // A process the kernel fault-killed mid-run finished only because
         // its syscalls and memory accesses were degraded to errors; its
         // exit status reports the kill (SIGKILL-style 137), not whatever
@@ -727,6 +739,7 @@ impl System {
     }
 
     pub(crate) fn exit_proc(&mut self, pid: Pid, code: i32) {
+        self.machine.prof_push(Domain::Syscall, "exit");
         costs::EXIT.charge(&mut self.machine);
         self.credit_cpu_time();
         let root = self.procs[&pid].root;
@@ -766,6 +779,7 @@ impl System {
                 .sva_load_root(&mut self.machine, self.boot_root)
                 .expect("boot root");
         }
+        self.machine.prof_pop();
     }
 
     // ---- trap path ---------------------------------------------------------
@@ -790,6 +804,7 @@ impl System {
         cpu.set_reg(vg_machine::cpu::Reg::R9, args[5]);
         let sname = crate::syscall::syscall_name(num);
         let t0 = self.machine.clock.cycles();
+        self.machine.prof_push(Domain::Syscall, sname);
         self.vm
             .trap_enter(&mut self.machine, thread, TrapKind::Syscall(num));
         self.machine.counters.syscalls += 1;
@@ -808,6 +823,7 @@ impl System {
             .expect("balanced trap");
         let lat = self.machine.clock.cycles() - t0;
         self.machine.metrics.observe(sname, lat);
+        self.machine.prof_pop();
         // Hardware resumes wherever the (possibly tampered) interrupt
         // context says. On the baseline system a hostile module may have
         // rewritten the saved PC (§2.2.4) — if it now points at registered
@@ -934,6 +950,7 @@ impl System {
 
     fn handle_page_fault(&mut self, pid: Pid, va: u64, access: AccessKind) -> bool {
         let thread = ThreadId(pid);
+        self.machine.prof_push(Domain::Fault, "page_fault");
         self.vm.trap_enter(
             &mut self.machine,
             thread,
@@ -947,6 +964,7 @@ impl System {
         self.vm
             .trap_return(&mut self.machine, thread)
             .expect("balanced fault");
+        self.machine.prof_pop();
         served
     }
 
@@ -1318,7 +1336,9 @@ impl System {
             let mut ctx = crate::module::UserCtx { sys: self, pid };
             let result = interp.run(vg_ir::CodeAddr(addr), &[arg as i64], &mut ctx);
             let stats = interp.stats;
+            self.machine.prof_push(Domain::User, "user_ir");
             crate::mem::charge_interp(&mut self.machine, &stats);
+            self.machine.prof_pop();
             match result {
                 Ok(_) => {}
                 Err(e) => self

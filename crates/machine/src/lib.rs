@@ -44,7 +44,9 @@ pub use mmu::{AccessKind, Mmu, TlbPolicy, TlbStats, TranslateError};
 pub use phys::PhysMem;
 pub use pte::{PageTableLevel, Pte, PteFlags};
 pub use vg_faults::{FaultClass, FaultPlan, FaultSpec, FaultState, InjectedFault, Trigger};
-pub use vg_trace::{DenialKind, DeniedOp, MetricsRegistry, TraceEvent, Tracer};
+pub use vg_trace::{
+    CycleProfiler, DenialKind, DeniedOp, Domain, MetricsRegistry, TraceEvent, Tracer,
+};
 
 use devices::{Console, Disk, Nic};
 use iommu::DmaFault;
@@ -94,6 +96,11 @@ pub struct Machine {
     pub trace: Tracer,
     /// Per-subsystem metrics registry (always on; deterministic).
     pub metrics: MetricsRegistry,
+    /// Exact cycle-attribution profiler (off by default). When enabled,
+    /// every [`charge`](Self::charge) lands in the innermost attribution
+    /// frame; Σ buckets == clock cycles (conservation, DESIGN.md §7).
+    /// Attribution never advances the clock or touches [`Counters`].
+    pub profiler: CycleProfiler,
     /// Deterministic fault-injection state (disarmed by default). While no
     /// plan is armed every hook site is one branch: no PRNG draws, no
     /// counters, no cycles — disarmed runs stay bit-identical to builds
@@ -182,16 +189,20 @@ impl Machine {
             counters: Counters::default(),
             trace: Tracer::new(),
             metrics: MetricsRegistry::new(),
+            profiler: CycleProfiler::new(),
             faults: FaultState::disarmed(),
             byte_granular_bus: config.byte_granular_bus,
             ir_engine: config.ir_engine,
         }
     }
 
-    /// Charges `cycles` to the CPU clock.
+    /// Charges `cycles` to the CPU clock. This is the only site that
+    /// advances the CPU timeline, so attributing here gives the profiler
+    /// its conservation invariant by construction.
     #[inline]
     pub fn charge(&mut self, cycles: u64) {
         self.clock.advance(cycles);
+        self.profiler.on_charge(self.trace.cur_proc, cycles);
         self.sync_tlb_counters();
     }
 
@@ -214,6 +225,36 @@ impl Machine {
     #[inline]
     pub fn charge_wire(&mut self, cycles: u64) {
         self.nic_time.advance(cycles);
+    }
+
+    // ---- cycle attribution ------------------------------------------------
+    //
+    // Frame helpers around `CycleProfiler`. Like tracing, attribution reads
+    // the clock but never advances it: profiler-on vs. off leaves the
+    // simulation bit-identical.
+
+    /// Enables cycle attribution from the current clock value onward.
+    pub fn profile_enable(&mut self) {
+        let now = self.clock.cycles();
+        self.profiler.enable(now);
+    }
+
+    /// Pushes an attribution frame (no-op while the profiler is off).
+    #[inline]
+    pub fn prof_push(&mut self, domain: Domain, label: &'static str) {
+        self.profiler.push(domain, label);
+    }
+
+    /// Pushes a leaf frame inheriting the enclosing frame's domain.
+    #[inline]
+    pub fn prof_leaf(&mut self, label: &'static str) {
+        self.profiler.push_leaf(label);
+    }
+
+    /// Pops the innermost attribution frame.
+    #[inline]
+    pub fn prof_pop(&mut self) {
+        self.profiler.pop();
     }
 
     // ---- tracing ----------------------------------------------------------

@@ -7,6 +7,7 @@
 //! as cycles (the simulation's only clock).
 
 use crate::metrics::MetricsRegistry;
+use crate::profile::{CycleProfiler, Domain};
 use crate::{Record, TraceEvent, Tracer};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -217,6 +218,108 @@ pub fn fault_summary(metrics: &MetricsRegistry) -> String {
     out
 }
 
+/// One frame of a folded stack: the bare domain key when the label repeats
+/// it (`user`, `boot`), `domain:label` otherwise (`syscall:open`).
+fn folded_frame(domain: Domain, label: &'static str) -> String {
+    if label == domain.key() {
+        label.to_string()
+    } else {
+        format!("{}:{}", domain.key(), label)
+    }
+}
+
+/// Renders the profiler's attribution trie in folded-stack format — one
+/// `frame;frame;leaf count` line per node with self-time, directly loadable
+/// by inferno (`inferno-flamegraph`), Brendan Gregg's `flamegraph.pl`, and
+/// speedscope without preprocessing. Counts are simulated cycles. Lines are
+/// sorted, so identical runs export byte-identical files.
+pub fn folded_stacks(p: &CycleProfiler) -> String {
+    let mut lines = Vec::new();
+    for (idx, n) in p.nodes().iter().enumerate() {
+        if n.self_cycles == 0 {
+            continue;
+        }
+        let path: Vec<String> = p
+            .path_of(idx as u32)
+            .into_iter()
+            .map(|(d, l)| folded_frame(d, l))
+            .collect();
+        lines.push(format!("{} {}", path.join(";"), n.self_cycles));
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a perf-report-style text view of the attribution trie: the
+/// per-domain breakdown, the top `n` frames by self cycles, and the
+/// per-process split. Deterministic: ties break on frame path order.
+pub fn profile_report(p: &CycleProfiler, n: usize) -> String {
+    let total = p.total_attributed();
+    let pct = |c: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / total as f64
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "== cycle attribution: per domain ==");
+    let _ = writeln!(out, "{:<10} {:>16} {:>8}", "domain", "cycles", "%");
+    let domains = p.domain_totals();
+    let mut ranked: Vec<(Domain, u64)> = domains.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (d, c) in &ranked {
+        let _ = writeln!(out, "{:<10} {:>16} {:>7.1}%", d.key(), c, pct(*c));
+    }
+    let _ = writeln!(out, "{:<10} {:>16} {:>7.1}%", "total", total, pct(total));
+    if p.start_cycles() > 0 {
+        let _ = writeln!(
+            out,
+            "(+ {} cycles spent before the profiler was enabled)",
+            p.start_cycles()
+        );
+    }
+
+    let _ = writeln!(out, "== cycle attribution: top {n} frames ==");
+    let _ = writeln!(out, "{:<44} {:>16} {:>8}", "frame", "self-cycles", "%");
+    let mut frames: Vec<(String, u64)> = p
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| node.self_cycles > 0)
+        .map(|(idx, node)| {
+            let path: Vec<String> = p
+                .path_of(idx as u32)
+                .into_iter()
+                .map(|(d, l)| folded_frame(d, l))
+                .collect();
+            (path.join(";"), node.self_cycles)
+        })
+        .collect();
+    frames.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (path, c) in frames.into_iter().take(n) {
+        let _ = writeln!(out, "{:<44} {:>16} {:>7.1}%", path, c, pct(c));
+    }
+
+    let _ = writeln!(out, "== cycle attribution: per process ==");
+    let _ = writeln!(out, "{:<6} {:>16} {:>8}  top domain", "pid", "cycles", "%");
+    for (pid, c) in p.proc_totals() {
+        let top = p
+            .proc_domain_totals()
+            .iter()
+            .filter(|((q, _), _)| *q == pid)
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0 .1.cmp(&a.0 .1)))
+            .map(|((_, d), _)| d.key())
+            .unwrap_or("-");
+        let _ = writeln!(out, "{:<6} {:>16} {:>7.1}%  {}", pid, c, pct(c), top);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +407,63 @@ mod tests {
         );
         let s = summary_top_n(&t, 5);
         assert!(!s.contains("trap:syscall"));
+    }
+
+    fn sample_profiler() -> CycleProfiler {
+        let mut p = CycleProfiler::new();
+        p.enable(0);
+        p.on_charge(0, 11); // root/boot
+        p.push(Domain::Syscall, "open");
+        p.on_charge(1, 100);
+        p.push_leaf("kpath.open");
+        p.on_charge(1, 7);
+        p.pop();
+        p.pop();
+        p.push(Domain::User, "user");
+        p.on_charge(1, 40);
+        p.pop();
+        p
+    }
+
+    #[test]
+    fn folded_stacks_format_is_loadable_and_sorted() {
+        let p = sample_profiler();
+        let f = folded_stacks(&p);
+        // Every line is `frame(;frame)* <count>` — what inferno/speedscope
+        // parse with no preprocessing.
+        for line in f.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space-separated count");
+            assert!(!stack.is_empty());
+            assert!(count.parse::<u64>().is_ok(), "numeric count in {line:?}");
+            assert!(!stack.contains(' '), "no spaces inside frames: {line:?}");
+        }
+        assert!(f.contains("boot 11\n"));
+        assert!(f.contains("boot;syscall:open 100\n"));
+        assert!(f.contains("boot;syscall:open;syscall:kpath.open 7\n"));
+        assert!(f.contains("boot;user 40\n"));
+        let mut lines: Vec<&str> = f.lines().collect();
+        let sorted = lines.clone();
+        lines.sort();
+        assert_eq!(lines, sorted, "lines are pre-sorted for determinism");
+    }
+
+    #[test]
+    fn profile_report_ranks_domains_and_frames() {
+        let p = sample_profiler();
+        let r = profile_report(&p, 10);
+        assert!(r.contains("== cycle attribution: per domain =="), "{r}");
+        assert!(r.contains("syscall"), "{r}");
+        let total: u64 = 11 + 100 + 7 + 40;
+        assert!(r.contains(&total.to_string()), "{r}");
+        assert!(r.contains("== cycle attribution: per process =="), "{r}");
+        assert_eq!(profile_report(&p, 10), r, "deterministic");
+    }
+
+    #[test]
+    fn empty_profiler_exports_empty_stacks() {
+        let p = CycleProfiler::new();
+        assert_eq!(folded_stacks(&p), "");
+        let r = profile_report(&p, 5);
+        assert!(r.contains("total"));
     }
 }

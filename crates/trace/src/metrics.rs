@@ -86,7 +86,13 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return if i == 0 { 0 } else { 1u64 << i };
+                // Bucket 64 holds samples ≥ 2^63; its upper bound does not
+                // fit in a u64, so clamp instead of shifting by 64.
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => 1u64 << i,
+                };
             }
         }
         self.max
@@ -124,9 +130,11 @@ impl MetricsRegistry {
         self.histograms.entry(name).or_default().observe(v);
     }
 
-    /// Adds `delta` to the named counter (created on first use).
+    /// Adds `delta` to the named counter (created on first use),
+    /// saturating at `u64::MAX` so long soak runs cannot overflow.
     pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(delta);
     }
 
     /// Increments the named counter by one.
@@ -234,6 +242,29 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_of_top_bucket_clamps_instead_of_overflowing() {
+        // Samples ≥ 2^63 land in bucket 64, whose upper bound would be
+        // `1u64 << 64` — a shift overflow (debug panic). The quantile must
+        // clamp to u64::MAX instead.
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn counter_add_saturates_instead_of_overflowing() {
+        let mut m = MetricsRegistry::new();
+        m.add("soak", u64::MAX - 1);
+        m.add("soak", 5);
+        assert_eq!(m.counter("soak"), u64::MAX);
+        m.inc("soak");
+        assert_eq!(m.counter("soak"), u64::MAX);
     }
 
     #[test]

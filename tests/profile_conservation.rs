@@ -1,0 +1,112 @@
+//! Conservation proofs for the cycle-attribution profiler (DESIGN.md §7).
+//!
+//! For a random mix of the paper's workload families (LMBench open/close,
+//! fork+exec, ghost-swap, Postmark, a thttpd-style serve loop), every
+//! charged cycle must land in exactly one attribution bucket:
+//!
+//! * globally — `start_cycles + Σ domain totals == Machine::clock.cycles()`;
+//! * per process — the (process, domain) totals partition the attributed
+//!   cycles, and collapse consistently onto the per-domain totals;
+//! * and turning the profiler off must leave cycles and counters
+//!   bit-identical (the profiler is invisible to the simulation).
+
+use proptest::prelude::*;
+use vg_apps::{lmbench, postmark, thttpd};
+use vg_kernel::{Mode, System};
+use vg_machine::Domain;
+
+/// One workload segment. `i` keeps installed app names unique across steps.
+fn apply_step(sys: &mut System, step: u8, i: usize) {
+    match step % 5 {
+        0 => {
+            lmbench::open_close(sys, 5 + (i as u64 % 4));
+        }
+        1 => {
+            let name = format!("pcons-ghost-{i}");
+            sys.install_app(&name, true, || {
+                Box::new(|env| {
+                    let Ok(va) = env.allocgm(2) else { return 1 };
+                    env.write_mem(va, b"conserved");
+                    let pid = env.pid;
+                    env.sys.kernel_swap_out_ghost(pid, 2);
+                    assert_eq!(env.read_mem(va, 9), b"conserved");
+                    0
+                })
+            });
+            let pid = sys.spawn(&name);
+            assert_eq!(sys.run_until_exit(pid), 0);
+        }
+        2 => {
+            postmark::run(
+                sys,
+                postmark::PostmarkConfig {
+                    base_files: 5,
+                    transactions: 10,
+                    ..Default::default()
+                },
+            );
+        }
+        3 => {
+            thttpd::bandwidth(sys, 1024, 2);
+        }
+        _ => {
+            lmbench::fork_exec(sys, 2);
+        }
+    }
+}
+
+fn run_mix(steps: &[u8], profiled: bool) -> System {
+    let mut sys = System::boot(Mode::VirtualGhost);
+    if profiled {
+        sys.machine.profile_enable();
+    }
+    for (i, &s) in steps.iter().enumerate() {
+        apply_step(&mut sys, s, i);
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn attribution_conserves_every_cycle(steps in proptest::collection::vec(0u8..5, 1..5)) {
+        let sys = run_mix(&steps, true);
+        let clock = sys.machine.clock.cycles();
+        let prof = &sys.machine.profiler;
+
+        // The profiler's own three-way balance check, plus the invariants
+        // spelled out independently so a failure names the broken book.
+        prof.assert_conservation(clock);
+        prop_assert_eq!(prof.depth(), 0, "frames balance after {:?}", steps);
+
+        let domain_sum: u64 = prof.domain_totals().values().sum();
+        prop_assert_eq!(prof.start_cycles() + domain_sum, clock);
+
+        let proc_sum: u64 = prof.proc_totals().values().sum();
+        prop_assert_eq!(proc_sum, prof.total_attributed());
+
+        // The (process, domain) matrix collapses onto the domain totals.
+        for (d, total) in prof.domain_totals() {
+            let from_procs: u64 = prof
+                .proc_domain_totals()
+                .iter()
+                .filter(|((_, pd), _)| *pd == d)
+                .map(|(_, c)| c)
+                .sum();
+            prop_assert_eq!(from_procs, total, "domain {} books", d.key());
+        }
+
+        // Workloads ran user code, so attribution reached real processes
+        // (pid 0 is boot context) and more than one domain.
+        prop_assert!(prof.proc_totals().keys().any(|&pid| pid != 0));
+        prop_assert!(prof.domain_totals().len() > 1);
+        prop_assert!(prof.domain_totals().contains_key(&Domain::Syscall));
+
+        // Profiler-off twin: bit-identical cycles and counters.
+        let off = run_mix(&steps, false);
+        prop_assert_eq!(off.machine.clock.cycles(), clock);
+        prop_assert_eq!(off.machine.counters, sys.machine.counters);
+        prop_assert_eq!(off.machine.profiler.total_attributed(), 0);
+    }
+}

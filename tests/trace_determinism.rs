@@ -16,9 +16,16 @@ use vg_trace::{chrome_trace_json, fault_summary, summary_top_n, DEFAULT_TRACE_CA
 /// The capture workload: one LMBench microbenchmark, a ghost-memory swap
 /// roundtrip, and a small Postmark run.
 fn run_workload(traced: bool) -> System {
+    run_workload_with(traced, false)
+}
+
+fn run_workload_with(traced: bool, profiled: bool) -> System {
     let mut sys = System::boot(Mode::VirtualGhost);
     if traced {
         sys.machine.trace.enable(DEFAULT_TRACE_CAPACITY);
+    }
+    if profiled {
+        sys.machine.profile_enable();
     }
     lmbench::open_close(&mut sys, 25);
     sys.install_app("ghost-swapper", true, || {
@@ -188,6 +195,70 @@ fn fault_layer_is_invisible_when_it_injects_nothing() {
         "no fault table without fault counters"
     );
     assert_eq!(disarmed.1.page_faults, empty_plan.1.page_faults);
+}
+
+#[test]
+fn profiling_does_not_perturb_cycles_counters_or_exports() {
+    // The cycle-attribution profiler rides the same no-perturbation
+    // invariant as the tracer: profiler-on must be bit-identical to
+    // profiler-off in everything the simulation observes.
+    let profiled = run_workload_with(true, true);
+    let plain = run_workload_with(true, false);
+    assert_eq!(
+        profiled.machine.clock.cycles(),
+        plain.machine.clock.cycles(),
+        "profiling must not advance the simulated clock"
+    );
+    assert_eq!(
+        profiled.machine.counters, plain.machine.counters,
+        "profiling must leave every counter bit-identical"
+    );
+    assert_eq!(
+        chrome_trace_json(&profiled.machine.trace),
+        chrome_trace_json(&plain.machine.trace),
+        "profiling must leave the flight recorder bit-identical"
+    );
+    assert_eq!(
+        profiled.machine.metrics.report(),
+        plain.machine.metrics.report(),
+        "profiling must leave the metrics registry bit-identical"
+    );
+    // …and while invisible to the simulation, the profiled run's books
+    // balance exactly against the shared clock.
+    profiled
+        .machine
+        .profiler
+        .assert_conservation(profiled.machine.clock.cycles());
+    assert_eq!(
+        profiled.machine.profiler.depth(),
+        0,
+        "attribution frames balance across the whole workload"
+    );
+    assert!(profiled.machine.profiler.total_attributed() > 0);
+    assert_eq!(
+        plain.machine.profiler.total_attributed(),
+        0,
+        "a disabled profiler accumulates nothing"
+    );
+    let folded = vg_trace::folded_stacks(&profiled.machine.profiler);
+    assert!(
+        folded.lines().any(|l| l.contains(";syscall:")),
+        "folded stacks contain syscall frames: {folded}"
+    );
+}
+
+#[test]
+fn profiled_runs_are_deterministic() {
+    let a = run_workload_with(false, true);
+    let b = run_workload_with(false, true);
+    assert_eq!(
+        vg_trace::folded_stacks(&a.machine.profiler),
+        vg_trace::folded_stacks(&b.machine.profiler)
+    );
+    assert_eq!(
+        vg_trace::profile_report(&a.machine.profiler, 10),
+        vg_trace::profile_report(&b.machine.profiler, 10)
+    );
 }
 
 #[test]
