@@ -7,7 +7,10 @@
 //!   create/delete rates of Tables 3–4.
 //! * [`postmark`] — the Postmark mail-server workload of Table 5.
 //! * [`thttpd`] — the thttpd-style web server plus the ApacheBench-like
-//!   client driver behind Figure 2.
+//!   client driver behind Figure 2, and its C10K event-loop port driven by
+//!   the descriptor-ring data plane.
+//! * [`ghostkv`] — a memcached-style key/value server holding its value
+//!   heap in ghost memory, staged through traditional buffers for I/O.
 //! * [`ssh`] — the OpenSSH suite of §6 (ssh-keygen / ssh-agent / ssh / sshd)
 //!   with ghost-memory heaps and a shared application key, plus the
 //!   transfer-rate drivers behind Figures 3 and 4.
@@ -16,6 +19,7 @@
 //! the system mode decides the checks and the cost model, so each driver
 //! can regenerate both columns/curves of its paper artefact.
 
+pub mod ghostkv;
 pub mod lmbench;
 pub mod postmark;
 pub mod ssh;

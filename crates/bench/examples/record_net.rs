@@ -1,0 +1,37 @@
+//! Regenerates the measurements recorded in `BENCH_net.json`.
+//!
+//! ```text
+//! cargo run --release -p vg-bench --example record_net
+//! ```
+//!
+//! Prints one block per connection count. Numbers are simulated cycles, so
+//! they are bit-reproducible: any machine records identical values, and a
+//! change here means the data plane or the cost model changed, not the
+//! hardware.
+
+use vg_bench::shapes::net_shapes;
+
+fn main() {
+    for conns in [256u32, 1024] {
+        println!("-- {conns} connections --");
+        for s in net_shapes(conns) {
+            println!(
+                "{:<12} optimized: {:>8.1} cyc/req  {:>8.2} req/Mcyc  p50 {:>9} p99 {:>9}",
+                s.name,
+                s.optimized_cycles_per_req(),
+                s.optimized.req_per_megacycle,
+                s.optimized.p50_cycles,
+                s.optimized.p99_cycles,
+            );
+            println!(
+                "{:<12} baseline:  {:>8.1} cyc/req  {:>8.2} req/Mcyc  p50 {:>9} p99 {:>9}",
+                "",
+                s.baseline_cycles_per_req(),
+                s.baseline.req_per_megacycle,
+                s.baseline.p50_cycles,
+                s.baseline.p99_cycles,
+            );
+            println!("{:<12} speedup: {:.3}x", "", s.speedup());
+        }
+    }
+}

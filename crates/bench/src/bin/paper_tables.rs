@@ -1,6 +1,6 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `paper-tables [table2|table3|table4|table5|figure2|figure3|figure4|security|ablation] [--fast]`
+//! Usage: `paper-tables [table2|table3|table4|table5|figure2|figure3|figure4|c10k|security|ablation] [--fast]`
 //! With no argument, everything runs. `--fast` shrinks iteration counts for
 //! smoke runs (shapes hold; absolute noise rises).
 //!
@@ -10,7 +10,7 @@
 //! the per-subsystem metrics report for the same capture workload.
 
 use std::collections::BTreeMap;
-use vg_apps::{lmbench, postmark, ssh, thttpd};
+use vg_apps::{ghostkv, lmbench, postmark, ssh, thttpd};
 use vg_bench::{ratio, PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5};
 use vg_core::Protections;
 use vg_kernel::{Mode, System};
@@ -23,6 +23,7 @@ struct Scale {
     pm_tx: u32,
     http_reqs: u32,
     transfers: u32,
+    c10k_conns: u32,
 }
 
 const FULL: Scale = Scale {
@@ -31,6 +32,7 @@ const FULL: Scale = Scale {
     pm_tx: 5_000,
     http_reqs: 40,
     transfers: 8,
+    c10k_conns: 1024,
 };
 const FAST: Scale = Scale {
     lm_iters: 40,
@@ -38,6 +40,7 @@ const FAST: Scale = Scale {
     pm_tx: 400,
     http_reqs: 8,
     transfers: 3,
+    c10k_conns: 256,
 };
 
 fn main() {
@@ -51,7 +54,7 @@ fn main() {
             "usage: paper-tables [ARTEFACT..] [--fast] [--trace PATH] [--metrics] [--profile]"
         );
         println!("artefacts: table2 table3 table4 table5 figure2 figure3 figure4");
-        println!("           security ablation counters   (default: all)");
+        println!("           c10k security ablation counters   (default: all)");
         println!("--fast: reduced iteration counts for smoke runs");
         println!("--trace PATH: run a traced capture, write Chrome trace.json to PATH");
         println!("--metrics: print the per-subsystem metrics report for the capture");
@@ -115,6 +118,9 @@ fn main() {
     if want("figure4") {
         figure4(&scale);
     }
+    if want("c10k") {
+        c10k_table(&scale);
+    }
     if want("security") {
         security();
     }
@@ -158,6 +164,11 @@ fn observability_workload(sys: &mut System, scale: &Scale) {
             ..Default::default()
         },
     );
+    // A small C10K burst and a KV load so the metrics report carries the
+    // request-latency histograms (http.request_cycles / kv.request_cycles)
+    // alongside the per-syscall ones.
+    thttpd::c10k(sys, 512, 16, 4, thttpd::ServerKind::EventLoop);
+    ghostkv::kv_load(sys, 64, 8, 2);
 }
 
 fn observability(scale: &Scale, trace_path: Option<&str>, metrics: bool) {
@@ -568,6 +579,40 @@ fn figure4(scale: &Scale) {
         );
     }
     println!("(paper: at most 5% reduction)");
+}
+
+/// The C10K artefact: the descriptor-ring event loop against the
+/// synchronous per-call reference, plus ghostkv across the two data planes.
+/// Everything is simulated cycles, so the table is bit-reproducible
+/// (BENCH_net.json records the checked-in run).
+fn c10k_table(scale: &Scale) {
+    println!(
+        "\n== C10K: event-loop + descriptor ring vs synchronous reference ({} conns) ==",
+        scale.c10k_conns
+    );
+    println!(
+        "{:<12} {:<10} {:>10} {:>11} {:>12} {:>12} {:>8}",
+        "shape", "side", "cyc/req", "req/Mcyc", "p50-cyc", "p99-cyc", "speedup"
+    );
+    for s in vg_bench::shapes::net_shapes(scale.c10k_conns) {
+        for (side, b) in [("optimized", &s.optimized), ("baseline", &s.baseline)] {
+            println!(
+                "{:<12} {:<10} {:>10.1} {:>11.2} {:>12} {:>12} {:>8}",
+                s.name,
+                side,
+                b.cpu_cycles as f64 / b.requests as f64,
+                b.req_per_megacycle,
+                b.p50_cycles,
+                b.p99_cycles,
+                if side == "baseline" {
+                    format!("{:.2}x", s.speedup())
+                } else {
+                    String::new()
+                },
+            );
+        }
+    }
+    println!("(acceptance: >=3x req/megacycle on thttpd_c10k at >=1000 connections)");
 }
 
 fn security() {

@@ -36,6 +36,7 @@ const CRYPTO_JSON: &str = include_str!(concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../BENCH_crypto.json"
 ));
+const NET_JSON: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json"));
 
 /// Allowed relative drop of a recorded speedup before the gate fails.
 const TOLERANCE: f64 = 1.25;
@@ -234,11 +235,42 @@ fn crypto_rows() -> Vec<GateRow> {
     rows
 }
 
+/// The descriptor-ring data-plane shapes. Unlike the wall-clock groups
+/// these are measured in *simulated* cycles per request — deterministic, so
+/// a drop below the floor means the batching or the cost model regressed,
+/// not the CI machine. The `opt-us`/`base-us` columns hold cycles/request
+/// for these rows.
+fn net_rows() -> Vec<GateRow> {
+    let conns = json_number(NET_JSON, "methodology", "conns").unwrap_or(256.0) as u32;
+    vg_bench::shapes::net_shapes(conns)
+        .into_iter()
+        .filter_map(|shape| {
+            let Some(recorded) = json_number(NET_JSON, "gate_ratios", shape.name) else {
+                println!(
+                    "net_data_plane/{}: skipped (no recorded baseline)",
+                    shape.name
+                );
+                return None;
+            };
+            Some(GateRow {
+                group: "net_data_plane",
+                name: shape.name,
+                recorded,
+                measured: shape.speedup(),
+                optimized_us: shape.optimized_cycles_per_req(),
+                baseline_us: shape.baseline_cycles_per_req(),
+            })
+        })
+        .collect()
+}
+
 fn main() {
     println!("== vg-bench: wall-clock regression gate ==");
-    println!("(fails when a recorded speedup drops by more than {TOLERANCE}x)\n");
+    println!("(fails when a recorded speedup drops by more than {TOLERANCE}x)");
+    println!("(net_data_plane rows are simulated cycles/request, not microseconds)\n");
     let mut rows = engine_rows();
     rows.extend(crypto_rows());
+    rows.extend(net_rows());
 
     println!(
         "\n{:<18} {:<20} {:>10} {:>10} {:>9} {:>9} {:>9}   status",

@@ -255,6 +255,77 @@ pub fn prepared_shapes() -> Vec<PreparedShape> {
     .collect()
 }
 
+// ---- net shapes: the descriptor-ring data plane -----------------------------
+
+/// One network data-plane shape: the optimized configuration (event-loop
+/// server on the descriptor ring) against the baseline (synchronous server
+/// on the per-call reference path), measured in *simulated* cycles — fully
+/// deterministic, unlike the wall-clock engine shapes above.
+pub struct NetShapeResult {
+    /// Shape key as recorded in `BENCH_net.json` (`thttpd_c10k`, `ghostkv`).
+    pub name: &'static str,
+    /// Concurrent connections driven.
+    pub conns: u32,
+    /// Event-loop + ring run.
+    pub optimized: vg_apps::thttpd::C10kBench,
+    /// Reference run (synchronous server for thttpd; same event-loop server
+    /// on the per-call data plane for ghostkv).
+    pub baseline: vg_apps::thttpd::C10kBench,
+}
+
+impl NetShapeResult {
+    /// Requests-per-megacycle gain of the optimized configuration — the
+    /// ratio `BENCH_net.json`'s `gate_ratios` section records.
+    pub fn speedup(&self) -> f64 {
+        self.optimized.req_per_megacycle / self.baseline.req_per_megacycle
+    }
+    /// CPU cycles per request, optimized side.
+    pub fn optimized_cycles_per_req(&self) -> f64 {
+        self.optimized.cpu_cycles as f64 / self.optimized.requests as f64
+    }
+    /// CPU cycles per request, baseline side.
+    pub fn baseline_cycles_per_req(&self) -> f64 {
+        self.baseline.cpu_cycles as f64 / self.baseline.requests as f64
+    }
+}
+
+/// Runs both net shapes at `conns` concurrent connections on Virtual Ghost
+/// systems (C10K: 8 pipelined keep-alive requests per connection for a
+/// 512-byte document; ghostkv: 4 SET/GET pairs of 256-byte values).
+pub fn net_shapes(conns: u32) -> Vec<NetShapeResult> {
+    use vg_apps::{ghostkv, thttpd};
+    use vg_kernel::{Mode, NetMode, System};
+
+    let mut ring = System::boot(Mode::VirtualGhost);
+    ring.net_mode = NetMode::Ring;
+    let event = thttpd::c10k(&mut ring, 512, conns, 8, thttpd::ServerKind::EventLoop);
+    let mut reference = System::boot(Mode::VirtualGhost);
+    reference.net_mode = NetMode::Reference;
+    let sync = thttpd::c10k(&mut reference, 512, conns, 8, thttpd::ServerKind::Sync);
+
+    let mut kv_ring = System::boot(Mode::VirtualGhost);
+    kv_ring.net_mode = NetMode::Ring;
+    let kv_opt = ghostkv::kv_load(&mut kv_ring, 256, conns, 4);
+    let mut kv_ref = System::boot(Mode::VirtualGhost);
+    kv_ref.net_mode = NetMode::Reference;
+    let kv_base = ghostkv::kv_load(&mut kv_ref, 256, conns, 4);
+
+    vec![
+        NetShapeResult {
+            name: "thttpd_c10k",
+            conns,
+            optimized: event,
+            baseline: sync,
+        },
+        NetShapeResult {
+            name: "ghostkv",
+            conns,
+            optimized: kv_opt,
+            baseline: kv_base,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@
 
 use crate::frames::FrameKind;
 use crate::{SvaError, SvaVm};
-use vg_machine::{Domain, Machine, Pfn};
+use vg_machine::{DenialKind, Domain, Machine, Pfn};
 
 /// The I/O port through which the (simulated) IOMMU is configured. Writing
 /// a frame number here maps that frame for DMA — the attack path a hostile
@@ -45,7 +45,12 @@ impl SvaVm {
         if self.protections.dma_checks {
             match self.frames.kind(pfn) {
                 FrameKind::Ghost | FrameKind::SvaInternal | FrameKind::PageTable => {
-                    return Err(SvaError::DmaProtected)
+                    machine.record_denial(
+                        DenialKind::DmaViolation,
+                        pfn.0,
+                        "iommu map targets a protected frame",
+                    );
+                    return Err(SvaError::DmaProtected);
                 }
                 FrameKind::Regular | FrameKind::Code => {}
             }

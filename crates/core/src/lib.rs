@@ -54,12 +54,14 @@ pub mod keys;
 pub mod mmu;
 #[cfg(test)]
 mod proptests;
+pub mod ring;
 pub mod swap;
 
 pub use frames::{FrameKind, FrameTable};
 pub use icontext::{IcError, InterruptContext};
 pub use keys::{AppBinary, KeyError};
 pub use mmu::MmuCheckError;
+pub use ring::{DescRing, RingDesc, RingDir, UsedElem};
 
 use vg_crypto::rsa::RsaKeyPair;
 use vg_crypto::{ChaChaRng, Tpm};

@@ -215,6 +215,23 @@ pub const NET_PER_PACKET: PathCost = PathCost {
     br: 20,
     fixed: 250,
 };
+/// Descriptor-ring doorbell: batch submit/retire bookkeeping around the
+/// single checked port write (one per batch, any size).
+pub const RING_DOORBELL: PathCost = PathCost {
+    name: "ring_doorbell",
+    acc: 40,
+    br: 4,
+    fixed: 120,
+};
+/// Per descriptor posted through the ring: slot setup plus completion
+/// retirement. Replaces [`NET_PER_PACKET`]'s full protocol path when the
+/// batched data plane carries the packet.
+pub const RING_PER_DESC: PathCost = PathCost {
+    name: "ring_per_desc",
+    acc: 30,
+    br: 2,
+    fixed: 40,
+};
 /// `fsync`.
 pub const FSYNC: PathCost = PathCost {
     name: "fsync",
@@ -256,7 +273,16 @@ mod tests {
 
     #[test]
     fn paths_cost_more_under_vg() {
-        for p in [OPEN, CLOSE, FORK, EXEC, MMAP, SELECT_PER_FD] {
+        for p in [
+            OPEN,
+            CLOSE,
+            FORK,
+            EXEC,
+            MMAP,
+            SELECT_PER_FD,
+            RING_DOORBELL,
+            RING_PER_DESC,
+        ] {
             let n = cycles(p, CostModel::native());
             let v = cycles(p, CostModel::virtual_ghost());
             assert!(v > n, "{p:?}");
@@ -269,6 +295,35 @@ mod tests {
         // bulk of it.
         let us = cycles(FORK, CostModel::native()) as f64 / CYCLES_PER_US;
         assert!((20.0..60.0).contains(&us), "fork path = {us} µs");
+    }
+
+    #[test]
+    fn ring_batch_amortizes_per_packet_path() {
+        // The batched data plane exists to beat the per-call path: a
+        // 32-packet batch (one doorbell + 32 descriptors) must cost well
+        // under a third of 32 classic per-packet traversals under VG.
+        let batch = {
+            let mut m = Machine::new(MachineConfig {
+                costs: CostModel::virtual_ghost(),
+                ..Default::default()
+            });
+            RING_DOORBELL.charge(&mut m);
+            for _ in 0..32 {
+                RING_PER_DESC.charge(&mut m);
+            }
+            m.clock.cycles()
+        };
+        let classic = {
+            let mut m = Machine::new(MachineConfig {
+                costs: CostModel::virtual_ghost(),
+                ..Default::default()
+            });
+            for _ in 0..32 {
+                NET_PER_PACKET.charge(&mut m);
+            }
+            m.clock.cycles()
+        };
+        assert!(batch * 3 < classic, "batch={batch} classic={classic}");
     }
 
     #[test]

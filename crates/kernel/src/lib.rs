@@ -45,6 +45,7 @@ pub mod syscall;
 pub mod system;
 
 pub use fs::{FsError, Ino, InodeKind, VgFs};
+pub use net::NetMode;
 pub use program::{AppMain, SigHandlerFn, UserEnv};
 pub use system::{ChildKind, Fd, Mode, Pid, Proc, ProcState, System, SIGUSR1};
 

@@ -8,8 +8,10 @@
 //! tiny transfers are syscall-limited — the shape behind Figures 2–4.
 
 use crate::costs;
+use crate::syscall::EAGAIN;
 use crate::system::{Fd, Pid, System};
 use std::collections::{HashMap, VecDeque};
+use vg_core::{DescRing, RingDesc, RingDir};
 use vg_machine::devices::{Packet, MTU};
 
 /// Wire occupancy charged per inbound connection: TCP handshake, client
@@ -17,6 +19,21 @@ use vg_machine::devices::{Packet, MTU};
 /// (calibrated so small-file thttpd bandwidth lands near the paper's
 /// Figure 2 left edge of ≈16 MB/s at 1 KB).
 pub const CONN_WIRE_CYCLES: u64 = 204_000; // ≈ 60 µs
+
+/// Which backend moves network payloads between kernel and NIC.
+///
+/// Both modes serve byte-identical traffic with identical packet
+/// segmentation and wire-cycle charges; only the CPU cost differs (per-call
+/// checked I/O vs. one doorbell per batch). `Reference` is the per-call
+/// synchronous path kept as the differential-testing oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetMode {
+    /// Batched virtio-style descriptor rings (the default data plane).
+    #[default]
+    Ring,
+    /// Per-packet `NET_PER_PACKET` traversals, one checked operation each.
+    Reference,
+}
 
 /// A socket endpoint.
 #[derive(Debug, Default)]
@@ -27,6 +44,11 @@ pub struct Socket {
     pub listening: bool,
     /// Connected flow, if any.
     pub flow: Option<u64>,
+    /// `O_NONBLOCK`: reads/accepts return [`EAGAIN`] instead of blocking.
+    /// (The simulated kernel is run-to-completion and can never sleep, so
+    /// blocking sockets report [`EAGAIN`] identically; the flag exists so
+    /// event-loop apps declare their intent and tests pin the semantics.)
+    pub nonblocking: bool,
     /// File-descriptor references (fork clones fd tables, so sockets are
     /// shared between parent and child).
     pub refs: u32,
@@ -55,7 +77,7 @@ pub struct FlowBuf {
 }
 
 /// The network stack state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NetStack {
     /// Pending (un-accepted) connections per port.
     pub pending: HashMap<u16, VecDeque<u64>>,
@@ -64,6 +86,23 @@ pub struct NetStack {
     next_flow: u64,
     /// Ports with listeners.
     pub listeners: HashMap<u16, u64>, // port -> socket id
+    /// Transmit descriptor ring (the batched data plane's TX queue).
+    pub tx_ring: DescRing,
+    /// Receive descriptor ring.
+    pub rx_ring: DescRing,
+}
+
+impl Default for NetStack {
+    fn default() -> Self {
+        NetStack {
+            pending: HashMap::new(),
+            flows: HashMap::new(),
+            next_flow: 0,
+            listeners: HashMap::new(),
+            tx_ring: DescRing::new(RingDir::ToDevice, 1024),
+            rx_ring: DescRing::new(RingDir::FromDevice, 256),
+        }
+    }
 }
 
 impl NetStack {
@@ -91,6 +130,7 @@ impl System {
                 port: None,
                 listening: false,
                 flow: Some(flow),
+                nonblocking: false,
                 refs: 1,
             },
         );
@@ -177,7 +217,7 @@ impl System {
 
     pub(crate) fn sys_accept(&mut self, pid: Pid, fd: u64) -> i64 {
         costs::ACCEPT.charge(&mut self.machine);
-        self.pump_network();
+        self.pump();
         let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
             return -1;
         };
@@ -185,7 +225,7 @@ impl System {
             return -1;
         };
         let Some(flow) = self.net.pending.get_mut(&port).and_then(|q| q.pop_front()) else {
-            return -2; // EAGAIN: nothing pending
+            return EAGAIN; // nothing pending
         };
         self.machine.charge_wire(CONN_WIRE_CYCLES);
         let conn_id = self.alloc_socket();
@@ -201,7 +241,10 @@ impl System {
         let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
             return -1;
         };
-        self.sock_send(id, &data)
+        match self.net_mode {
+            NetMode::Ring => self.sock_send_ring(id, &data),
+            NetMode::Reference => self.sock_send(id, &data),
+        }
     }
 
     pub(crate) fn sys_recv(&mut self, pid: Pid, fd: u64, buf: u64, len: usize) -> i64 {
@@ -250,7 +293,7 @@ impl System {
     }
 
     pub(crate) fn sock_recv(&mut self, pid: Pid, sock: u64, buf: u64, len: usize) -> i64 {
-        self.pump_network();
+        self.pump();
         let Some(flow) = self.sockets.get(&sock).and_then(|s| s.flow) else {
             return -1;
         };
@@ -259,7 +302,7 @@ impl System {
         };
         let n = len.min(fb.rx.len());
         if n == 0 {
-            return if fb.closed { 0 } else { -2 }; // EOF vs EAGAIN
+            return if fb.closed { 0 } else { EAGAIN }; // EOF vs would-block
         }
         let data: Vec<u8> = fb.rx.drain(..n).collect();
         if !self.copyout(pid, buf, &data) {
@@ -268,8 +311,18 @@ impl System {
         n as i64
     }
 
+    /// Drains inbound NIC traffic into per-flow buffers through whichever
+    /// data plane [`NetMode`](crate::net::NetMode) selects.
+    pub(crate) fn pump(&mut self) {
+        match self.net_mode {
+            NetMode::Ring => self.pump_network_ring(),
+            NetMode::Reference => self.pump_network(),
+        }
+    }
+
     /// Drains the NIC receive queue into per-flow buffers, charging protocol
-    /// and wire costs (interrupt + driver work).
+    /// and wire costs (interrupt + driver work). The per-call reference path:
+    /// one full `NET_PER_PACKET` traversal per packet.
     pub(crate) fn pump_network(&mut self) {
         while let Some(p) = self.machine.nic.receive() {
             costs::NET_PER_PACKET.charge(&mut self.machine);
@@ -278,6 +331,342 @@ impl System {
                 + self.machine.costs.nic_per_byte * p.data.len() as u64;
             self.machine.charge_wire(wire);
             self.net.flows.entry(p.flow).or_default().rx.extend(p.data);
+        }
+    }
+
+    /// Ring-mode receive pump: posts one MTU-sized staging descriptor per
+    /// pending packet, rings the doorbell once, and retires the whole batch
+    /// into per-flow buffers. Wire charges (inside the doorbell) match the
+    /// reference pump packet for packet; the CPU side pays `RING_PER_DESC`
+    /// instead of `NET_PER_PACKET`, plus one `RING_DOORBELL`.
+    pub(crate) fn pump_network_ring(&mut self) {
+        loop {
+            let pending = self.machine.nic.rx_pending();
+            if pending == 0 {
+                return;
+            }
+            let mut posted = 0usize;
+            for _ in 0..pending {
+                let Some(frame) = self.machine.alloc_frame_checked() else {
+                    break;
+                };
+                let posted_slot = self.net.rx_ring.post(RingDesc {
+                    pfn: frame,
+                    off: 0,
+                    len: MTU as u32,
+                    flow: 0,
+                });
+                if posted_slot.is_none() {
+                    self.machine.phys.free_frame(frame);
+                    break; // ring full: retire this batch, then go again
+                }
+                costs::RING_PER_DESC.charge(&mut self.machine);
+                posted += 1;
+            }
+            if posted == 0 {
+                // No staging memory at all: fall back to the per-call path
+                // rather than dropping traffic.
+                self.pump_network();
+                return;
+            }
+            costs::RING_DOORBELL.charge(&mut self.machine);
+            self.vm
+                .sva_ring_doorbell(&mut self.machine, &mut self.net.rx_ring);
+            while let Some(u) = self.net.rx_ring.pop_used() {
+                if u.ok {
+                    let mut data = vec![0u8; u.written as usize];
+                    self.machine.phys.read_bytes(u.desc.pfn, 0, &mut data);
+                    self.net.flows.entry(u.flow).or_default().rx.extend(data);
+                }
+                self.machine.phys.free_frame(u.desc.pfn);
+            }
+        }
+    }
+
+    /// Ring-mode transmit: stages `data` into DMA frames one MTU chunk per
+    /// descriptor (segmentation identical to [`System::sock_send`]), rings
+    /// the doorbell once per batch, and recycles the staging frames on
+    /// retire. Returns bytes queued, or -1 on a dead socket.
+    fn sock_send_ring(&mut self, sock: u64, data: &[u8]) -> i64 {
+        let Some(flow) = self.sockets.get(&sock).and_then(|s| s.flow) else {
+            return -1;
+        };
+        let mut batched = false;
+        for chunk in data.chunks(MTU) {
+            let Some(frame) = self.machine.alloc_frame_checked() else {
+                // Out of staging memory: flush what we have and finish on
+                // the per-call path.
+                if batched {
+                    self.flush_tx_ring();
+                }
+                return self.sock_send(sock, chunk);
+            };
+            self.machine.phys.write_bytes(frame, 0, chunk);
+            if self
+                .net
+                .tx_ring
+                .post(RingDesc {
+                    pfn: frame,
+                    off: 0,
+                    len: chunk.len() as u32,
+                    flow,
+                })
+                .is_none()
+            {
+                // Ring full mid-batch: flush (an extra doorbell) and repost.
+                self.flush_tx_ring();
+                self.net
+                    .tx_ring
+                    .post(RingDesc {
+                        pfn: frame,
+                        off: 0,
+                        len: chunk.len() as u32,
+                        flow,
+                    })
+                    .expect("empty ring accepts a descriptor");
+            }
+            costs::RING_PER_DESC.charge(&mut self.machine);
+            batched = true;
+        }
+        if batched {
+            self.flush_tx_ring();
+        }
+        self.run_remote_responder(flow);
+        data.len() as i64
+    }
+
+    /// Rings the TX doorbell and recycles every retired staging frame.
+    fn flush_tx_ring(&mut self) {
+        costs::RING_DOORBELL.charge(&mut self.machine);
+        self.vm
+            .sva_ring_doorbell(&mut self.machine, &mut self.net.tx_ring);
+        while let Some(u) = self.net.tx_ring.pop_used() {
+            self.machine.phys.free_frame(u.desc.pfn);
+        }
+    }
+
+    /// Hands freshly transmitted bytes on `flow` to the registered remote
+    /// responder (the harness's model of the peer) and injects its reply.
+    fn run_remote_responder(&mut self, flow: u64) {
+        if let Some(mut responder) = self.remote_responder.take() {
+            let sent = self.wire_recv(flow);
+            if !sent.is_empty() {
+                let reply = responder(&sent);
+                if !reply.is_empty() {
+                    self.wire_send(flow, &reply);
+                }
+            }
+            self.remote_responder = Some(responder);
+        }
+    }
+
+    // ---- readiness + vectored I/O syscalls -----------------------------------
+
+    /// `fcntl(fd, flags)`: bit 0 sets/clears `O_NONBLOCK` on a socket.
+    pub(crate) fn sys_fcntl(&mut self, pid: Pid, fd: u64, flags: u64) -> i64 {
+        crate::mem::kwork(&mut self.machine, 30, 3);
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        self.sockets.get_mut(&id).expect("socket").nonblocking = flags & 0x1 != 0;
+        0
+    }
+
+    /// Readiness bits a [`sys_poll`](Self::sys_poll) entry can report.
+    fn poll_events(&self, pid: Pid, fd: u64) -> u64 {
+        const POLLIN: u64 = 0x1;
+        const POLLHUP: u64 = 0x2;
+        match self.proc_fd(pid, fd) {
+            Some(Fd::File { .. }) => POLLIN,
+            Some(Fd::Sock { id }) => {
+                let Some(s) = self.sockets.get(&id) else {
+                    return 0;
+                };
+                if s.readable(&self.net) {
+                    POLLIN
+                } else if s
+                    .flow
+                    .is_some_and(|f| self.net.flows.get(&f).is_none_or(|b| b.closed))
+                {
+                    POLLHUP
+                } else {
+                    0
+                }
+            }
+            Some(Fd::PipeR { id }) => match self.pipes.get(&id) {
+                Some(p) if !p.buf.is_empty() => POLLIN,
+                Some(p) if p.writers == 0 => POLLHUP,
+                _ => 0,
+            },
+            Some(Fd::PipeW { id }) => match self.pipes.get(&id) {
+                Some(p) if p.readers > 0 => POLLIN,
+                _ => POLLHUP,
+            },
+            _ => 0,
+        }
+    }
+
+    /// `poll(fds, nfds)`: the readiness syscall behind the event loops.
+    ///
+    /// `fds` is an array of `nfds` 16-byte entries: `u64` fd in, `u64`
+    /// revents out (bit 0 readable, bit 1 hang-up). Unlike `select`'s dense
+    /// 0..nfds scan, only the fds the caller actually lists are examined —
+    /// and only those are charged `SELECT_PER_FD`. Returns the number of
+    /// entries with non-zero revents.
+    pub(crate) fn sys_poll(&mut self, pid: Pid, fds_ptr: u64, nfds: usize) -> i64 {
+        costs::SELECT_BASE.charge(&mut self.machine);
+        self.pump();
+        let Some(mut table) = self.copyin(pid, fds_ptr, nfds * 16) else {
+            return -1;
+        };
+        let mut ready = 0i64;
+        for i in 0..nfds {
+            costs::SELECT_PER_FD.charge(&mut self.machine);
+            let fd = u64::from_le_bytes(table[i * 16..i * 16 + 8].try_into().expect("8 bytes"));
+            let ev = self.poll_events(pid, fd);
+            table[i * 16 + 8..i * 16 + 16].copy_from_slice(&ev.to_le_bytes());
+            if ev != 0 {
+                ready += 1;
+            }
+        }
+        if !self.copyout(pid, fds_ptr, &table) {
+            return -1;
+        }
+        ready
+    }
+
+    /// Decodes an iovec table: `cnt` 16-byte `(u64 base, u64 len)` entries.
+    fn copyin_iovs(&mut self, pid: Pid, iov_ptr: u64, cnt: usize) -> Option<Vec<(u64, usize)>> {
+        let raw = self.copyin(pid, iov_ptr, cnt * 16)?;
+        Some(
+            (0..cnt)
+                .map(|i| {
+                    let base =
+                        u64::from_le_bytes(raw[i * 16..i * 16 + 8].try_into().expect("8 bytes"));
+                    let len =
+                        u64::from_le_bytes(raw[i * 16 + 8..i * 16 + 16].try_into().expect("8"));
+                    (base, len as usize)
+                })
+                .collect(),
+        )
+    }
+
+    /// `readv(fd, iov, iovcnt)`: gathers buffered socket bytes across the
+    /// iovecs in one trap. Same EOF/[`EAGAIN`] contract as `recv`.
+    pub(crate) fn sys_readv(&mut self, pid: Pid, fd: u64, iov_ptr: u64, iovcnt: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        let Some(iovs) = self.copyin_iovs(pid, iov_ptr, iovcnt) else {
+            return -1;
+        };
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        self.pump();
+        let Some(flow) = self.sockets.get(&id).and_then(|s| s.flow) else {
+            return -1;
+        };
+        let Some(fb) = self.net.flows.get_mut(&flow) else {
+            return -1;
+        };
+        let cap: usize = iovs.iter().map(|&(_, l)| l).sum();
+        let n = cap.min(fb.rx.len());
+        if n == 0 {
+            return if fb.closed { 0 } else { EAGAIN };
+        }
+        let data: Vec<u8> = fb.rx.drain(..n).collect();
+        let mut done = 0usize;
+        for (base, len) in iovs {
+            if done == n {
+                break;
+            }
+            let take = len.min(n - done);
+            if !self.copyout(pid, base, &data[done..done + take]) {
+                return -1;
+            }
+            done += take;
+        }
+        n as i64
+    }
+
+    /// `writev(fd, iov, iovcnt)`: transmits all iovecs in one trap. In ring
+    /// mode the whole call is one descriptor batch — every MTU chunk of
+    /// every iovec posts one descriptor and a single doorbell submits them
+    /// all; the reference mode sends each iovec through the per-packet
+    /// path. Packet segmentation (per-iovec MTU chunking) is identical in
+    /// both modes. Returns total bytes written.
+    pub(crate) fn sys_writev(&mut self, pid: Pid, fd: u64, iov_ptr: u64, iovcnt: usize) -> i64 {
+        costs::RW_BASE.charge(&mut self.machine);
+        let Some(iovs) = self.copyin_iovs(pid, iov_ptr, iovcnt) else {
+            return -1;
+        };
+        let Some(Fd::Sock { id }) = self.proc_fd(pid, fd) else {
+            return -1;
+        };
+        match self.net_mode {
+            NetMode::Reference => {
+                let mut total = 0i64;
+                for (base, len) in iovs {
+                    let Some(data) = self.copyin(pid, base, len) else {
+                        return -1;
+                    };
+                    let r = self.sock_send(id, &data);
+                    if r < 0 {
+                        return r;
+                    }
+                    total += r;
+                }
+                total
+            }
+            NetMode::Ring => {
+                let Some(flow) = self.sockets.get(&id).and_then(|s| s.flow) else {
+                    return -1;
+                };
+                let mut total = 0i64;
+                let mut batched = false;
+                for (base, len) in iovs {
+                    let Some(data) = self.copyin(pid, base, len) else {
+                        return -1;
+                    };
+                    for chunk in data.chunks(MTU) {
+                        let Some(frame) = self.machine.alloc_frame_checked() else {
+                            // Out of staging memory: flush and finish this
+                            // chunk on the per-call path.
+                            if batched {
+                                self.flush_tx_ring();
+                                batched = false;
+                            }
+                            let r = self.sock_send(id, chunk);
+                            if r < 0 {
+                                return r;
+                            }
+                            total += r;
+                            continue;
+                        };
+                        self.machine.phys.write_bytes(frame, 0, chunk);
+                        let desc = RingDesc {
+                            pfn: frame,
+                            off: 0,
+                            len: chunk.len() as u32,
+                            flow,
+                        };
+                        if self.net.tx_ring.post(desc).is_none() {
+                            self.flush_tx_ring();
+                            self.net
+                                .tx_ring
+                                .post(desc)
+                                .expect("empty ring accepts a descriptor");
+                        }
+                        costs::RING_PER_DESC.charge(&mut self.machine);
+                        batched = true;
+                        total += chunk.len() as i64;
+                    }
+                }
+                if batched {
+                    self.flush_tx_ring();
+                }
+                self.run_remote_responder(flow);
+                total
+            }
         }
     }
 
@@ -327,5 +716,169 @@ impl System {
         if let Some(fb) = self.net.flows.get_mut(&flow) {
             fb.closed = true;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::O_CREAT;
+    use crate::system::System;
+
+    /// Satellite regression: `recv`/`accept` return values distinguish
+    /// would-block ([`EAGAIN`]) from EOF (0) and error (-1) — the contract
+    /// the event loops depend on.
+    #[test]
+    fn recv_and_accept_distinguish_eagain_eof_and_error() {
+        let mut sys = System::boot_virtual_ghost();
+        sys.install_app("srv", false, || {
+            Box::new(|env| {
+                let l = env.socket();
+                env.bind(l, 4000);
+                env.listen(l);
+                assert_eq!(env.accept(l), EAGAIN); // nothing pending
+                let flow = env.sys.wire_connect(4000).unwrap();
+                let c = env.accept(l);
+                assert!(c >= 0);
+                env.set_nonblocking(c, true);
+                let buf = env.mmap_anon(4096);
+                assert_eq!(env.recv(c, buf, 64), EAGAIN); // open flow, no data
+                env.sys.wire_send(flow, b"ping");
+                assert_eq!(env.recv(c, buf, 64), 4);
+                assert_eq!(env.read_mem(buf, 4), b"ping");
+                assert_eq!(env.recv(c, buf, 64), EAGAIN); // drained, still open
+                env.sys.wire_close(flow);
+                assert_eq!(env.recv(c, buf, 64), 0); // EOF, not EAGAIN
+                assert_eq!(env.recv(99, buf, 64), -1); // bad fd: error
+                assert_eq!(env.accept(c), -1); // not listening: error
+                0
+            })
+        });
+        let pid = sys.spawn("srv");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    /// Satellite regression: `select` charges `SELECT_PER_FD` only for fds
+    /// actually polled — an empty slot inside the 0..nfds range costs
+    /// nothing.
+    #[test]
+    fn select_charges_only_open_fds() {
+        let mut sys = System::boot_virtual_ghost();
+        sys.install_app("sel", false, || {
+            Box::new(|env| {
+                let a = env.open("/a", O_CREAT);
+                let b = env.open("/b", O_CREAT);
+                assert_eq!((a, b), (0, 1));
+                let t0 = env.sys.machine.clock.cycles();
+                assert_eq!(env.select(2), 2);
+                let both = env.sys.machine.clock.cycles() - t0;
+                env.close(a); // slot 0 now empty, nfds unchanged
+                let t1 = env.sys.machine.clock.cycles();
+                assert_eq!(env.select(2), 1);
+                let one = env.sys.machine.clock.cycles() - t1;
+                let per_fd = {
+                    let mut m = vg_machine::Machine::new(vg_machine::MachineConfig {
+                        costs: vg_machine::cost::CostModel::virtual_ghost(),
+                        ..Default::default()
+                    });
+                    costs::SELECT_PER_FD.charge(&mut m);
+                    m.clock.cycles()
+                };
+                assert_eq!(both - one, per_fd, "empty slot was charged");
+                0
+            })
+        });
+        let pid = sys.spawn("sel");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    /// `poll` readiness: quiet fds report nothing, buffered data reports
+    /// readable, a drained closed flow reports hang-up, and only listed fds
+    /// are examined.
+    #[test]
+    fn poll_reports_readiness_and_hup() {
+        let mut sys = System::boot_virtual_ghost();
+        sys.install_app("poll", false, || {
+            Box::new(|env| {
+                let l = env.socket();
+                env.bind(l, 4100);
+                env.listen(l);
+                let flow = env.sys.wire_connect(4100).unwrap();
+                let c = env.accept(l);
+                env.set_nonblocking(c, true);
+                let scratch = env.mmap_anon(4096);
+                let (r, ev) = env.poll(scratch, &[l, c]);
+                assert_eq!((r, ev[0], ev[1]), (0, 0, 0)); // all quiet
+                env.sys.wire_send(flow, b"x");
+                let (r, ev) = env.poll(scratch, &[l, c]);
+                assert_eq!((r, ev[0], ev[1]), (1, 0, 0x1)); // c readable
+                let buf = env.mmap_anon(4096);
+                assert_eq!(env.recv(c, buf, 16), 1);
+                env.sys.wire_close(flow);
+                let (r, ev) = env.poll(scratch, &[l, c]);
+                assert_eq!((r, ev[1]), (1, 0x2)); // drained + closed: hup
+                let flow2 = env.sys.wire_connect(4100).unwrap();
+                let (_, ev) = env.poll(scratch, &[l]);
+                assert_eq!(ev[0], 0x1); // pending connection: readable
+                let _ = flow2;
+                0
+            })
+        });
+        let pid = sys.spawn("poll");
+        assert_eq!(sys.run_until_exit(pid), 0);
+    }
+
+    /// The ring and reference data planes serve byte-identical traffic with
+    /// identical packet segmentation — and the ring costs fewer CPU cycles.
+    #[test]
+    fn ring_and_reference_serve_identical_bytes() {
+        fn run(mode: NetMode) -> (Vec<u8>, u64, u64, u64) {
+            let mut sys = System::boot_virtual_ghost();
+            sys.net_mode = mode;
+            let flow = sys.wire_connect(5000).unwrap();
+            sys.wire_send(flow, &[7u8; 2000]);
+            sys.install_app("echo", false, || {
+                Box::new(|env| {
+                    let l = env.socket();
+                    env.bind(l, 5000);
+                    env.listen(l);
+                    let c = env.accept(l);
+                    let buf = env.mmap_anon(8192);
+                    let iov_va = env.mmap_anon(4096);
+                    let mut got = 0usize;
+                    while got < 2000 {
+                        let r = env.readv(c, iov_va, &[(buf + got as u64, 4096)]);
+                        assert!(r > 0 || r == crate::syscall::EAGAIN);
+                        if r > 0 {
+                            got += r as usize;
+                        }
+                    }
+                    assert_eq!(
+                        env.writev(c, iov_va, &[(buf, 500), (buf + 500, 1500)]),
+                        2000
+                    );
+                    env.close(c);
+                    0
+                })
+            });
+            let pid = sys.spawn("echo");
+            assert_eq!(sys.run_until_exit(pid), 0);
+            (
+                sys.wire_recv(flow),
+                sys.machine.counters.packets,
+                sys.machine.nic.tx_bytes,
+                sys.machine.clock.cycles(),
+            )
+        }
+        let (ring_bytes, ring_pkts, ring_tx, ring_cycles) = run(NetMode::Ring);
+        let (ref_bytes, ref_pkts, ref_tx, ref_cycles) = run(NetMode::Reference);
+        assert_eq!(ring_bytes, ref_bytes);
+        assert_eq!(ring_bytes.len(), 2000);
+        assert_eq!(ring_pkts, ref_pkts);
+        assert_eq!(ring_tx, ref_tx);
+        assert!(
+            ring_cycles < ref_cycles,
+            "ring {ring_cycles} >= reference {ref_cycles}"
+        );
     }
 }

@@ -471,6 +471,55 @@ impl UserEnv<'_> {
     pub fn recv(&mut self, fd: i64, buf: u64, len: usize) -> i64 {
         self.syscall(SYS_RECV, [fd as u64, buf, len as u64, 0, 0, 0])
     }
+
+    /// `fcntl(fd, O_NONBLOCK)`: marks a socket non-blocking (reads/accepts
+    /// return [`EAGAIN`] instead of blocking).
+    pub fn set_nonblocking(&mut self, fd: i64, on: bool) -> i64 {
+        self.syscall(SYS_FCNTL, [fd as u64, u64::from(on), 0, 0, 0, 0])
+    }
+
+    /// `poll(fds)`: builds the pollfd table at `scratch_va` (16 bytes per
+    /// entry), traps once, and returns `(ready_count, revents)` — revents
+    /// bit 0 is readable, bit 1 hang-up.
+    pub fn poll(&mut self, scratch_va: u64, fds: &[i64]) -> (i64, Vec<u64>) {
+        let mut table = Vec::with_capacity(fds.len() * 16);
+        for &fd in fds {
+            table.extend_from_slice(&(fd as u64).to_le_bytes());
+            table.extend_from_slice(&0u64.to_le_bytes());
+        }
+        self.write_mem(scratch_va, &table);
+        let r = self.syscall(SYS_POLL, [scratch_va, fds.len() as u64, 0, 0, 0, 0]);
+        let back = self.read_mem(scratch_va, fds.len() * 16);
+        let revents = (0..fds.len())
+            .map(|i| u64::from_le_bytes(back[i * 16 + 8..i * 16 + 16].try_into().expect("8 bytes")))
+            .collect();
+        (r, revents)
+    }
+
+    /// Writes an iovec table (`(base, len)` entries, 16 bytes each) at
+    /// `iov_va` for [`readv`](Self::readv) / [`writev`](Self::writev).
+    fn write_iovs(&mut self, iov_va: u64, iovs: &[(u64, usize)]) {
+        let mut table = Vec::with_capacity(iovs.len() * 16);
+        for &(base, len) in iovs {
+            table.extend_from_slice(&base.to_le_bytes());
+            table.extend_from_slice(&(len as u64).to_le_bytes());
+        }
+        self.write_mem(iov_va, &table);
+    }
+
+    /// `readv(fd, iovs)`: gather-read into the iovecs in one trap. The iov
+    /// table is staged at `iov_va`. Same EOF/[`EAGAIN`] contract as `recv`.
+    pub fn readv(&mut self, fd: i64, iov_va: u64, iovs: &[(u64, usize)]) -> i64 {
+        self.write_iovs(iov_va, iovs);
+        self.syscall(SYS_READV, [fd as u64, iov_va, iovs.len() as u64, 0, 0, 0])
+    }
+
+    /// `writev(fd, iovs)`: transmit all iovecs in one trap (one descriptor
+    /// batch under the ring data plane). The iov table is staged at `iov_va`.
+    pub fn writev(&mut self, fd: i64, iov_va: u64, iovs: &[(u64, usize)]) -> i64 {
+        self.write_iovs(iov_va, iovs);
+        self.syscall(SYS_WRITEV, [fd as u64, iov_va, iovs.len() as u64, 0, 0, 0])
+    }
 }
 
 impl System {

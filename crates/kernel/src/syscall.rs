@@ -21,6 +21,12 @@ pub const ENOMEM: i64 = -12;
 /// driver's bounded retries.
 pub const EIO: i64 = -5;
 
+/// Would-block: no data (or pending connection) available right now. The
+/// simulated kernel is run-to-completion and can never sleep, so would-block
+/// conditions surface immediately on blocking and non-blocking fds alike.
+/// Distinct from `0` (EOF: peer closed) and `-1` (error: bad fd/state).
+pub const EAGAIN: i64 = -2;
+
 /// `exit`.
 pub const SYS_EXIT: u32 = 1;
 /// `fork`.
@@ -53,6 +59,8 @@ pub const SYS_SIGACTION: u32 = 48;
 pub const SYS_EXEC: u32 = 59;
 /// `munmap`.
 pub const SYS_MUNMAP: u32 = 73;
+/// `fcntl` (non-blocking flag control).
+pub const SYS_FCNTL: u32 = 92;
 /// `select`.
 pub const SYS_SELECT: u32 = 93;
 /// `fsync`.
@@ -71,6 +79,12 @@ pub const SYS_LISTEN: u32 = 106;
 pub const SYS_SEND: u32 = 113;
 /// `recv` (on a connected socket).
 pub const SYS_RECV: u32 = 114;
+/// `readv` (vectored gather read on a connected socket).
+pub const SYS_READV: u32 = 120;
+/// `writev` (vectored batch write on a connected socket).
+pub const SYS_WRITEV: u32 = 121;
+/// `poll` (readiness over an explicit fd list).
+pub const SYS_POLL: u32 = 209;
 /// `mkdir`.
 pub const SYS_MKDIR: u32 = 136;
 /// `stat`.
@@ -113,6 +127,10 @@ pub fn syscall_name(num: u32) -> &'static str {
         SYS_LISTEN => "sys.listen",
         SYS_SEND => "sys.send",
         SYS_RECV => "sys.recv",
+        SYS_READV => "sys.readv",
+        SYS_WRITEV => "sys.writev",
+        SYS_POLL => "sys.poll",
+        SYS_FCNTL => "sys.fcntl",
         SYS_MKDIR => "sys.mkdir",
         SYS_STAT => "sys.stat",
         SYS_LSEEK => "sys.lseek",
@@ -192,6 +210,10 @@ impl System {
             SYS_ACCEPT => self.sys_accept(pid, args[0]),
             SYS_SEND => self.sys_send(pid, args[0], args[1], args[2] as usize),
             SYS_RECV => self.sys_recv(pid, args[0], args[1], args[2] as usize),
+            SYS_READV => self.sys_readv(pid, args[0], args[1], args[2] as usize),
+            SYS_WRITEV => self.sys_writev(pid, args[0], args[1], args[2] as usize),
+            SYS_POLL => self.sys_poll(pid, args[0], args[1] as usize),
+            SYS_FCNTL => self.sys_fcntl(pid, args[0], args[1]),
             _ => {
                 self.log.push(format!("unknown syscall {num}"));
                 -1
@@ -660,9 +682,15 @@ impl System {
 
     fn sys_select(&mut self, pid: Pid, nfds: usize) -> i64 {
         costs::SELECT_BASE.charge(&mut self.machine);
-        self.pump_network();
+        self.pump();
         let mut ready = 0;
         for i in 0..nfds {
+            // Charge only fds actually polled: empty slots in the 0..nfds
+            // range cost nothing (the kernel skips a closed fd with a null
+            // filedesc check, not a full poll traversal).
+            if self.fd_of(pid, i as u64).is_none() {
+                continue;
+            }
             costs::SELECT_PER_FD.charge(&mut self.machine);
             match self.fd_of(pid, i as u64) {
                 Some(Fd::File { .. }) => ready += 1,

@@ -321,6 +321,9 @@ pub struct System {
     pub(crate) user_api_tab: Vec<Option<crate::module::UserApi>>,
     /// Network stack.
     pub net: NetStack,
+    /// Which data plane moves network payloads (batched ring by default;
+    /// the per-call reference path is kept for differential testing).
+    pub net_mode: crate::net::NetMode,
     /// Socket table.
     pub sockets: HashMap<u64, Socket>,
     /// The system log (attack 1 exfiltrates here).
@@ -398,6 +401,7 @@ impl System {
             kern_api_tab: Vec::new(),
             user_api_tab: Vec::new(),
             net: NetStack::new(),
+            net_mode: crate::net::NetMode::default(),
             sockets: HashMap::new(),
             log: Vec::new(),
             swap: crate::swapper::SwapStore::default(),

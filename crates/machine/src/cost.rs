@@ -238,6 +238,10 @@ pub struct Counters {
     pub disk_blocks: u64,
     /// Network packets transferred.
     pub packets: u64,
+    /// Descriptor-ring doorbell writes (one per submitted batch).
+    pub ring_doorbells: u64,
+    /// Descriptors processed through ring doorbells.
+    pub ring_descs: u64,
     /// Context switches performed.
     pub context_switches: u64,
     /// Ghost pages allocated.

@@ -190,6 +190,9 @@ pub enum DenialKind {
     /// or genuine hardware misbehavior) instead of panicking. `detail`
     /// names the fault class and the failing operation.
     FaultKill,
+    /// IOMMU check refused a DMA descriptor (ring payload or classic map
+    /// targeting a ghost / SVA-internal / page-table frame).
+    DmaViolation,
 }
 
 /// A denied operation with full context — the security audit trail entry.
