@@ -117,7 +117,7 @@ impl Store {
 
 /// Event-loop body: accept burst, poll, readv, serve, one writev per
 /// connection per round. Returns commands served.
-fn serve_kv(env: &mut UserEnv, listen_fd: i64, lat: &mut Vec<u64>, t0: u64) -> u64 {
+pub(crate) fn serve_kv(env: &mut UserEnv, listen_fd: i64, lat: &mut Vec<u64>, t0: u64) -> u64 {
     let ghost = env.sys.procs[&env.pid].ghosting;
     let heap = Heap::new(env, ghost);
     let mut store = Store {
@@ -213,7 +213,7 @@ fn serve_kv(env: &mut UserEnv, listen_fd: i64, lat: &mut Vec<u64>, t0: u64) -> u
 
 /// The client command train for one connection: `pairs` SETs of distinct
 /// keys followed by `pairs` GETs reading them back.
-fn command_train(conn: usize, pairs: u32, value_size: usize) -> (Vec<u8>, Vec<u8>) {
+pub(crate) fn command_train(conn: usize, pairs: u32, value_size: usize) -> (Vec<u8>, Vec<u8>) {
     let mut train = Vec::new();
     let mut expected = Vec::new();
     for p in 0..pairs {

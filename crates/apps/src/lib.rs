@@ -14,6 +14,9 @@
 //! * [`ssh`] — the OpenSSH suite of §6 (ssh-keygen / ssh-agent / ssh / sshd)
 //!   with ghost-memory heaps and a shared application key, plus the
 //!   transfer-rate drivers behind Figures 3 and 4.
+//! * [`smp`] — the workloads above sharded across N simulated cores
+//!   through the kernel's work-stealing scheduler (the scaling curves of
+//!   BENCH_smp.json).
 //!
 //! Every workload runs unchanged on a native or a Virtual Ghost system —
 //! the system mode decides the checks and the cost model, so each driver
@@ -22,6 +25,7 @@
 pub mod ghostkv;
 pub mod lmbench;
 pub mod postmark;
+pub mod smp;
 pub mod ssh;
 pub mod thttpd;
 

@@ -60,8 +60,8 @@ pub struct PostmarkResult {
     pub seconds_at_500k: f64,
 }
 
-fn file_name(i: u32) -> String {
-    format!("/pm/f{i}")
+fn file_name(dir: &str, i: u32) -> String {
+    format!("{dir}/f{i}")
 }
 
 fn do_read(env: &mut UserEnv, buf: u64, name: &str, block: usize) {
@@ -87,6 +87,53 @@ fn do_append(env: &mut UserEnv, buf: u64, name: &str, len: usize, block: usize) 
     env.close(fd);
 }
 
+/// The three Postmark phases rooted at `dir` — the unit the SMP driver
+/// shards across cores (one process per shard with its own dir and seed).
+/// Returns the cycles the run took.
+pub(crate) fn workload(env: &mut UserEnv, cfg: &PostmarkConfig, dir: &str) -> u64 {
+    let mut rng = ChaChaRng::from_seed(cfg.seed);
+    env.mkdir(dir);
+    let buf = env.mmap_anon(cfg.block.max(512));
+    env.write_mem(buf, &vec![0x6du8; cfg.block]);
+    let size_range = (cfg.max_size - cfg.min_size) as u64;
+    let rand_size = |rng: &mut ChaChaRng| cfg.min_size + rng.next_below(size_range + 1) as usize;
+
+    // Phase 1: create the base file set.
+    let mut live: Vec<u32> = (0..cfg.base_files).collect();
+    let mut next_id = cfg.base_files;
+    let t0 = env.sys.machine.clock.cycles();
+    for i in 0..cfg.base_files {
+        let len = rand_size(&mut rng);
+        do_append(env, buf, &file_name(dir, i), len, cfg.block);
+    }
+    // Phase 2: transactions.
+    for _ in 0..cfg.transactions {
+        // Read or append.
+        let target = live[rng.next_below(live.len() as u64) as usize];
+        if rng.next_below(10) < cfg.read_bias as u64 {
+            do_read(env, buf, &file_name(dir, target), cfg.block);
+        } else {
+            do_append(env, buf, &file_name(dir, target), cfg.block, cfg.block);
+        }
+        // Create or delete.
+        if rng.next_below(10) < cfg.create_bias as u64 || live.len() <= 1 {
+            let len = rand_size(&mut rng);
+            do_append(env, buf, &file_name(dir, next_id), len, cfg.block);
+            live.push(next_id);
+            next_id += 1;
+        } else {
+            let idx = rng.next_below(live.len() as u64) as usize;
+            let victim = live.swap_remove(idx);
+            env.unlink(&file_name(dir, victim));
+        }
+    }
+    // Phase 3: delete everything.
+    for f in live.drain(..) {
+        env.unlink(&file_name(dir, f));
+    }
+    env.sys.machine.clock.cycles() - t0
+}
+
 /// Runs Postmark on `sys`; returns the result.
 pub fn run(sys: &mut System, cfg: PostmarkConfig) -> PostmarkResult {
     let seconds = Rc::new(Cell::new(0f64));
@@ -96,48 +143,7 @@ pub fn run(sys: &mut System, cfg: PostmarkConfig) -> PostmarkResult {
         let cfg = cfg2.clone();
         let s = s2.clone();
         Box::new(move |env| {
-            let mut rng = ChaChaRng::from_seed(cfg.seed);
-            env.mkdir("/pm");
-            let buf = env.mmap_anon(cfg.block.max(512));
-            env.write_mem(buf, &vec![0x6du8; cfg.block]);
-            let size_range = (cfg.max_size - cfg.min_size) as u64;
-            let rand_size =
-                |rng: &mut ChaChaRng| cfg.min_size + rng.next_below(size_range + 1) as usize;
-
-            // Phase 1: create the base file set.
-            let mut live: Vec<u32> = (0..cfg.base_files).collect();
-            let mut next_id = cfg.base_files;
-            let t0 = env.sys.machine.clock.cycles();
-            for i in 0..cfg.base_files {
-                let len = rand_size(&mut rng);
-                do_append(env, buf, &file_name(i), len, cfg.block);
-            }
-            // Phase 2: transactions.
-            for _ in 0..cfg.transactions {
-                // Read or append.
-                let target = live[rng.next_below(live.len() as u64) as usize];
-                if rng.next_below(10) < cfg.read_bias as u64 {
-                    do_read(env, buf, &file_name(target), cfg.block);
-                } else {
-                    do_append(env, buf, &file_name(target), cfg.block, cfg.block);
-                }
-                // Create or delete.
-                if rng.next_below(10) < cfg.create_bias as u64 || live.len() <= 1 {
-                    let len = rand_size(&mut rng);
-                    do_append(env, buf, &file_name(next_id), len, cfg.block);
-                    live.push(next_id);
-                    next_id += 1;
-                } else {
-                    let idx = rng.next_below(live.len() as u64) as usize;
-                    let victim = live.swap_remove(idx);
-                    env.unlink(&file_name(victim));
-                }
-            }
-            // Phase 3: delete everything.
-            for f in live.drain(..) {
-                env.unlink(&file_name(f));
-            }
-            let cycles = env.sys.machine.clock.cycles() - t0;
+            let cycles = workload(env, &cfg, "/pm");
             s.set(cycles as f64 / vg_machine::cost::CYCLES_PER_US / 1e6);
             0
         })

@@ -25,7 +25,7 @@ use vg_kernel::{System, UserEnv};
 /// Port the server listens on.
 pub const HTTP_PORT: u16 = 80;
 
-fn http_request(path: &str) -> Vec<u8> {
+pub(crate) fn http_request(path: &str) -> Vec<u8> {
     format!("GET {path} HTTP/1.0\r\n\r\n").into_bytes()
 }
 
@@ -158,7 +158,7 @@ pub enum ServerKind {
 }
 
 /// The keep-alive response header both servers emit for a `file_size` body.
-fn http_header(file_size: usize) -> Vec<u8> {
+pub(crate) fn http_header(file_size: usize) -> Vec<u8> {
     format!("HTTP/1.1 200 OK\r\nContent-Length: {file_size}\r\n\r\n").into_bytes()
 }
 
@@ -232,7 +232,12 @@ fn serve_sync_c10k(env: &mut UserEnv, listen_fd: i64, lat: &mut Vec<u64>, t0: u6
 /// Event-loop server: accept burst, then rounds of `poll` → `readv` → one
 /// batched `writev` per connection carrying every response it owes.
 /// Returns requests served.
-fn serve_event_loop(env: &mut UserEnv, listen_fd: i64, lat: &mut Vec<u64>, t0: u64) -> u64 {
+pub(crate) fn serve_event_loop(
+    env: &mut UserEnv,
+    listen_fd: i64,
+    lat: &mut Vec<u64>,
+    t0: u64,
+) -> u64 {
     let (file_va, file_size, hdr_va, hdr_len) = load_document(env);
     env.set_nonblocking(listen_fd, true);
     let rxbuf = env.mmap_anon(8192);

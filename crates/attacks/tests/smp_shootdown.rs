@@ -1,0 +1,264 @@
+//! SMP attack scenarios: a hostile kernel abusing multi-core TLB coherence
+//! (DESIGN.md §11).
+//!
+//! Two scenarios, each run as the native-succeeds / Virtual-Ghost-defeated
+//! pair the paper's evaluation uses:
+//!
+//! 1. **Cross-CPU race on a PTE update.** A hostile core rewrites a leaf
+//!    PTE directly and flushes only its *own* TLB — no shootdown — so a
+//!    sibling core keeps translating through the stale entry while the
+//!    attacker sees the new one: two cores disagree about the same virtual
+//!    address. Under Virtual Ghost every update flows through
+//!    `sva_map_page`, which both rejects hostile targets (pinned
+//!    flight-recorder sequence) and broadcasts an IPI shootdown for
+//!    accepted ones, so divergence cannot arise.
+//!
+//! 2. **Stale-TLB ghost-memory access from a sibling core.** A sibling core
+//!    warms its TLB for a victim page, the kernel unmaps the page locally
+//!    (no shootdown), and the sibling keeps reading the supposedly revoked
+//!    frame through the stale entry. Under Virtual Ghost the unmap is
+//!    `sva_unmap_page`, whose shootdown reaches every core before the
+//!    frame is reused; the follow-up attempt to remap the freed VA into
+//!    the ghost partition dies with a pinned `MmuRejection`.
+
+use vg_core::mmu::MmuCheckError;
+use vg_core::{Protections, SvaVm};
+use vg_crypto::Tpm;
+use vg_machine::layout::GHOST_BASE;
+use vg_machine::mmu::{map_page_raw, read_pte, write_pte};
+use vg_machine::pte::PageTableLevel;
+use vg_machine::{AccessKind, DenialKind, Machine, MachineConfig, Pfn, Pte, PteFlags, VAddr};
+
+const VICTIM_VA: VAddr = VAddr(0x4000_0000);
+const SECRET: &[u8] = b"ghost page plaintext";
+
+fn smp_machine(cpus: usize) -> Machine {
+    Machine::new(MachineConfig {
+        cpus,
+        ..Default::default()
+    })
+}
+
+fn boot_vm(machine: &Machine, p: Protections) -> SvaVm {
+    let _ = machine;
+    SvaVm::boot(p, &Tpm::new(1), 9)
+}
+
+/// Walks `root` by hand and rewrites the leaf PTE for `va` — the raw
+/// page-table store a hostile native kernel can always perform.
+fn raw_rewrite_leaf(machine: &mut Machine, root: Pfn, va: VAddr, leaf: Pte) {
+    let mut table = root;
+    for level in [PageTableLevel::L4, PageTableLevel::L3, PageTableLevel::L2] {
+        table = read_pte(&machine.phys, table, level.index(va.0)).pfn();
+    }
+    write_pte(
+        &mut machine.phys,
+        table,
+        PageTableLevel::L1.index(va.0),
+        leaf,
+    );
+}
+
+fn translate_pfn(machine: &mut Machine, va: VAddr) -> Option<Pfn> {
+    machine
+        .mmu
+        .translate(&machine.phys, va, AccessKind::Read, true)
+        .ok()
+        .map(|pa| pa.pfn())
+}
+
+// ---- Scenario 1: cross-CPU race on a PTE update ----------------------------
+
+#[test]
+fn native_pte_race_diverges_across_cores() {
+    // Native kernel, two cores, shared address space.
+    let mut m = smp_machine(2);
+    let root = m.phys.alloc_frame().unwrap();
+    let victim_frame = m.phys.alloc_frame().unwrap();
+    let attack_frame = m.phys.alloc_frame().unwrap();
+    m.phys.write_bytes(victim_frame, 0, SECRET);
+    map_page_raw(
+        &mut m.phys,
+        root,
+        VICTIM_VA,
+        Pte::new(victim_frame, PteFlags::user_rw()),
+    )
+    .unwrap();
+
+    // Core 1 (the victim's core) caches the translation.
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(victim_frame));
+
+    // Core 0 (the hostile core) rewrites the PTE and flushes ONLY itself.
+    m.switch_cpu(0);
+    m.mmu.set_root(root);
+    raw_rewrite_leaf(
+        &mut m,
+        root,
+        VICTIM_VA,
+        Pte::new(attack_frame, PteFlags::user_rw()),
+    );
+    m.mmu.flush_page(VICTIM_VA.vpn()); // local flush, no IPI broadcast
+    assert_eq!(m.counters.ipis, 0, "the hostile update told no one");
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(attack_frame));
+
+    // The race: core 1 still translates through the stale entry. Two cores
+    // now disagree about the same virtual address — the attacker reads its
+    // planted frame while the victim keeps writing secrets into the old
+    // one, which the attacker can harvest at leisure.
+    m.switch_cpu(1);
+    assert_eq!(
+        translate_pfn(&mut m, VICTIM_VA),
+        Some(victim_frame),
+        "sibling core sees the stale mapping: divergence achieved"
+    );
+}
+
+#[test]
+fn vg_pte_update_cannot_race_hostile_target_denied() {
+    // Virtual Ghost, two cores: page tables are declared to the VM and all
+    // updates flow through checked SVA-OS operations.
+    let mut m = smp_machine(2);
+    let mut vm = boot_vm(&m, Protections::virtual_ghost());
+    let root = vm.sva_create_root(&mut m).unwrap();
+    let victim_frame = m.phys.alloc_frame().unwrap();
+    let attack_frame = m.phys.alloc_frame().unwrap();
+    vm.sva_map_page(&mut m, root, VICTIM_VA, victim_frame, PteFlags::user_rw())
+        .unwrap();
+
+    // Core 1 caches the translation, exactly like the native run.
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(victim_frame));
+    m.switch_cpu(0);
+    m.mmu.set_root(root);
+
+    // Hostile half: aim the update at the ghost partition. Denied, and the
+    // flight recorder pins the exact sequence.
+    let ghost_va = VAddr(GHOST_BASE + 0x1000);
+    assert!(vm
+        .sva_map_page(&mut m, root, ghost_va, attack_frame, PteFlags::kernel_rw())
+        .is_err());
+    assert_eq!(m.counters.mmu_rejections, 1);
+    let denials: Vec<_> = m.trace.flight.denials().collect();
+    assert_eq!(denials.len(), 1, "exactly one denial recorded");
+    assert_eq!(denials[0].kind, DenialKind::MmuRejection);
+    assert_eq!(denials[0].addr, ghost_va.0);
+    assert_eq!(denials[0].detail, MmuCheckError::GhostVa.as_str());
+
+    // Legitimate half: a checked remap is accepted — and broadcasts the
+    // shootdown, so no core can keep a stale translation.
+    let ipis_before = m.counters.ipis;
+    vm.sva_map_page(&mut m, root, VICTIM_VA, attack_frame, PteFlags::user_rw())
+        .unwrap();
+    assert_eq!(m.counters.ipis, ipis_before + 1, "one IPI to the sibling");
+    assert_eq!(
+        m.counters.tlb_shootdowns, 2,
+        "initial map + remap broadcast; the denied update flushed nothing"
+    );
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(attack_frame));
+    m.switch_cpu(1);
+    assert_eq!(
+        translate_pfn(&mut m, VICTIM_VA),
+        Some(attack_frame),
+        "sibling core agrees: the shootdown closed the race window"
+    );
+    // No further denials: the accepted update left the recorder unchanged.
+    assert_eq!(m.trace.flight.len(), 1);
+}
+
+// ---- Scenario 2: stale-TLB ghost-memory access from a sibling core ---------
+
+#[test]
+fn native_stale_tlb_reads_revoked_frame_from_sibling() {
+    let mut m = smp_machine(2);
+    let root = m.phys.alloc_frame().unwrap();
+    let secret_frame = m.phys.alloc_frame().unwrap();
+    m.phys.write_bytes(secret_frame, 0, SECRET);
+    map_page_raw(
+        &mut m.phys,
+        root,
+        VICTIM_VA,
+        Pte::new(secret_frame, PteFlags::user_rw()),
+    )
+    .unwrap();
+
+    // Sibling core 1 warms its TLB on the victim page.
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(secret_frame));
+
+    // Core 0 revokes the page: PTE cleared, local flush only.
+    m.switch_cpu(0);
+    m.mmu.set_root(root);
+    raw_rewrite_leaf(&mut m, root, VICTIM_VA, Pte::absent());
+    m.mmu.flush_page(VICTIM_VA.vpn());
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), None, "locally revoked");
+
+    // The sibling's stale entry still translates — it reads the "revoked"
+    // secret frame straight through its TLB.
+    m.switch_cpu(1);
+    let stale = translate_pfn(&mut m, VICTIM_VA);
+    assert_eq!(stale, Some(secret_frame), "stale TLB entry survived");
+    let mut leaked = vec![0u8; SECRET.len()];
+    m.phys.read_bytes(stale.unwrap(), 0, &mut leaked);
+    assert_eq!(leaked, SECRET, "sibling reads the revoked frame");
+}
+
+#[test]
+fn vg_shootdown_revokes_sibling_tlb_and_ghost_remap_is_denied() {
+    let mut m = smp_machine(2);
+    let mut vm = boot_vm(&m, Protections::virtual_ghost());
+    let root = vm.sva_create_root(&mut m).unwrap();
+    let frame = m.phys.alloc_frame().unwrap();
+    vm.sva_map_page(&mut m, root, VICTIM_VA, frame, PteFlags::user_rw())
+        .unwrap();
+
+    // Sibling core 1 warms its TLB.
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), Some(frame));
+
+    // Core 0 revokes through the checked path: the shootdown reaches the
+    // sibling before the frame can be reused.
+    m.switch_cpu(0);
+    m.mmu.set_root(root);
+    let ipis_before = m.counters.ipis;
+    assert_eq!(
+        vm.sva_unmap_page(&mut m, root, VICTIM_VA).unwrap(),
+        Some(frame)
+    );
+    assert_eq!(m.counters.ipis, ipis_before + 1);
+    assert_eq!(translate_pfn(&mut m, VICTIM_VA), None);
+    m.switch_cpu(1);
+    assert_eq!(
+        translate_pfn(&mut m, VICTIM_VA),
+        None,
+        "sibling's stale entry was shot down: no window to read the frame"
+    );
+
+    // Donate the frame to ghost memory, then replay the attack: map the
+    // ghost frame back into kernel-visible space from the sibling core.
+    m.switch_cpu(0);
+    vm.sva_allocgm(
+        &mut m,
+        vg_core::ProcId(7),
+        root,
+        VAddr(GHOST_BASE + 0x20_0000),
+        &[frame],
+    )
+    .unwrap();
+    m.switch_cpu(1);
+    let denied = vm.sva_map_page(&mut m, root, VICTIM_VA, frame, PteFlags::kernel_rw());
+    assert!(denied.is_err(), "ghost frame cannot re-enter kernel space");
+
+    // Pinned flight sequence: exactly one denial, on the sibling core's
+    // attempt, naming the ghost-frame rule.
+    let denials: Vec<_> = m.trace.flight.denials().collect();
+    assert_eq!(denials.len(), 1);
+    assert_eq!(denials[0].kind, DenialKind::MmuRejection);
+    assert_eq!(denials[0].addr, VICTIM_VA.0);
+    assert_eq!(denials[0].detail, MmuCheckError::GhostFrame.as_str());
+    assert_eq!(m.counters.mmu_rejections, 1);
+}

@@ -126,6 +126,13 @@ fn bench_ssh_transfer(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    g.bench_function("ssh_transfer_scalar", |b| {
+        b.iter_batched(
+            || System::boot(Mode::Native),
+            |mut sys| vg_apps::ssh::sshd_bandwidth_scalar(&mut sys, 64 * 1024, 2),
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 

@@ -1,0 +1,32 @@
+//! Regenerates the measurements recorded in `BENCH_smp.json`.
+//!
+//! ```text
+//! cargo run --release -p vg-bench --example record_smp
+//! ```
+//!
+//! Prints one scaling curve per workload. Numbers are simulated cycles, so
+//! they are bit-reproducible: any machine records identical values, and a
+//! change here means the scheduler, the IPI protocol, or the cost model
+//! changed, not the hardware.
+
+use vg_bench::shapes::{smp_shapes, SMP_GATE_SCALE};
+
+fn main() {
+    for s in smp_shapes(SMP_GATE_SCALE) {
+        println!("-- {} ({} shards) --", s.name, s.shards);
+        for p in &s.points {
+            println!(
+                "cpus {:>2}: horizon {:>12} cyc  total {:>12} cyc  steals {:>3}  ipis {:>6}  \
+                 {:>8.2} units/Mcyc  speedup {:.3}x  efficiency {:.3}",
+                p.bench.cpus,
+                p.bench.horizon_cycles,
+                p.bench.total_cycles,
+                p.bench.steals,
+                p.bench.ipis,
+                p.bench.units_per_megacycle(),
+                p.speedup,
+                p.efficiency,
+            );
+        }
+    }
+}

@@ -37,6 +37,7 @@ const CRYPTO_JSON: &str = include_str!(concat!(
     "/../../BENCH_crypto.json"
 ));
 const NET_JSON: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json"));
+const SMP_JSON: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_smp.json"));
 
 /// Allowed relative drop of a recorded speedup before the gate fails.
 const TOLERANCE: f64 = 1.25;
@@ -152,9 +153,10 @@ fn crypto_rows() -> Vec<GateRow> {
     let mac_key = HmacKey::new(&mac);
     let sealed = SealedBox::seal_with(&cipher, &mac_key, 7, &page);
 
-    // (name, optimized path, scalar reference path). `ssh_transfer` from
-    // BENCH_crypto.json is deliberately absent: its scalar_us is null (no
-    // pre-overhaul recording), so there is no ratio to gate on.
+    // (name, optimized path, scalar reference path). `ssh_transfer` runs
+    // the full Figure 3 driver — simulator included — under the hoisted
+    // per-stream cipher vs the retained per-chunk scalar loop; both sides
+    // charge identical simulated cycles, so only wall-clock differs.
     type BenchFn<'a> = Box<dyn FnMut() + 'a>;
     let benches: Vec<(&'static str, BenchFn, BenchFn)> = vec![
         (
@@ -212,6 +214,17 @@ fn crypto_rows() -> Vec<GateRow> {
                 std::hint::black_box(reference::hmac_sha256(&mac, std::hint::black_box(&kib)));
             }),
         ),
+        (
+            "ssh_transfer",
+            Box::new(|| {
+                let mut sys = vg_kernel::System::boot(vg_kernel::Mode::Native);
+                std::hint::black_box(vg_apps::ssh::sshd_bandwidth(&mut sys, 64 * 1024, 2));
+            }),
+            Box::new(|| {
+                let mut sys = vg_kernel::System::boot(vg_kernel::Mode::Native);
+                std::hint::black_box(vg_apps::ssh::sshd_bandwidth_scalar(&mut sys, 64 * 1024, 2));
+            }),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -231,7 +244,6 @@ fn crypto_rows() -> Vec<GateRow> {
             baseline_us: scalar_us,
         });
     }
-    println!("crypto_data_plane/ssh_transfer: skipped (scalar baseline recorded as null)");
     rows
 }
 
@@ -264,13 +276,44 @@ fn net_rows() -> Vec<GateRow> {
         .collect()
 }
 
+/// The SMP scaling shapes at the recorded scale. Deterministic simulated
+/// cycles again: "speedup" here is `horizon(1 cpu) / horizon(4 cpus)` — the
+/// 4-core scaling headline `BENCH_smp.json` records — so a drop below the
+/// floor means the scheduler, the IPI protocol, or the cost model
+/// regressed. The `opt-us`/`base-us` columns hold the 4-core and 1-core
+/// horizons in kilocycles for these rows.
+fn smp_rows() -> Vec<GateRow> {
+    let scale = json_number(SMP_JSON, "methodology", "scale")
+        .unwrap_or(vg_bench::shapes::SMP_GATE_SCALE as f64) as u32;
+    vg_bench::shapes::smp_shapes(scale)
+        .into_iter()
+        .filter_map(|shape| {
+            let Some(recorded) = json_number(SMP_JSON, "gate_ratios", shape.name) else {
+                println!("smp_scaling/{}: skipped (no recorded baseline)", shape.name);
+                return None;
+            };
+            let quad = shape.at(4);
+            Some(GateRow {
+                group: "smp_scaling",
+                name: shape.name,
+                recorded,
+                measured: quad.speedup,
+                optimized_us: quad.bench.horizon_cycles as f64 / 1e3,
+                baseline_us: shape.at(1).bench.horizon_cycles as f64 / 1e3,
+            })
+        })
+        .collect()
+}
+
 fn main() {
     println!("== vg-bench: wall-clock regression gate ==");
     println!("(fails when a recorded speedup drops by more than {TOLERANCE}x)");
-    println!("(net_data_plane rows are simulated cycles/request, not microseconds)\n");
+    println!("(net_data_plane rows are simulated cycles/request, not microseconds)");
+    println!("(smp_scaling rows are 4-core vs 1-core horizons in kilocycles)\n");
     let mut rows = engine_rows();
     rows.extend(crypto_rows());
     rows.extend(net_rows());
+    rows.extend(smp_rows());
 
     println!(
         "\n{:<18} {:<20} {:>10} {:>10} {:>9} {:>9} {:>9}   status",

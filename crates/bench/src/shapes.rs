@@ -326,6 +326,100 @@ pub fn net_shapes(conns: u32) -> Vec<NetShapeResult> {
     ]
 }
 
+// ---- smp shapes: scaling across simulated cores -----------------------------
+
+/// Cpu counts every scaling curve is sampled at.
+pub const SMP_CPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shards per workload: constant across cpu counts so every point on a
+/// curve runs identical work.
+pub const SMP_SHARDS: usize = 8;
+
+/// Load multiplier the checked-in `BENCH_smp.json` baselines were recorded
+/// with; the gate must re-measure at the same scale for cycle-exact
+/// comparison.
+pub const SMP_GATE_SCALE: u32 = 4;
+
+/// One point on a scaling curve: the sharded run at one cpu count plus its
+/// speedup over the 1-core run and the per-core efficiency.
+pub struct SmpScalePoint {
+    /// The sharded run's books at this cpu count.
+    pub bench: vg_apps::smp::SmpBench,
+    /// `horizon(1 cpu) / horizon(n cpus)` — the scaling headline.
+    pub speedup: f64,
+    /// `speedup / cpus` — fraction of perfect linear scaling.
+    pub efficiency: f64,
+}
+
+/// One workload's scaling curve over [`SMP_CPU_COUNTS`].
+pub struct SmpShapeResult {
+    /// Shape key as recorded in `BENCH_smp.json` (`thttpd_c10k`,
+    /// `postmark`, `ghostkv`, `lmbench_procmix`).
+    pub name: &'static str,
+    /// Shards the workload was split into (constant across points).
+    pub shards: usize,
+    /// One point per entry of [`SMP_CPU_COUNTS`], in order.
+    pub points: Vec<SmpScalePoint>,
+}
+
+impl SmpShapeResult {
+    fn from_runs(name: &'static str, runs: Vec<vg_apps::smp::SmpBench>) -> Self {
+        let uni = runs[0].horizon_cycles as f64;
+        let shards = runs[0].shards;
+        let points = runs
+            .into_iter()
+            .map(|bench| {
+                let speedup = uni / bench.horizon_cycles as f64;
+                let efficiency = speedup / bench.cpus as f64;
+                SmpScalePoint {
+                    bench,
+                    speedup,
+                    efficiency,
+                }
+            })
+            .collect();
+        SmpShapeResult {
+            name,
+            shards,
+            points,
+        }
+    }
+
+    /// The point measured at `cpus`, panicking if the curve lacks it.
+    pub fn at(&self, cpus: usize) -> &SmpScalePoint {
+        self.points
+            .iter()
+            .find(|p| p.bench.cpus == cpus)
+            .expect("cpu count sampled")
+    }
+}
+
+/// Runs all four SMP scaling curves at load multiplier `scale` (the
+/// recorded baselines use [`SMP_GATE_SCALE`]). Every workload keeps
+/// [`SMP_SHARDS`] shards while the cpu count sweeps [`SMP_CPU_COUNTS`];
+/// all cycle numbers are deterministic simulated time.
+pub fn smp_shapes(scale: u32) -> Vec<SmpShapeResult> {
+    use vg_apps::smp;
+    let sweep = |f: &dyn Fn(usize) -> smp::SmpBench| SMP_CPU_COUNTS.map(f).into();
+
+    let c10k = sweep(&|cpus| smp::c10k_sharded(cpus, SMP_SHARDS, 512, 8 * scale, 8));
+    let pm_cfg = vg_apps::PostmarkConfig {
+        base_files: 20,
+        transactions: 40 * scale,
+        ..Default::default()
+    };
+    let postmark = sweep(&|cpus| smp::postmark_sharded(cpus, SMP_SHARDS, &pm_cfg));
+    let kv = sweep(&|cpus| smp::kv_sharded(cpus, SMP_SHARDS, 256, 4 * scale, 4));
+    let mix = sweep(&|cpus| smp::procmix(cpus, SMP_SHARDS, 10 * scale));
+
+    vec![
+        SmpShapeResult::from_runs("thttpd_c10k", c10k),
+        SmpShapeResult::from_runs("postmark", postmark),
+        SmpShapeResult::from_runs("ghostkv", kv),
+        SmpShapeResult::from_runs("lmbench_procmix", mix),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,7 +104,7 @@ impl SvaVm {
                 Pte::new(f, PteFlags::user_rw()),
                 FrameKind::PageTable,
             )?;
-            machine.mmu.flush_page(page_va.vpn());
+            machine.tlb_flush_page(page_va.vpn());
             self.ghost
                 .pages
                 .entry(proc)
@@ -165,7 +165,7 @@ impl SvaVm {
                 .remove(&vpn)
                 .unwrap();
             self.unmap_page_unchecked(machine, root, VAddr(vpn * PAGE_SIZE));
-            machine.mmu.flush_page(vg_machine::Vpn(vpn));
+            machine.tlb_flush_page(vg_machine::Vpn(vpn));
             machine.phys.zero_frame(pfn);
             self.frames.set_kind(pfn, FrameKind::Regular);
             machine.trace_emit(TraceEvent::GhostFree {
@@ -199,7 +199,7 @@ impl SvaVm {
             machine.prof_pop();
             machine.counters.ghost_pages_freed += 1;
             self.unmap_page_unchecked(machine, root, VAddr(vpn * PAGE_SIZE));
-            machine.mmu.flush_page(vg_machine::Vpn(vpn));
+            machine.tlb_flush_page(vg_machine::Vpn(vpn));
             machine.phys.zero_frame(pfn);
             self.frames.set_kind(pfn, FrameKind::Regular);
             machine.trace_emit(TraceEvent::GhostFree {

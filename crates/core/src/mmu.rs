@@ -153,7 +153,7 @@ impl SvaVm {
             FrameKind::PageTable,
         )?;
         self.frames.inc_map(pfn);
-        machine.mmu.flush_page(va.vpn());
+        machine.tlb_flush_page(va.vpn());
         machine.trace_emit(TraceEvent::PteUpdate {
             va: va.0,
             accepted: true,
@@ -188,7 +188,7 @@ impl SvaVm {
         if let Some(pfn) = old {
             self.frames.dec_map(pfn);
         }
-        machine.mmu.flush_page(va.vpn());
+        machine.tlb_flush_page(va.vpn());
         machine.trace_emit(TraceEvent::PteUpdate {
             va: va.0,
             accepted: true,

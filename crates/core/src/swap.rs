@@ -113,7 +113,7 @@ impl SvaVm {
         );
         // Tear the page down exactly like freegm.
         self.unmap_page_unchecked(machine, root, va);
-        machine.mmu.flush_page(va.vpn());
+        machine.tlb_flush_page(va.vpn());
         machine.phys.zero_frame(pfn);
         self.frames.set_kind(pfn, FrameKind::Regular);
         if let Some(pages) = self.ghost.pages.get_mut(&proc) {
@@ -196,7 +196,7 @@ impl SvaVm {
             self.frames.set_kind(frame, FrameKind::Regular);
             return Err(e);
         }
-        machine.mmu.flush_page(va.vpn());
+        machine.tlb_flush_page(va.vpn());
         self.ghost.pages.entry(proc).or_default().insert(vpn, frame);
         machine.trace_emit(TraceEvent::SwapIn { vpn, ok: true });
         machine.trace_complete("sva", "sva.swap_in", t0);

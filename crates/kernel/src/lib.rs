@@ -47,7 +47,7 @@ pub mod system;
 pub use fs::{FsError, Ino, InodeKind, VgFs};
 pub use net::NetMode;
 pub use program::{AppMain, SigHandlerFn, UserEnv};
-pub use system::{ChildKind, Fd, Mode, Pid, Proc, ProcState, System, SIGUSR1};
+pub use system::{ChildKind, Fd, Mode, Pid, Proc, ProcState, SchedRun, System, SIGUSR1};
 
 impl System {
     /// Boots a full Virtual Ghost system (convenience).

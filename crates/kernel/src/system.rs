@@ -62,6 +62,27 @@ impl Mode {
     }
 }
 
+/// Result of one [`System::run_queued`] scheduling window.
+#[derive(Debug, Clone)]
+pub struct SchedRun {
+    /// `(pid, exit code)` in completion order.
+    pub exits: Vec<(Pid, i32)>,
+    /// Per-core simulated cycles performed during the window.
+    pub work: Vec<u64>,
+    /// The busiest core's work — the window's simulated wall-clock duration
+    /// on an SMP machine (every other core finished earlier and idled).
+    pub horizon: u64,
+    /// Processes that ran on a core other than their home (work stealing).
+    pub steals: u64,
+}
+
+impl SchedRun {
+    /// The window's duration in simulated microseconds (horizon cycles).
+    pub fn micros(&self) -> f64 {
+        self.horizon as f64 / vg_machine::cost::CYCLES_PER_US
+    }
+}
+
 /// What a forked child does.
 pub enum ChildKind {
     /// Exit immediately with the code (LMBench `fork+exit`).
@@ -180,6 +201,10 @@ pub struct Proc {
     pub next_handler_addr: u64,
     /// CPU cycles charged while this process was current.
     pub cpu_cycles: u64,
+    /// Preferred core: where [`System::sched_enqueue`] queues this process
+    /// (assigned round-robin at creation). Work stealing may run it
+    /// elsewhere. Always 0 on a single-core system.
+    pub home_cpu: usize,
     /// Set when the kernel killed this process after an unrecoverable
     /// fault (the static detail string from the flight-recorder entry).
     /// A killed process's memory accesses become no-ops and its exit
@@ -341,6 +366,11 @@ pub struct System {
     pub remote_responder: Option<RemoteResponder>,
     pub(crate) boot_root: Pfn,
     pub(crate) cur: Option<Pid>,
+    /// Per-core ready queues (index = core id), fed by
+    /// [`sched_enqueue`](Self::sched_enqueue) and drained by the
+    /// work-stealing [`run_queued`](Self::run_queued).
+    pub run_queues: Vec<VecDeque<Pid>>,
+    next_home: usize,
     last_switch_cycles: u64,
     next_pid: Pid,
     pub(crate) pending_child: Option<ChildKind>,
@@ -363,10 +393,20 @@ impl System {
     /// Boots a system in `mode`: builds the machine, the SVA VM, formats the
     /// filesystem.
     pub fn boot(mode: Mode) -> Self {
+        Self::boot_with_cpus(mode, 1)
+    }
+
+    /// Boots a system with `cpus` simulated cores. `boot_with_cpus(mode, 1)`
+    /// is exactly [`boot`](Self::boot): boot-time work is charged to core 0
+    /// and a single-core machine never broadcasts shootdown IPIs, so the
+    /// two produce bit-identical clocks, counters, and traces.
+    pub fn boot_with_cpus(mode: Mode, cpus: usize) -> Self {
+        let cpus = cpus.max(1);
         let (protections, cost_model) = mode.split();
         let mode_name = cost_model.name;
         let mut machine = Machine::new(MachineConfig {
             costs: cost_model,
+            cpus,
             ..Default::default()
         });
         let tpm = Tpm::new(0x7a31);
@@ -411,6 +451,8 @@ impl System {
             remote_responder: None,
             boot_root,
             cur: None,
+            run_queues: vec![VecDeque::new(); cpus],
+            next_home: 0,
             last_switch_cycles: 0,
             next_pid: 1,
             pending_child: None,
@@ -544,6 +586,8 @@ impl System {
     pub(crate) fn create_proc(&mut self, name: &str, parent: Option<Pid>) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
+        let home_cpu = self.next_home % self.machine.num_cpus();
+        self.next_home += 1;
         let root = self
             .vm
             .sva_create_root(&mut self.machine)
@@ -576,6 +620,7 @@ impl System {
                 parent,
                 next_handler_addr: USER_TEXT_BASE + 0x10_0000 + pid * 0x1000,
                 cpu_cycles: 0,
+                home_cpu,
                 fault_killed: None,
                 program: None,
             },
@@ -1266,6 +1311,82 @@ impl System {
             }
         }
         -1
+    }
+
+    // ---- SMP scheduling ------------------------------------------------------
+
+    /// Queues `pid` on its home core's ready list for
+    /// [`run_queued`](Self::run_queued). Charges nothing: on a single-core
+    /// system an
+    /// enqueue-then-`run_queued` sequence is bit-identical to calling
+    /// [`run_until_exit`](Self::run_until_exit) in the same order.
+    pub fn sched_enqueue(&mut self, pid: Pid) {
+        let cpu = self.procs[&pid].home_cpu;
+        self.run_queues[cpu].push_back(pid);
+    }
+
+    /// Drains the per-core ready queues with a deterministic work-stealing
+    /// scheduler and returns the window's accounting.
+    ///
+    /// Each iteration picks the least-loaded core (smallest per-core cycle
+    /// delta since the window began; ties break to the lowest core id),
+    /// pops that core's own queue, or — if it is empty — steals from
+    /// sibling queues in the fixed order `(core+1) % n, (core+2) % n, …`.
+    /// The chosen process runs to completion on that core. Both choices
+    /// are pure functions of simulated state, so the interleaving replays
+    /// exactly for a given seed and cpu count.
+    ///
+    /// At the end of the window every core that finished before the busiest
+    /// one has the gap recorded as per-CPU [`Domain::Idle`] time, extending
+    /// the profiler's conservation identity to Σ over (cpu, domain).
+    pub fn run_queued(&mut self) -> SchedRun {
+        let n = self.machine.num_cpus();
+        let start: Vec<u64> = self.machine.cpu_clocks().to_vec();
+        let mut exits = Vec::new();
+        let mut steals = 0u64;
+        while self.run_queues.iter().any(|q| !q.is_empty()) {
+            let mut core = 0;
+            for c in 1..n {
+                if self.machine.cpu_clock(c) - start[c] < self.machine.cpu_clock(core) - start[core]
+                {
+                    core = c;
+                }
+            }
+            let (pid, stolen) = match self.run_queues[core].pop_front() {
+                Some(p) => (p, false),
+                None => {
+                    let mut found = None;
+                    for d in 1..n {
+                        let victim = (core + d) % n;
+                        if let Some(p) = self.run_queues[victim].pop_front() {
+                            found = Some(p);
+                            break;
+                        }
+                    }
+                    (found.expect("a non-empty ready queue exists"), true)
+                }
+            };
+            if stolen {
+                steals += 1;
+                self.machine.counters.sched_steals += 1;
+            }
+            self.machine.switch_cpu(core);
+            let code = self.run_proc(pid);
+            exits.push((pid, code));
+        }
+        let work: Vec<u64> = (0..n)
+            .map(|c| self.machine.cpu_clock(c) - start[c])
+            .collect();
+        let horizon = work.iter().copied().max().unwrap_or(0);
+        for (c, &w) in work.iter().enumerate() {
+            self.machine.profiler.record_idle(c, horizon - w);
+        }
+        SchedRun {
+            exits,
+            work,
+            horizon,
+            steals,
+        }
     }
 
     // ---- signals -----------------------------------------------------------

@@ -119,6 +119,14 @@ pub struct CostModel {
     /// *(VG)* Cost of `allocgm`/`freegm` checks per page (mapping checks,
     /// zeroing is charged separately via `frame_zero`).
     pub ghost_page_op: u64,
+    /// Sending one inter-processor interrupt to one target core (APIC ICR
+    /// write plus delivery wait). Hardware cost, identical in every model:
+    /// TLB shootdown is work SMP itself demands, not Virtual Ghost
+    /// instrumentation.
+    pub ipi_send: u64,
+    /// Handling one received IPI on the target core (interrupt delivery,
+    /// `invlpg`, EOI). Hardware cost, identical in every model.
+    pub ipi_receive: u64,
 }
 
 impl Default for CostModel {
@@ -157,6 +165,8 @@ impl CostModel {
             sha_per_block: 60,
             io_check: 0,
             ghost_page_op: 0,
+            ipi_send: 400,
+            ipi_receive: 800,
         }
     }
 
@@ -244,6 +254,15 @@ pub struct Counters {
     pub ring_descs: u64,
     /// Context switches performed.
     pub context_switches: u64,
+    /// Inter-processor interrupts delivered (one per target core per
+    /// broadcast). Structurally zero on a single-core machine.
+    pub ipis: u64,
+    /// TLB-shootdown broadcasts performed (one per PTE-mutating operation
+    /// that had at least one sibling core to invalidate).
+    pub tlb_shootdowns: u64,
+    /// Ready-queue steals: processes run on a core other than their home
+    /// because the home queue had work and the running core's was empty.
+    pub sched_steals: u64,
     /// Ghost pages allocated.
     pub ghost_pages_allocated: u64,
     /// Ghost pages freed.
@@ -293,6 +312,9 @@ mod tests {
         assert_eq!(n.kernel_access, v.kernel_access);
         assert_eq!(n.disk_per_block, v.disk_per_block);
         assert_eq!(n.nic_per_byte, v.nic_per_byte);
+        // IPI / shootdown costs are hardware, not instrumentation: identical.
+        assert_eq!(n.ipi_send, v.ipi_send);
+        assert_eq!(n.ipi_receive, v.ipi_receive);
         assert!(v.is_instrumented());
         assert!(v.ic_save > 0 && v.mmu_check > 0);
     }

@@ -79,6 +79,20 @@ pub struct TrapFrame {
     pub kind: TrapKind,
 }
 
+/// Per-core inter-processor-interrupt bookkeeping. IPIs in this machine are
+/// delivered *eagerly* (the shootdown takes effect before the sender's next
+/// instruction) so multi-core runs stay deterministic; the asynchronous
+/// delivery latency of real hardware is modeled purely as cycle charges
+/// ([`crate::cost::CostModel::ipi_send`] on the sender,
+/// [`crate::cost::CostModel::ipi_receive`] on each target).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpiState {
+    /// IPIs this core has sent (one per target core per broadcast).
+    pub sent: u64,
+    /// IPIs this core has handled.
+    pub received: u64,
+}
+
 /// The simulated CPU.
 #[derive(Debug)]
 pub struct Cpu {
@@ -88,6 +102,8 @@ pub struct Cpu {
     pub rip: u64,
     /// Flags register.
     pub rflags: u64,
+    /// Inter-processor-interrupt counters for this core.
+    pub ipi: IpiState,
     privilege: Privilege,
 }
 
@@ -104,6 +120,7 @@ impl Cpu {
             gprs: [0; NUM_GPRS],
             rip: 0,
             rflags: 0,
+            ipi: IpiState::default(),
             privilege: Privilege::Kernel,
         }
     }

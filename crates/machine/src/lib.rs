@@ -37,7 +37,7 @@ mod proptests;
 pub mod pte;
 
 pub use cost::{Clock, CostModel, Counters};
-pub use cpu::{Cpu, TrapFrame, TrapKind};
+pub use cpu::{Cpu, IpiState, TrapFrame, TrapKind};
 pub use iommu::Iommu;
 pub use layout::{mask_kernel_pointer, PAddr, Pfn, Region, VAddr, Vpn, PAGE_SIZE};
 pub use mmu::{AccessKind, Mmu, TlbPolicy, TlbStats, TranslateError};
@@ -67,9 +67,15 @@ use iommu::DmaFault;
 pub struct Machine {
     /// Physical memory.
     pub phys: PhysMem,
-    /// The (single) CPU.
+    /// The *active* core's CPU state. On a multi-core machine the other
+    /// cores' register/interrupt state is parked inside the machine and
+    /// swapped in by [`switch_cpu`](Self::switch_cpu); all existing
+    /// single-core code keeps reading `machine.cpu` unchanged.
     pub cpu: Cpu,
-    /// MMU state (root pointer, TLB).
+    /// The *active* core's MMU state (root pointer, per-CPU TLB). Parked
+    /// cores keep their own TLBs; PTE-mutating paths must invalidate them
+    /// through [`tlb_flush_page`](Self::tlb_flush_page) (IPI shootdown),
+    /// never `machine.mmu.flush_page` alone.
     pub mmu: Mmu,
     /// IOMMU gating device DMA.
     pub iommu: Iommu,
@@ -118,6 +124,20 @@ pub struct Machine {
     /// selector exists so equivalence and bisection runs can pick the
     /// executable specification or the intermediate tier.
     pub ir_engine: IrEngine,
+    /// Index of the active core (the one `cpu`/`mmu` belong to).
+    cur_cpu: usize,
+    /// Per-core parked state, one slot per core; the active core's slot
+    /// holds a reset placeholder while its real state lives in `cpu`/`mmu`.
+    parked: Vec<(Cpu, Mmu)>,
+    /// Cycles of work performed *on each core*. The global [`clock`]
+    /// remains the single total-work timeline (Σ `cpu_clocks` == clock,
+    /// every charge lands on exactly one core); SMP elapsed time for a
+    /// parallel region is the *maximum* per-core delta, which is what the
+    /// scheduler and the scaling benchmarks report. On a single-core
+    /// machine `cpu_clocks[0] == clock` at all times.
+    ///
+    /// [`clock`]: Self::clock
+    cpu_clocks: Vec<u64>,
 }
 
 /// IR execution tier selector. This crate cannot name `vg_ir::Engine`
@@ -158,6 +178,11 @@ pub struct MachineConfig {
     pub byte_granular_bus: bool,
     /// IR execution tier (default: the fused superinstruction engine).
     pub ir_engine: IrEngine,
+    /// Number of simulated cores (default 1). A `cpus: 1` machine is
+    /// bit-identical to the historical single-core machine: the shootdown
+    /// broadcast loop is empty, no core switches happen, and no IPI cycles
+    /// or counters are charged.
+    pub cpus: usize,
 }
 
 impl Default for MachineConfig {
@@ -168,6 +193,7 @@ impl Default for MachineConfig {
             costs: CostModel::native(),
             byte_granular_bus: false,
             ir_engine: IrEngine::default(),
+            cpus: 1,
         }
     }
 }
@@ -175,6 +201,7 @@ impl Default for MachineConfig {
 impl Machine {
     /// Builds a machine from `config`.
     pub fn new(config: MachineConfig) -> Self {
+        let cpus = config.cpus.max(1);
         Machine {
             phys: PhysMem::new(config.phys_frames),
             cpu: Cpu::new(),
@@ -193,28 +220,144 @@ impl Machine {
             faults: FaultState::disarmed(),
             byte_granular_bus: config.byte_granular_bus,
             ir_engine: config.ir_engine,
+            cur_cpu: 0,
+            parked: (0..cpus).map(|_| (Cpu::new(), Mmu::new())).collect(),
+            cpu_clocks: vec![0; cpus],
         }
     }
 
-    /// Charges `cycles` to the CPU clock. This is the only site that
-    /// advances the CPU timeline, so attributing here gives the profiler
-    /// its conservation invariant by construction.
+    /// Number of simulated cores.
     #[inline]
-    pub fn charge(&mut self, cycles: u64) {
-        self.clock.advance(cycles);
-        self.profiler.on_charge(self.trace.cur_proc, cycles);
+    pub fn num_cpus(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Index of the active core — the one `self.cpu`/`self.mmu` belong to.
+    #[inline]
+    pub fn cur_cpu(&self) -> usize {
+        self.cur_cpu
+    }
+
+    /// Cycles of work performed on core `cpu` so far.
+    #[inline]
+    pub fn cpu_clock(&self, cpu: usize) -> u64 {
+        self.cpu_clocks[cpu]
+    }
+
+    /// Per-core work snapshot (Σ == [`clock`](Self::clock) cycles).
+    pub fn cpu_clocks(&self) -> &[u64] {
+        &self.cpu_clocks
+    }
+
+    /// Makes core `target` the active one, parking the current core's CPU
+    /// and MMU state and installing the target's. No cycles are charged:
+    /// the simulator interleaves cores at scheduling granularity, and the
+    /// cost of *process* context switches is charged by the kernel as
+    /// before. A no-op when `target` is already active (in particular,
+    /// never reached on a `cpus: 1` machine).
+    pub fn switch_cpu(&mut self, target: usize) {
+        if target == self.cur_cpu {
+            return;
+        }
+        assert!(target < self.parked.len(), "cpu {target} out of range");
+        let cur = self.cur_cpu;
+        std::mem::swap(&mut self.cpu, &mut self.parked[cur].0);
+        std::mem::swap(&mut self.mmu, &mut self.parked[cur].1);
+        std::mem::swap(&mut self.cpu, &mut self.parked[target].0);
+        std::mem::swap(&mut self.mmu, &mut self.parked[target].1);
+        self.cur_cpu = target;
+        // The TLB gauges are per-core; republish so the registry reflects
+        // the newly active core's statistics immediately.
         self.sync_tlb_counters();
     }
 
-    /// Publishes the MMU's TLB statistics into the metrics registry (the
-    /// single source of truth for reports) and mirrors them into
-    /// [`Counters`] as a read-through view for existing consumers. Called
-    /// on every `charge`; also callable directly after uncharged
-    /// translations (e.g. straight `mmu.translate` probes).
+    /// Charges `cycles` to the active core. Together with
+    /// [`charge_on`](Self::charge_on) these are the only sites that advance
+    /// the CPU timeline, so attributing here gives the profiler its
+    /// conservation invariant by construction.
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+        self.cpu_clocks[self.cur_cpu] += cycles;
+        self.profiler
+            .on_charge(self.trace.cur_proc, self.cur_cpu, cycles);
+        self.sync_tlb_counters();
+    }
+
+    /// Charges `cycles` of work performed *on core `cpu`* (e.g. the
+    /// receiver half of an IPI) without switching to it. Advances the same
+    /// global clock — total work is total work — but books the per-core
+    /// share and the profiler attribution against `cpu`.
+    #[inline]
+    pub fn charge_on(&mut self, cpu: usize, cycles: u64) {
+        self.clock.advance(cycles);
+        self.cpu_clocks[cpu] += cycles;
+        self.profiler.on_charge(self.trace.cur_proc, cpu, cycles);
+        self.sync_tlb_counters();
+    }
+
+    /// Invalidates the translation for `vpn` on *every* core: locally via
+    /// the active MMU, and on each sibling core via a simulated IPI whose
+    /// send/receive costs are charged through the cost model. This is the
+    /// primitive every PTE-mutating path must use; `machine.mmu.flush_page`
+    /// alone would leave stale entries in sibling TLBs. On a single-core
+    /// machine the broadcast loop body never runs, so cycles and counters
+    /// are bit-identical to a plain local flush.
+    pub fn tlb_flush_page(&mut self, vpn: Vpn) {
+        self.mmu.flush_page(vpn);
+        if self.parked.len() > 1 {
+            self.tlb_shootdown(vpn);
+        }
+    }
+
+    /// The broadcast half of [`tlb_flush_page`](Self::tlb_flush_page):
+    /// sends one IPI per sibling core in ascending core order, flushing
+    /// `vpn` from each sibling TLB. Sender cycles land on the active core,
+    /// receiver cycles on each target.
+    fn tlb_shootdown(&mut self, vpn: Vpn) {
+        self.counters.tlb_shootdowns += 1;
+        for target in 0..self.parked.len() {
+            if target == self.cur_cpu {
+                continue;
+            }
+            self.parked[target].1.flush_page(vpn);
+            self.parked[target].0.ipi.received += 1;
+            self.cpu.ipi.sent += 1;
+            self.counters.ipis += 1;
+            let (send, recv) = (self.costs.ipi_send, self.costs.ipi_receive);
+            self.prof_push(Domain::Mmu, "ipi.shootdown");
+            self.charge(send);
+            self.charge_on(target, recv);
+            self.prof_pop();
+        }
+    }
+
+    /// Publishes each core's TLB statistics into the metrics registry under
+    /// a per-CPU label, refreshes the aggregate gauge as the *sum over all
+    /// cores*, and mirrors the aggregate into [`Counters`] as a
+    /// read-through view for existing consumers. Called on every `charge`;
+    /// also callable directly after uncharged translations (e.g. straight
+    /// `mmu.translate` probes).
     #[inline]
     pub fn sync_tlb_counters(&mut self) {
-        let s = self.mmu.stats();
-        self.metrics.set_tlb(s.hits, s.misses, s.evictions);
+        let n = self.parked.len();
+        let mut hits = [0u64; 3];
+        let mut misses = [0u64; 3];
+        let mut evictions = 0u64;
+        for i in 0..n {
+            let s = if i == self.cur_cpu {
+                self.mmu.stats()
+            } else {
+                self.parked[i].1.stats()
+            };
+            self.metrics.set_tlb_cpu(i, s.hits, s.misses, s.evictions);
+            for k in 0..3 {
+                hits[k] += s.hits[k];
+                misses[k] += s.misses[k];
+            }
+            evictions += s.evictions;
+        }
+        self.metrics.set_tlb(hits, misses, evictions);
         let t = self.metrics.tlb();
         self.counters.tlb_hits = t.hits;
         self.counters.tlb_misses = t.misses;

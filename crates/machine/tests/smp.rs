@@ -1,0 +1,160 @@
+//! SMP machine semantics: per-core CPU/MMU state, IPI-based TLB shootdown,
+//! per-core cycle accounting, and the single-core bit-identity guarantee.
+
+use vg_machine::mmu::map_page_raw;
+use vg_machine::{AccessKind, Machine, MachineConfig, Pfn, Pte, PteFlags, VAddr};
+
+fn machine_with_cpus(cpus: usize) -> Machine {
+    Machine::new(MachineConfig {
+        cpus,
+        ..Default::default()
+    })
+}
+
+/// Builds a one-page user mapping and returns (root, va, frame).
+fn map_one_page(m: &mut Machine) -> (Pfn, VAddr, Pfn) {
+    let root = m.phys.alloc_frame().expect("root");
+    let frame = m.phys.alloc_frame().expect("frame");
+    let va = VAddr(0x4000_0000);
+    map_page_raw(&mut m.phys, root, va, Pte::new(frame, PteFlags::user_rw())).expect("map");
+    (root, va, frame)
+}
+
+#[test]
+fn single_core_flush_charges_nothing_and_sends_no_ipis() {
+    let mut m = machine_with_cpus(1);
+    let (root, va, _) = map_one_page(&mut m);
+    m.mmu.set_root(root);
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("mapped");
+    let before = m.clock.cycles();
+    m.tlb_flush_page(va.vpn());
+    assert_eq!(m.clock.cycles(), before, "flush on 1 core is free");
+    assert_eq!(m.counters.ipis, 0);
+    assert_eq!(m.counters.tlb_shootdowns, 0);
+    assert_eq!(m.cpu.ipi.sent, 0);
+    assert_eq!(m.num_cpus(), 1);
+}
+
+#[test]
+fn switch_cpu_swaps_register_and_mmu_state() {
+    let mut m = machine_with_cpus(2);
+    let root0 = m.phys.alloc_frame().expect("root0");
+    let root1 = m.phys.alloc_frame().expect("root1");
+    m.cpu.rip = 0x1000;
+    m.mmu.set_root(root0);
+    m.switch_cpu(1);
+    assert_eq!(m.cur_cpu(), 1);
+    assert_eq!(m.cpu.rip, 0, "core 1 starts at reset state");
+    assert_eq!(m.mmu.root(), None, "core 1 has its own MMU");
+    m.cpu.rip = 0x2000;
+    m.mmu.set_root(root1);
+    m.switch_cpu(0);
+    assert_eq!(m.cpu.rip, 0x1000, "core 0 state restored");
+    assert_eq!(m.mmu.root(), Some(root0));
+    m.switch_cpu(1);
+    assert_eq!(m.cpu.rip, 0x2000);
+    assert_eq!(m.mmu.root(), Some(root1));
+}
+
+#[test]
+fn shootdown_flushes_sibling_tlb_and_charges_both_cores() {
+    let mut m = machine_with_cpus(2);
+    let (root, va, _) = map_one_page(&mut m);
+    // Warm core 1's TLB.
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("mapped");
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("mapped");
+    assert_eq!(m.mmu.stats().hits_total(), 1, "second translate hit");
+    // Shoot down from core 0.
+    m.switch_cpu(0);
+    m.mmu.set_root(root);
+    let clock0 = m.clock.cycles();
+    let (w0, w1) = (m.cpu_clock(0), m.cpu_clock(1));
+    m.tlb_flush_page(va.vpn());
+    let (send, recv) = (m.costs.ipi_send, m.costs.ipi_receive);
+    assert_eq!(m.counters.tlb_shootdowns, 1);
+    assert_eq!(m.counters.ipis, 1, "one sibling, one IPI");
+    assert_eq!(m.cpu.ipi.sent, 1);
+    assert_eq!(m.clock.cycles() - clock0, send + recv);
+    assert_eq!(m.cpu_clock(0) - w0, send, "sender pays on its core");
+    assert_eq!(m.cpu_clock(1) - w1, recv, "receiver pays on its core");
+    // Core 1's cached translation is gone: the next access walks again.
+    m.switch_cpu(1);
+    assert_eq!(m.cpu.ipi.received, 1);
+    let misses = m.mmu.stats().misses_total();
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("still mapped, just not cached");
+    assert_eq!(m.mmu.stats().misses_total(), misses + 1, "stale entry shot");
+}
+
+#[test]
+fn per_core_clocks_sum_to_the_global_clock() {
+    let mut m = machine_with_cpus(4);
+    m.charge(100);
+    m.charge_on(2, 50);
+    m.switch_cpu(3);
+    m.charge(7);
+    m.charge_on(1, 3);
+    let sum: u64 = m.cpu_clocks().iter().sum();
+    assert_eq!(sum, m.clock.cycles(), "every charge lands on one core");
+    assert_eq!(m.cpu_clock(0), 100);
+    assert_eq!(m.cpu_clock(1), 3);
+    assert_eq!(m.cpu_clock(2), 50);
+    assert_eq!(m.cpu_clock(3), 7);
+}
+
+#[test]
+fn tlb_counters_aggregate_across_cores() {
+    let mut m = machine_with_cpus(2);
+    let (root, va, _) = map_one_page(&mut m);
+    m.mmu.set_root(root);
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("core 0 walk");
+    m.switch_cpu(1);
+    m.mmu.set_root(root);
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("core 1 walk");
+    m.mmu
+        .translate(&m.phys, va, AccessKind::Read, true)
+        .expect("core 1 hit");
+    m.sync_tlb_counters();
+    // Each core walked once (miss), core 1 also hit once: the mirrored
+    // counters are the sum over both TLBs, not the active core alone.
+    assert_eq!(m.counters.tlb_misses.iter().sum::<u64>(), 2);
+    assert_eq!(m.counters.tlb_hits.iter().sum::<u64>(), 1);
+    let per_cpu = m.metrics.tlb_per_cpu();
+    assert_eq!(per_cpu.len(), 2);
+    assert_eq!(per_cpu[0].misses.iter().sum::<u64>(), 1);
+    assert_eq!(per_cpu[1].misses.iter().sum::<u64>(), 1);
+    assert_eq!(per_cpu[1].hits.iter().sum::<u64>(), 1);
+    let agg = m.metrics.tlb();
+    assert_eq!(
+        agg.hits.iter().sum::<u64>() + agg.misses.iter().sum::<u64>(),
+        3
+    );
+}
+
+#[test]
+fn shootdown_reaches_every_sibling_on_four_cores() {
+    let mut m = machine_with_cpus(4);
+    let (root, va, _) = map_one_page(&mut m);
+    m.mmu.set_root(root);
+    m.tlb_flush_page(va.vpn());
+    assert_eq!(m.counters.tlb_shootdowns, 1);
+    assert_eq!(m.counters.ipis, 3, "one IPI per sibling core");
+    assert_eq!(m.cpu.ipi.sent, 3);
+    for c in 1..4 {
+        m.switch_cpu(c);
+        assert_eq!(m.cpu.ipi.received, 1, "core {c} handled the IPI");
+    }
+}

@@ -412,15 +412,15 @@ mod tests {
     fn sample_profiler() -> CycleProfiler {
         let mut p = CycleProfiler::new();
         p.enable(0);
-        p.on_charge(0, 11); // root/boot
+        p.on_charge(0, 0, 11); // root/boot
         p.push(Domain::Syscall, "open");
-        p.on_charge(1, 100);
+        p.on_charge(1, 0, 100);
         p.push_leaf("kpath.open");
-        p.on_charge(1, 7);
+        p.on_charge(1, 0, 7);
         p.pop();
         p.pop();
         p.push(Domain::User, "user");
-        p.on_charge(1, 40);
+        p.on_charge(1, 0, 40);
         p.pop();
         p
     }

@@ -117,6 +117,10 @@ pub struct MetricsRegistry {
     histograms: BTreeMap<&'static str, Histogram>,
     counters: BTreeMap<&'static str, u64>,
     tlb: TlbGauge,
+    /// Per-core TLB gauges, indexed by core id. Slot `i` is created the
+    /// first time core `i` publishes; on a single-core machine only slot 0
+    /// exists and equals the aggregate gauge.
+    tlb_per_cpu: Vec<TlbGauge>,
 }
 
 impl MetricsRegistry {
@@ -162,9 +166,30 @@ impl MetricsRegistry {
         };
     }
 
-    /// The current TLB snapshot.
+    /// The current TLB snapshot. The aggregate over all cores: the machine
+    /// publishes the *sum* of its per-CPU TLBs here, so `Counters` mirrors
+    /// stay a correct total under N TLBs.
     pub fn tlb(&self) -> TlbGauge {
         self.tlb
+    }
+
+    /// Replaces core `cpu`'s TLB gauge with a fresh snapshot, growing the
+    /// per-core table on first publish.
+    pub fn set_tlb_cpu(&mut self, cpu: usize, hits: [u64; 3], misses: [u64; 3], evictions: u64) {
+        if self.tlb_per_cpu.len() <= cpu {
+            self.tlb_per_cpu.resize(cpu + 1, TlbGauge::default());
+        }
+        self.tlb_per_cpu[cpu] = TlbGauge {
+            hits,
+            misses,
+            evictions,
+        };
+    }
+
+    /// Per-core TLB snapshots, indexed by core id (empty until a machine
+    /// publishes; length == number of cores that have published).
+    pub fn tlb_per_cpu(&self) -> &[TlbGauge] {
+        &self.tlb_per_cpu
     }
 
     /// All histograms in deterministic (name) order.
@@ -211,6 +236,23 @@ impl MetricsRegistry {
             "hits r/w/x {}/{}/{}  misses r/w/x {}/{}/{}  evictions {}",
             t.hits[0], t.hits[1], t.hits[2], t.misses[0], t.misses[1], t.misses[2], t.evictions
         );
+        // Per-core breakdown, only once a second core exists: single-core
+        // reports stay byte-identical to the historical format.
+        if self.tlb_per_cpu.len() > 1 {
+            for (i, t) in self.tlb_per_cpu.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "cpu{i}: hits r/w/x {}/{}/{}  misses r/w/x {}/{}/{}  evictions {}",
+                    t.hits[0],
+                    t.hits[1],
+                    t.hits[2],
+                    t.misses[0],
+                    t.misses[1],
+                    t.misses[2],
+                    t.evictions
+                );
+            }
+        }
         out
     }
 }

@@ -127,6 +127,12 @@ pub struct CycleProfiler {
     /// Exact cycles per (process id, domain). Process 0 is boot/kernel
     /// context before any process is scheduled.
     per_proc: BTreeMap<(u64, Domain), u64>,
+    /// Exact cycles per (core id, domain). Every charge names the core it
+    /// ran on, so on a single-core machine this is the per-domain totals
+    /// under core 0. [`Domain::Idle`] entries are recorded separately by
+    /// the scheduler via [`Self::record_idle`] — idle cycles are *not* work
+    /// and never enter `attributed` or the global clock.
+    per_cpu: BTreeMap<(usize, Domain), u64>,
     /// Clock value when the profiler was enabled (cycles spent before that
     /// point are outside the books, reported separately).
     start_cycles: u64,
@@ -155,6 +161,7 @@ impl CycleProfiler {
             index: BTreeMap::new(),
             stack: Vec::new(),
             per_proc: BTreeMap::new(),
+            per_cpu: BTreeMap::new(),
             start_cycles: 0,
             attributed: 0,
         }
@@ -246,11 +253,11 @@ impl CycleProfiler {
         self.stack.pop();
     }
 
-    /// Attributes `cycles` (charged on behalf of process `proc`) to the
-    /// innermost frame. Called from `Machine::charge`; one branch when
-    /// disabled.
+    /// Attributes `cycles` (charged on behalf of process `proc`, executed
+    /// on core `cpu`) to the innermost frame. Called from
+    /// `Machine::charge`/`charge_on`; one branch when disabled.
     #[inline]
-    pub fn on_charge(&mut self, proc_id: u64, cycles: u64) {
+    pub fn on_charge(&mut self, proc_id: u64, cpu: usize, cycles: u64) {
         if !self.enabled || cycles == 0 {
             return;
         }
@@ -258,7 +265,23 @@ impl CycleProfiler {
         self.nodes[top as usize].self_cycles += cycles;
         let dom = self.nodes[top as usize].domain;
         *self.per_proc.entry((proc_id, dom)).or_insert(0) += cycles;
+        *self.per_cpu.entry((cpu, dom)).or_insert(0) += cycles;
         self.attributed += cycles;
+    }
+
+    /// Records `cycles` of *idle* time on core `cpu` — wall-clock during
+    /// which the core had no runnable work while siblings were still
+    /// executing. Idle is not work: it never enters `attributed` (the
+    /// global clock only counts work performed), only the
+    /// `(cpu, Domain::Idle)` bucket, so the per-core books balance against
+    /// the scheduler's horizon: for every core,
+    /// Σ_domains per_cpu[(cpu, d)] == horizon. No-op when disabled.
+    #[inline]
+    pub fn record_idle(&mut self, cpu: usize, cycles: u64) {
+        if !self.enabled || cycles == 0 {
+            return;
+        }
+        *self.per_cpu.entry((cpu, Domain::Idle)).or_insert(0) += cycles;
     }
 
     /// Exact cycles per domain (only domains that received cycles appear).
@@ -275,6 +298,21 @@ impl CycleProfiler {
     /// Exact cycles per (process, domain), deterministic order.
     pub fn proc_domain_totals(&self) -> &BTreeMap<(u64, Domain), u64> {
         &self.per_proc
+    }
+
+    /// Exact cycles per (core, domain), deterministic order. Includes the
+    /// scheduler-recorded [`Domain::Idle`] entries.
+    pub fn cpu_domain_totals(&self) -> &BTreeMap<(usize, Domain), u64> {
+        &self.per_cpu
+    }
+
+    /// Exact cycles per core (summed over domains, idle included).
+    pub fn cpu_totals(&self) -> BTreeMap<usize, u64> {
+        let mut out = BTreeMap::new();
+        for (&(cpu, _), &c) in &self.per_cpu {
+            *out.entry(cpu).or_insert(0) += c;
+        }
+        out
     }
 
     /// Exact cycles per process (summed over domains).
@@ -311,6 +349,50 @@ impl CycleProfiler {
             per_domain, self.attributed,
             "per-domain totals must partition the attributed cycles"
         );
+        let per_cpu_work: u64 = self
+            .per_cpu
+            .iter()
+            .filter(|((_, d), _)| *d != Domain::Idle)
+            .map(|(_, &c)| c)
+            .sum();
+        assert_eq!(
+            per_cpu_work, self.attributed,
+            "per-core work totals must partition the attributed cycles"
+        );
+    }
+
+    /// Asserts the SMP extension of the conservation identity: for every
+    /// core, Σ over domains of `per_cpu[(cpu, d)]` — work attributed to the
+    /// core plus scheduler-recorded idle — equals that core's share of the
+    /// horizon. `cpu_work[i]` is the cycles of work core `i` performed
+    /// since enable (from `Machine::cpu_clocks` deltas) and `horizon` the
+    /// common wall-clock endpoint (max of the deltas), so
+    /// `work[i] + idle[i] == horizon` for every core.
+    ///
+    /// # Panics
+    /// When any core's books don't balance.
+    pub fn assert_smp_conservation(&self, cpu_work: &[u64], horizon: u64) {
+        for (cpu, &work) in cpu_work.iter().enumerate() {
+            let mut attributed = 0u64;
+            let mut idle = 0u64;
+            for d in Domain::ALL {
+                let c = self.per_cpu.get(&(cpu, d)).copied().unwrap_or(0);
+                if d == Domain::Idle {
+                    idle += c;
+                } else {
+                    attributed += c;
+                }
+            }
+            assert_eq!(
+                attributed, work,
+                "core {cpu}: attributed {attributed} != performed work {work}"
+            );
+            assert_eq!(
+                attributed + idle,
+                horizon,
+                "core {cpu}: work {attributed} + idle {idle} != horizon {horizon}"
+            );
+        }
     }
 
     /// Root-to-node frame path for a node (crate-internal, for exporters).
@@ -342,7 +424,7 @@ mod tests {
     fn disabled_profiler_does_nothing() {
         let mut p = CycleProfiler::new();
         p.push(Domain::Syscall, "open");
-        p.on_charge(1, 100);
+        p.on_charge(1, 0, 100);
         p.pop();
         assert_eq!(p.total_attributed(), 0);
         assert_eq!(p.depth(), 0);
@@ -354,15 +436,15 @@ mod tests {
     fn charges_land_in_the_innermost_frame() {
         let mut p = CycleProfiler::new();
         p.enable(50);
-        p.on_charge(0, 10); // root
+        p.on_charge(0, 0, 10); // root
         p.push(Domain::Syscall, "open");
-        p.on_charge(1, 100);
+        p.on_charge(1, 0, 100);
         p.push_leaf("kpath.open");
-        p.on_charge(1, 7); // inherits Syscall
+        p.on_charge(1, 0, 7); // inherits Syscall
         p.pop();
         p.pop();
         p.push(Domain::Crypto, "seal");
-        p.on_charge(2, 30);
+        p.on_charge(2, 0, 30);
         p.pop();
         assert_eq!(p.total_attributed(), 147);
         p.assert_conservation(50 + 147);
@@ -381,7 +463,7 @@ mod tests {
         p.enable(0);
         for _ in 0..3 {
             p.push(Domain::Syscall, "read");
-            p.on_charge(1, 5);
+            p.on_charge(1, 0, 5);
             p.pop();
         }
         // root + one "read" node — not three.
@@ -394,9 +476,9 @@ mod tests {
         let mut p = CycleProfiler::new();
         p.enable(0);
         p.push(Domain::Sva, "outer");
-        p.on_charge(0, 3);
+        p.on_charge(0, 0, 3);
         p.push(Domain::Sva, "inner");
-        p.on_charge(0, 4);
+        p.on_charge(0, 0, 4);
         p.pop();
         p.pop();
         assert_eq!(p.domain_totals()[&Domain::Sva], 7);
@@ -407,7 +489,7 @@ mod tests {
     fn zero_cycle_charges_are_free() {
         let mut p = CycleProfiler::new();
         p.enable(0);
-        p.on_charge(9, 0);
+        p.on_charge(9, 0, 0);
         assert!(p.proc_totals().is_empty());
         p.assert_conservation(0);
     }

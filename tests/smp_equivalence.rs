@@ -1,0 +1,239 @@
+//! SMP scheduler equivalence proofs (DESIGN.md §11).
+//!
+//! The multi-core machine is an *optimization layer* over the single-core
+//! simulator, and like every other optimization in this codebase it ships
+//! with a differential proof:
+//!
+//! 1. **Single-core bit-identity** — for a random workload mix, spawning
+//!    processes and draining them through the work-stealing scheduler on a
+//!    `cpus = 1` system is bit-identical (clock, counters, metrics report,
+//!    exit codes) to calling `run_until_exit` in the same order on a plain
+//!    `boot`-ed system. The scheduler charges nothing of its own.
+//! 2. **Multi-core determinism** — same workload + same cpu count ⇒
+//!    identical clocks, per-core clocks, counters, and metrics.
+//! 3. **Observable equivalence across cpu counts** — the *results* of every
+//!    process (exit codes, file contents) are identical at 1, 2, and 4
+//!    cores; only the timing/IPI accounting differs.
+//! 4. **Conservation** — with the profiler on, per-core attributed cycles
+//!    equal per-core performed work, and work + idle equals the scheduling
+//!    horizon on every core.
+
+use proptest::prelude::*;
+use vg_kernel::{Mode, Pid, System};
+
+/// Installs `n` processes with per-index workloads mixing file I/O, heap
+/// traffic, fork, and (under VG) ghost memory. Returns their pids in spawn
+/// order. Each process writes a result file named after its index so runs
+/// can be compared observably.
+fn install_mix(sys: &mut System, n: usize, shapes: &[u8]) -> Vec<Pid> {
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let shape = shapes[i % shapes.len()] % 3;
+        let name = format!("smp-mix-{i}");
+        sys.install_app(&name, shape == 2, move || {
+            Box::new(move |env| {
+                let path = format!("/out-{i}");
+                let fd = env.open(&path, vg_kernel::syscall::O_CREAT);
+                let buf = env.mmap_anon(4096);
+                match shape {
+                    0 => {
+                        // File churn: weight scales with index for imbalance.
+                        for r in 0..(2 + i as u64 % 5) {
+                            env.write_mem(buf, format!("round {r} proc {i}").as_bytes());
+                            env.write(fd, buf, 16);
+                        }
+                    }
+                    1 => {
+                        // Fork a child that exits with a derived code.
+                        let child = env.fork(vg_kernel::ChildKind::Exit((i % 7) as i32));
+                        if child <= 0 {
+                            return 101;
+                        }
+                        // The child *pid* half of the status is assigned in
+                        // global execution order, which legitimately varies
+                        // with cpu count; the exit-code half is the
+                        // order-independent observable.
+                        let code = env.wait() & 0xff;
+                        env.write_mem(buf, format!("child code {code:#04x}").as_bytes());
+                        env.write(fd, buf, 20);
+                    }
+                    _ => {
+                        // Ghost page roundtrip (the mechanism works in both
+                        // modes; only the *protection* differs).
+                        let Ok(va) = env.allocgm(1) else { return 102 };
+                        env.write_mem(va, format!("ghost proc {i}").as_bytes());
+                        let back = env.read_mem(va, 12);
+                        env.write_mem(buf, &back);
+                        env.write(fd, buf, 12);
+                    }
+                }
+                env.close(fd);
+                (i % 3) as i32
+            })
+        });
+        pids.push(sys.spawn(&name));
+    }
+    pids
+}
+
+/// Observable outcome of a run: per-pid exit codes plus every result file.
+fn observables(sys: &mut System, pids: &[Pid], n: usize) -> Vec<(Pid, Option<i32>, Vec<u8>)> {
+    (0..n)
+        .map(|i| {
+            let file = sys.read_file(&format!("/out-{i}")).unwrap_or_default();
+            (pids[i], sys.exit_status(pids[i]), file)
+        })
+        .collect()
+}
+
+fn run_scheduled(mode: Mode, cpus: usize, n: usize, shapes: &[u8]) -> (System, Vec<Pid>) {
+    let mut sys = System::boot_with_cpus(mode, cpus);
+    let pids = install_mix(&mut sys, n, shapes);
+    for &pid in &pids {
+        sys.sched_enqueue(pid);
+    }
+    let run = sys.run_queued();
+    assert_eq!(run.exits.len(), n, "every queued process ran");
+    (sys, pids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cpus=1 differential: scheduler-mediated execution must be
+    /// bit-identical to sequential `run_until_exit` calls in spawn order.
+    #[test]
+    fn single_core_scheduler_is_bit_identical(
+        shapes in proptest::collection::vec(0u8..6, 1..6),
+        n in 1usize..6,
+    ) {
+        for mode in [Mode::Native, Mode::VirtualGhost] {
+            // Reference: the historical sequential driver on a plain boot.
+            let mut seq = System::boot(mode.clone());
+            let pids = install_mix(&mut seq, n, &shapes);
+            for &pid in &pids {
+                seq.run_until_exit(pid);
+            }
+            // Candidate: same spawns drained through the scheduler.
+            let (mut sched, spids) = run_scheduled(mode, 1, n, &shapes);
+            prop_assert_eq!(&pids, &spids);
+            prop_assert_eq!(
+                seq.machine.clock.cycles(),
+                sched.machine.clock.cycles(),
+                "scheduler must charge nothing at cpus=1"
+            );
+            prop_assert_eq!(seq.machine.counters, sched.machine.counters);
+            prop_assert_eq!(sched.machine.counters.ipis, 0);
+            prop_assert_eq!(sched.machine.counters.tlb_shootdowns, 0);
+            prop_assert_eq!(sched.machine.counters.sched_steals, 0);
+            prop_assert_eq!(seq.machine.metrics.report(), sched.machine.metrics.report());
+            prop_assert_eq!(sched.machine.cpu_clock(0), sched.machine.clock.cycles());
+            let mut seq_sys = seq;
+            prop_assert_eq!(
+                observables(&mut seq_sys, &pids, n),
+                observables(&mut sched, &spids, n)
+            );
+        }
+    }
+
+    /// Same seed (workload) + same cpu count ⇒ identical everything;
+    /// different cpu counts ⇒ identical observable results.
+    #[test]
+    fn multi_core_replay_and_observable_equivalence(
+        shapes in proptest::collection::vec(0u8..6, 1..6),
+        n in 2usize..7,
+    ) {
+        let (mut a, apids) = run_scheduled(Mode::VirtualGhost, 4, n, &shapes);
+        let (mut b, bpids) = run_scheduled(Mode::VirtualGhost, 4, n, &shapes);
+        prop_assert_eq!(a.machine.clock.cycles(), b.machine.clock.cycles());
+        prop_assert_eq!(a.machine.cpu_clocks(), b.machine.cpu_clocks());
+        prop_assert_eq!(a.machine.counters, b.machine.counters);
+        prop_assert_eq!(a.machine.metrics.report(), b.machine.metrics.report());
+        let oa = observables(&mut a, &apids, n);
+        prop_assert_eq!(&oa, &observables(&mut b, &bpids, n));
+        // Different cpu counts: timing differs, results must not.
+        for cpus in [1usize, 2] {
+            let (mut c, cpids) = run_scheduled(Mode::VirtualGhost, cpus, n, &shapes);
+            prop_assert_eq!(&cpids, &apids, "pid assignment is cpu-count independent");
+            prop_assert_eq!(
+                &oa,
+                &observables(&mut c, &cpids, n),
+                "{cpus}-core observables match the 4-core run"
+            );
+        }
+    }
+}
+
+#[test]
+fn work_stealing_balances_an_imbalanced_queue() {
+    let mut sys = System::boot_with_cpus(Mode::VirtualGhost, 2);
+    // Home assignment is round-robin: even spawns land on core 0, odd on
+    // core 1. Make core 0's share heavy and core 1's trivial so core 1
+    // drains its queue first and must steal.
+    for i in 0..6 {
+        let name = format!("steal-{i}");
+        let heavy = i % 2 == 0;
+        sys.install_app(&name, false, move || {
+            Box::new(move |env| {
+                let buf = env.mmap_anon(4096);
+                env.write_mem(buf, &[7u8; 512]);
+                let rounds = if heavy { 40 } else { 1 };
+                let fd = env.open(&format!("/steal-{i}"), vg_kernel::syscall::O_CREAT);
+                for _ in 0..rounds {
+                    env.write(fd, buf, 512);
+                }
+                env.close(fd);
+                0
+            })
+        });
+        let pid = sys.spawn(&name);
+        sys.sched_enqueue(pid);
+    }
+    let run = sys.run_queued();
+    assert_eq!(run.exits.len(), 6);
+    assert!(run.exits.iter().all(|&(_, code)| code == 0));
+    assert!(run.steals >= 1, "idle core stole from the loaded one");
+    assert_eq!(sys.machine.counters.sched_steals, run.steals);
+    assert_eq!(run.work.len(), 2);
+    assert!(run.work.iter().all(|&w| w > 0), "both cores did work");
+    assert_eq!(run.horizon, *run.work.iter().max().unwrap());
+    // The whole point of stealing: the horizon is far below the serial sum.
+    let total: u64 = run.work.iter().sum();
+    assert!(
+        (run.horizon as f64) < 0.8 * total as f64,
+        "horizon {} vs serial {}",
+        run.horizon,
+        total
+    );
+}
+
+#[test]
+fn smp_conservation_work_plus_idle_equals_horizon() {
+    let mut sys = System::boot_with_cpus(Mode::VirtualGhost, 4);
+    let shapes = [0u8, 1, 2, 3, 4, 5];
+    let pids = install_mix(&mut sys, 6, &shapes);
+    for &pid in &pids {
+        sys.sched_enqueue(pid);
+    }
+    // Enable attribution exactly at the window boundary so the profiled
+    // region coincides with the scheduling window.
+    sys.machine.profile_enable();
+    let run = sys.run_queued();
+    assert_eq!(run.exits.len(), 6);
+    // Per-core books: attributed == work, work + idle == horizon.
+    sys.machine
+        .profiler
+        .assert_smp_conservation(&run.work, run.horizon);
+    // Global books still balance against the shared clock.
+    sys.machine
+        .profiler
+        .assert_conservation(sys.machine.clock.cycles());
+    // Multi-core runs actually exercised the shootdown path.
+    assert!(
+        sys.machine.counters.ipis > 0,
+        "page mappings broadcast IPIs"
+    );
+    assert!(sys.machine.counters.tlb_shootdowns > 0);
+    let busy = run.work.iter().filter(|&&w| w > 0).count();
+    assert!(busy >= 2, "work spread across cores: {:?}", run.work);
+}

@@ -261,6 +261,82 @@ fn profiled_runs_are_deterministic() {
     );
 }
 
+/// A small scheduled multi-process workload on `cpus` cores with tracing
+/// and profiling on. Returns the system plus the spawned pids.
+fn run_smp_workload(cpus: usize) -> (System, Vec<vg_kernel::Pid>) {
+    let mut sys = System::boot_with_cpus(Mode::VirtualGhost, cpus);
+    sys.machine.trace.enable(DEFAULT_TRACE_CAPACITY);
+    sys.machine.profile_enable();
+    let mut pids = Vec::new();
+    for i in 0..4usize {
+        let name = format!("smp-trace-{i}");
+        sys.install_app(&name, i % 2 == 0, move || {
+            Box::new(move |env| {
+                let buf = env.mmap_anon(4096);
+                let fd = env.open(&format!("/smp-{i}"), vg_kernel::syscall::O_CREAT);
+                for r in 0..(1 + i as u64) {
+                    env.write_mem(buf, format!("cpu spread {i}.{r}").as_bytes());
+                    env.write(fd, buf, 14);
+                }
+                env.close(fd);
+                0
+            })
+        });
+        let pid = sys.spawn(&name);
+        sys.sched_enqueue(pid);
+        pids.push(pid);
+    }
+    let run = sys.run_queued();
+    assert_eq!(run.exits.len(), 4);
+    (sys, pids)
+}
+
+#[test]
+fn multi_core_capture_is_deterministic() {
+    // Same workload + same cpu count ⇒ byte-identical trace, metrics, and
+    // profile exports, down to the per-core cycle books.
+    let (a, _) = run_smp_workload(4);
+    let (b, _) = run_smp_workload(4);
+    assert_eq!(
+        chrome_trace_json(&a.machine.trace),
+        chrome_trace_json(&b.machine.trace),
+        "4-core traces replay byte-identically"
+    );
+    assert_eq!(a.machine.metrics.report(), b.machine.metrics.report());
+    assert_eq!(
+        vg_trace::folded_stacks(&a.machine.profiler),
+        vg_trace::folded_stacks(&b.machine.profiler)
+    );
+    assert_eq!(a.machine.cpu_clocks(), b.machine.cpu_clocks());
+    assert_eq!(a.machine.counters, b.machine.counters);
+    assert!(a.machine.counters.ipis > 0, "shootdown IPIs were traced");
+}
+
+#[test]
+fn cpu_count_changes_timing_but_not_results() {
+    // Different cpu counts ⇒ identical observable syscall results (exit
+    // codes, file contents); only cycle accounting may differ.
+    let (a, apids) = run_smp_workload(4);
+    let (mut uni, upids) = run_smp_workload(1);
+    assert_eq!(apids, upids, "pid assignment is cpu-count independent");
+    let mut a = a;
+    for (i, &pid) in apids.iter().enumerate() {
+        assert_eq!(a.exit_status(pid), Some(0));
+        assert_eq!(a.exit_status(pid), uni.exit_status(pid));
+        assert_eq!(
+            a.read_file(&format!("/smp-{i}")),
+            uni.read_file(&format!("/smp-{i}")),
+            "file written by proc {i} matches across cpu counts"
+        );
+    }
+    assert_eq!(uni.machine.counters.ipis, 0, "1 core never sends IPIs");
+    assert_eq!(
+        uni.machine.cpu_clock(0),
+        uni.machine.clock.cycles(),
+        "single core owns the whole timeline"
+    );
+}
+
 #[test]
 fn exported_json_parses_as_chrome_trace_shape() {
     // No serde in the workspace: check the structural invariants by hand —
